@@ -1,0 +1,49 @@
+// Figure 15: storage required for EH.
+//
+// EH's series are only weakly correlated, so the paper expects MMGC (v2)
+// to match MMC (v1) only approximately at low bounds — v1 can even be
+// slightly smaller — with v2 winning again at a 10% bound. Both remain
+// far below the lossless baselines.
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace modelardb;
+  bench::PrintHeader("Figure 15", "Storage, EH");
+  bench::TempDir dir("fig15");
+  auto eh = bench::MakeEh();
+  std::printf("EH: %lld points\n\n",
+              static_cast<long long>(eh.CountDataPoints()));
+  std::printf("%-36s %14s\n", "system (bound)", "MiB on disk");
+
+  for (auto kind : {bench::Baseline::kInflux, bench::Baseline::kCassandra,
+                    bench::Baseline::kParquet, bench::Baseline::kOrc}) {
+    auto instance = bench::CheckOk(
+        bench::BuildBaseline(eh, kind, dir.Sub(bench::BaselineName(kind))),
+        "baseline");
+    bench::PrintRow(std::string(bench::BaselineName(kind)) + " (0%)",
+                    bench::Mib(instance.store->DiskBytes()), "MiB");
+  }
+  for (double pct : {0.0, 1.0, 5.0, 10.0}) {
+    auto ds1 = bench::MakeEh();
+    auto v1 = bench::CheckOk(
+        bench::BuildModelar(&ds1, true, pct, 1,
+                            dir.Sub("v1_" + std::to_string(pct))),
+        "v1");
+    bench::PrintRow("ModelarDBv1 (" + std::to_string((int)pct) + "%)",
+                    bench::Mib(v1.engine->DiskBytes()), "MiB");
+    auto ds2 = bench::MakeEh();
+    auto v2 = bench::CheckOk(
+        bench::BuildModelar(&ds2, false, pct, 1,
+                            dir.Sub("v2_" + std::to_string(pct))),
+        "v2");
+    bench::PrintRow("ModelarDBv2 (" + std::to_string((int)pct) + "%)",
+                    bench::Mib(v2.engine->DiskBytes()), "MiB");
+  }
+  bench::PrintNote("paper (GiB): Cassandra 129.3, Parquet 107->14.1, "
+                   "InfluxDB 4.3, ORC 2.8; v1 vs v2: v2 1.18x larger at "
+                   "0%, 1.15x at 1%, 1.004x at 5%, 1.22x SMALLER at 10%");
+  bench::PrintNote("shape target: v2/v1 close at low bounds (v1 can win), "
+                   "v2 wins at 10%; both far below lossless baselines");
+  return 0;
+}

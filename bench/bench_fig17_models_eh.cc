@@ -1,0 +1,42 @@
+// Figure 17: which models MMGC uses on EH, per error bound (% of data
+// points represented by PMC-Mean, Swing and Gorilla). Paper shape: Gorilla
+// dominates at 0% and its share shrinks as the bound grows, while
+// PMC-Mean and Swing take over.
+
+#include <algorithm>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace modelardb;
+  bench::PrintHeader("Figure 17", "Models used, EH");
+  bench::TempDir dir("fig17");
+  std::printf("%-8s %12s %12s %12s %12s\n", "bound", "PMC-Mean", "Swing",
+              "Gorilla", "other");
+  for (double pct : {0.0, 1.0, 5.0, 10.0}) {
+    auto ds = bench::MakeEh();
+    auto v2 = bench::CheckOk(
+        bench::BuildModelar(&ds, false, pct, 1,
+                            dir.Sub("v2_" + std::to_string(pct))),
+        "v2");
+    IngestStats stats = v2.engine->TotalStats();
+    int64_t total = 0;
+    for (const auto& [mid, n] : stats.values_per_model) total += n;
+    auto share = [&](Mid mid) {
+      auto it = stats.values_per_model.find(mid);
+      return it == stats.values_per_model.end()
+                 ? 0.0
+                 : 100.0 * it->second / total;
+    };
+    double other = std::max(0.0, 100.0 - share(kMidPmcMean) -
+                                     share(kMidSwing) - share(kMidGorilla));
+    std::printf("%-7.0f%% %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n", pct,
+                share(kMidPmcMean), share(kMidSwing), share(kMidGorilla),
+                other);
+  }
+  bench::PrintNote("paper: 0% -> 40.7/0.6/58.7, 1% -> 20.6/0.1/79.3, "
+                   "5% -> 31.0/0.3/68.7, 10% -> 49.3/0.4/50.3");
+  bench::PrintNote("shape target: Gorilla and PMC-Mean split the data, Swing "
+                   "marginal; PMC share grows with the bound");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 25: M-AGG-One on EP (GROUP BY month and category, matching the
+// level EP was partitioned at). See magg_common.h.
+
+#include "bench/magg_common.h"
+
+int main() {
+  return modelardb::bench::RunMAggBench(
+      "Figure 25", /*is_ep=*/true, /*drill_down=*/false,
+      "paper (minutes): InfluxDB not supported, Cassandra 106.2, Parquet "
+      "53.2, ORC 64.5, v2 SV 29.0, v2 DPV 1607; v2 1.84-55.47x faster");
+}

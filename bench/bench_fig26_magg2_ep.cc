@@ -1,0 +1,11 @@
+// Figure 26: M-AGG-Two on EP (drill-down: GROUP BY month and concrete,
+// one level below the partitioning level). See magg_common.h.
+
+#include "bench/magg_common.h"
+
+int main() {
+  return modelardb::bench::RunMAggBench(
+      "Figure 26", /*is_ep=*/true, /*drill_down=*/true,
+      "paper (minutes): InfluxDB not supported, Cassandra 106.8, Parquet "
+      "66.3, ORC 78.4, v2 SV 30.1, v2 DPV 1723; v2 2.20-57.17x faster");
+}

@@ -1,0 +1,10 @@
+// Figure 27: M-AGG-One on EH (GROUP BY month and park). See magg_common.h.
+
+#include "bench/magg_common.h"
+
+int main() {
+  return modelardb::bench::RunMAggBench(
+      "Figure 27", /*is_ep=*/false, /*drill_down=*/false,
+      "paper (minutes): InfluxDB not supported, Cassandra 84.1, Parquet "
+      "32.3, ORC 58.0, v2 SV 30.8, v2 DPV 2543; v2 1.05-82.45x faster");
+}

@@ -1,0 +1,11 @@
+// Figure 28: M-AGG-Two on EH (drill-down: GROUP BY month and entity).
+// See magg_common.h.
+
+#include "bench/magg_common.h"
+
+int main() {
+  return modelardb::bench::RunMAggBench(
+      "Figure 28", /*is_ep=*/false, /*drill_down=*/true,
+      "paper (minutes): InfluxDB not supported, Cassandra 84.3, Parquet "
+      "31.1, ORC 51.7, v2 SV 27.7, v2 DPV 2549; v2 1.12-91.92x faster");
+}

@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark): model append and decode throughput
+// for the three bundled group models at several group sizes. These are the
+// hot loops of ingestion (§3.2) and of Segment View scans (§6).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/model.h"
+#include "core/models/gorilla.h"
+#include "core/models/pmc_mean.h"
+#include "core/models/swing.h"
+#include "util/random.h"
+
+namespace modelardb {
+namespace {
+
+std::vector<Value> MakeRows(int num_series, int rows, double noise) {
+  Random rng(1);
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(num_series) * rows);
+  double base = 100.0;
+  for (int r = 0; r < rows; ++r) {
+    base += 0.01;
+    for (int c = 0; c < num_series; ++c) {
+      out.push_back(static_cast<Value>(base + rng.Uniform(-noise, noise)));
+    }
+  }
+  return out;
+}
+
+template <typename ModelType>
+void BM_ModelAppend(benchmark::State& state) {
+  int num_series = static_cast<int>(state.range(0));
+  ModelConfig config;
+  config.num_series = num_series;
+  config.error_bound = ErrorBound::Relative(5.0);
+  config.length_limit = 50;
+  std::vector<Value> rows = MakeRows(num_series, 50, 0.5);
+  int64_t values = 0;
+  for (auto _ : state) {
+    ModelType model(config);
+    for (int r = 0; r < 50; ++r) {
+      if (!model.Append(&rows[static_cast<size_t>(r) * num_series])) break;
+      values += num_series;
+    }
+    benchmark::DoNotOptimize(model.length());
+  }
+  state.SetItemsProcessed(values);
+}
+
+BENCHMARK(BM_ModelAppend<PmcMeanModel>)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_ModelAppend<SwingModel>)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_ModelAppend<GorillaModel>)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_GorillaDecode(benchmark::State& state) {
+  int num_series = static_cast<int>(state.range(0));
+  ModelConfig config;
+  config.num_series = num_series;
+  config.length_limit = 50;
+  GorillaModel model(config);
+  std::vector<Value> rows = MakeRows(num_series, 50, 0.5);
+  for (int r = 0; r < 50; ++r) {
+    model.Append(&rows[static_cast<size_t>(r) * num_series]);
+  }
+  std::vector<uint8_t> params = model.SerializeParameters(50);
+  int64_t values = 0;
+  for (auto _ : state) {
+    auto decoder = GorillaModel::Decode(params, num_series, 50);
+    benchmark::DoNotOptimize(decoder);
+    values += 50 * num_series;
+  }
+  state.SetItemsProcessed(values);
+}
+
+BENCHMARK(BM_GorillaDecode)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ConstantTimeAggregate(benchmark::State& state) {
+  // SUM over a Swing segment is O(1) regardless of length (§6.1).
+  SwingDecoder decoder(100.0, 0.5, 1, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    AggregateSummary summary =
+        decoder.AggregateRange(0, static_cast<int>(state.range(0)) - 1, 0);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+
+BENCHMARK(BM_ConstantTimeAggregate)->Arg(50)->Arg(5000)->Arg(500000);
+
+}  // namespace
+}  // namespace modelardb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table 1: evaluation environment. The paper tabulates the cluster
+// hardware and the configuration of every system; this binary prints the
+// equivalent for the reproduction: build/host information and the engine
+// defaults used by every other bench.
+
+#include <thread>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace modelardb;
+  bench::PrintHeader("Table 1", "Evaluation environment");
+
+  std::printf("%-28s %s\n", "Hardware", "");
+  std::printf("  %-26s %u\n", "Logical cores",
+              std::thread::hardware_concurrency());
+  std::printf("  %-26s %s\n", "Platform",
+#if defined(__linux__)
+              "Linux"
+#elif defined(__APPLE__)
+              "macOS"
+#else
+              "other"
+#endif
+  );
+  std::printf("  %-26s %s %s\n", "Compiler",
+#if defined(__clang__)
+              "clang", __VERSION__
+#elif defined(__GNUC__)
+              "gcc", __VERSION__
+#else
+              "unknown", ""
+#endif
+  );
+  std::printf("  %-26s C++%ld\n", "Standard", __cplusplus / 100 % 100 + 2000);
+
+  std::printf("\n%-28s %s\n", "ModelarDB++ (this repo)", "");
+  std::printf("  %-26s %s\n", "Model error bounds", "0%, 1%, 5%, 10%");
+  ModelConfig model_defaults;
+  std::printf("  %-26s %d\n", "Model length limit",
+              model_defaults.length_limit);
+  GroupCoordinatorConfig coordinator_defaults;
+  std::printf("  %-26s 1/%.0f of average ratio\n", "Dynamic split fraction",
+              coordinator_defaults.split_fraction);
+  SegmentStoreOptions store_defaults;
+  std::printf("  %-26s %zu segments\n", "Bulk write size",
+              store_defaults.bulk_write_size);
+  ModelRegistry registry = ModelRegistry::Default();
+  std::printf("  %-26s ", "Model fitting sequence");
+  for (Mid mid : registry.fitting_sequence()) {
+    std::printf("%s ", registry.ModelName(mid)->c_str());
+  }
+  std::printf("\n");
+
+  std::printf("\n%-28s %s\n", "Baseline substitutes", "");
+  std::printf("  %-26s %s\n", "InfluxDB", "TsmStore (delta-of-delta + XOR)");
+  std::printf("  %-26s %s\n", "Cassandra",
+              "RowStore (8 B cell overhead, 4096-row blocks)");
+  std::printf("  %-26s %s\n", "Parquet",
+              "ColumnarStore (PLAIN values, 8192-row groups)");
+  std::printf("  %-26s %s\n", "ORC",
+              "ColumnarStore (RLE values, 8192-row groups)");
+  std::printf("  %-26s %s\n", "ModelarDBv1",
+              "this engine with grouping disabled (MMC only)");
+
+  std::printf("\n%-28s %s\n", "Data sets (synthetic)", "");
+  {
+    auto ep = bench::MakeEp();
+    auto eh = bench::MakeEh();
+    std::printf("  %-26s %d series, SI 60 s, %lld points\n", "EP-like",
+                ep.num_series(),
+                static_cast<long long>(ep.CountDataPoints()));
+    std::printf("  %-26s %d series, SI 100 ms, %lld points\n", "EH-like",
+                eh.num_series(),
+                static_cast<long long>(eh.CountDataPoints()));
+  }
+  return 0;
+}

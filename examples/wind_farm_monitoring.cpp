@@ -1,0 +1,98 @@
+// Wind-farm monitoring: the paper's motivating scenario (§1).
+//
+// A wind farm operator monitors turbines with high-frequency sensors and
+// wants OLAP-style reporting without throwing away raw data. This example
+// builds an EP-like synthetic farm, partitions it with the paper's
+// correlation primitives, ingests it across a 3-worker cluster, and runs
+// the reporting queries from the evaluation: multi-dimensional aggregates
+// per month and category/concrete (M-AGG), drill-downs below the
+// partitioning level, and date-part analysis InfluxDB cannot express.
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "ingest/pipeline.h"
+#include "workload/dataset.h"
+#include "workload/queries.h"
+
+using namespace modelardb;  // Example code only.
+
+int main() {
+  // An EP-like farm: 6 turbines x 6 sensors, one week at SI = 60 s.
+  workload::SyntheticDataset farm =
+      workload::SyntheticDataset::Ep(/*entities=*/6,
+                                     /*rows_per_series=*/7 * 24 * 60);
+  std::printf("Farm: %d series, %lld data points\n", farm.num_series(),
+              static_cast<long long>(farm.CountDataPoints()));
+
+  // The paper's EP hints: group each entity's ProductionMWh measures and
+  // align ReactivePower with a scaling constant (§7.3).
+  auto groups = Partitioner::Partition(farm.catalog(), farm.BestHints());
+  std::printf("Groups: %zu (production measures grouped per turbine)\n",
+              groups->size());
+
+  ModelRegistry registry = ModelRegistry::Default();
+  cluster::ClusterConfig config;
+  config.num_workers = 3;
+  config.error_bound = ErrorBound::Relative(5.0);  // Reporting tolerates 5%.
+  auto engine = cluster::ClusterEngine::Create(farm.catalog(), *groups,
+                                               &registry, config);
+  auto report =
+      ingest::RunPipeline(engine->get(), farm.MakeSources(*groups), {});
+  if (!report.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Ingested %lld points in %.2f s (%.0f points/s)\n\n",
+              static_cast<long long>(report->data_points), report->seconds,
+              report->points_per_second);
+
+  struct NamedQuery {
+    const char* title;
+    std::string sql;
+  };
+  const NamedQuery queries[] = {
+      {"Monthly energy production per category (M-AGG-One)",
+       "SELECT Category, CUBE_SUM_MONTH(*) FROM Segment "
+       "WHERE Category = 'ProductionMWh' GROUP BY Category"},
+      {"Drill-down: daily production per concrete measure (M-AGG-Two)",
+       "SELECT Concrete, CUBE_SUM_DAY(*) FROM Segment "
+       "WHERE Category = 'ProductionMWh' GROUP BY Concrete LIMIT 8"},
+      {"Per-entity average production",
+       "SELECT Entity, AVG_S(*) FROM Segment "
+       "WHERE Category = 'ProductionMWh' GROUP BY Entity"},
+      {"Temperature extremes per turbine type",
+       "SELECT Type, MIN_S(*), MAX_S(*) FROM Segment "
+       "WHERE Category = 'Temperature' GROUP BY Type"},
+      {"Hourly wind profile of turbine 0 (first 6 hours)",
+       "SELECT CUBE_AVG_HOUR(*) FROM Segment WHERE Concrete = 'WindSpeed' "
+       "AND Entity = 'E0' LIMIT 6"},
+  };
+  for (const NamedQuery& q : queries) {
+    std::printf("--- %s\n> %s\n", q.title, q.sql.c_str());
+    auto result = (*engine)->Execute(q.sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", result->ToString().c_str());
+  }
+
+  // Storage summary: what MMGC saved.
+  IngestStats stats = (*engine)->TotalStats();
+  double raw = static_cast<double>(stats.values_ingested) * 12.0;
+  std::printf("Storage: %lld segment bytes for %lld points "
+              "(%.1fx smaller than 12-byte raw points)\n",
+              static_cast<long long>(stats.bytes_emitted),
+              static_cast<long long>(stats.values_ingested),
+              raw / static_cast<double>(stats.bytes_emitted));
+  for (const auto& [mid, points] : stats.values_per_model) {
+    auto name = registry.ModelName(mid);
+    std::printf("  model %-10s represented %lld points\n",
+                name.ok() ? name->c_str() : "?",
+                static_cast<long long>(points));
+  }
+  return 0;
+}

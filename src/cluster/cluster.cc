@@ -1,0 +1,184 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "query/parser.h"
+#include "util/strings.h"
+
+namespace modelardb {
+namespace cluster {
+
+Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Create(
+    const TimeSeriesCatalog* catalog, std::vector<TimeSeriesGroup> groups,
+    const ModelRegistry* registry, const ClusterConfig& config) {
+  if (config.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  std::unique_ptr<ClusterEngine> engine(new ClusterEngine());
+  engine->config_ = config;
+  engine->catalog_ = catalog;
+  engine->registry_ = registry;
+
+  for (int i = 0; i < config.num_workers; ++i) {
+    SegmentStoreOptions store_options;
+    if (!config.storage_root.empty()) {
+      store_options.directory =
+          config.storage_root + "/worker" + std::to_string(i);
+    }
+    store_options.bulk_write_size = config.bulk_write_size;
+    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentStore> store,
+                               SegmentStore::Open(store_options));
+    engine->workers_.push_back(
+        std::make_unique<Worker>(i, std::move(store)));
+  }
+
+  // Capacity-based assignment (§3.1): largest groups first, each to the
+  // worker with the most available capacity (fewest assigned series).
+  std::vector<const TimeSeriesGroup*> by_size;
+  by_size.reserve(groups.size());
+  for (const TimeSeriesGroup& group : groups) by_size.push_back(&group);
+  std::stable_sort(by_size.begin(), by_size.end(),
+                   [](const TimeSeriesGroup* a, const TimeSeriesGroup* b) {
+                     return a->tids.size() > b->tids.size();
+                   });
+  std::vector<size_t> load(config.num_workers, 0);
+  for (const TimeSeriesGroup* group : by_size) {
+    int target = 0;
+    for (int i = 1; i < config.num_workers; ++i) {
+      if (load[i] < load[target]) target = i;
+    }
+    load[target] += group->tids.size();
+    engine->worker_of_[group->gid] = target;
+
+    GroupCoordinatorConfig coordinator_config;
+    coordinator_config.generator.gid = group->gid;
+    coordinator_config.generator.si = group->si;
+    coordinator_config.generator.num_series =
+        static_cast<int>(group->tids.size());
+    coordinator_config.generator.error_bound = config.error_bound;
+    coordinator_config.generator.length_limit = config.length_limit;
+    coordinator_config.generator.registry = registry;
+    coordinator_config.enable_splitting = config.enable_splitting;
+    coordinator_config.split_fraction = config.split_fraction;
+    engine->workers_[target]->AddCoordinator(
+        group->gid,
+        std::make_unique<GroupCoordinator>(coordinator_config, group->tids));
+  }
+
+  engine->query_engine_ = std::make_unique<query::QueryEngine>(
+      catalog, std::move(groups), registry);
+  return engine;
+}
+
+Status ClusterEngine::Ingest(Gid gid, const GroupRow& row) {
+  auto it = worker_of_.find(gid);
+  if (it == worker_of_.end()) {
+    return Status::NotFound("unknown Gid: " + std::to_string(gid));
+  }
+  Worker* worker = workers_[it->second].get();
+  GroupCoordinator* coordinator = worker->coordinator(gid);
+  std::vector<Segment> segments;
+  MODELARDB_RETURN_NOT_OK(coordinator->Ingest(row, &segments));
+  if (!segments.empty()) {
+    MODELARDB_RETURN_NOT_OK(worker->store()->PutBatch(segments));
+  }
+  return Status::OK();
+}
+
+Status ClusterEngine::FlushAll() {
+  for (auto& worker : workers_) {
+    for (const auto& [gid, coordinator] : worker->coordinators()) {
+      std::vector<Segment> segments;
+      MODELARDB_RETURN_NOT_OK(coordinator->Flush(&segments));
+      if (!segments.empty()) {
+        MODELARDB_RETURN_NOT_OK(worker->store()->PutBatch(segments));
+      }
+    }
+    MODELARDB_RETURN_NOT_OK(worker->store()->Flush());
+  }
+  return Status::OK();
+}
+
+Result<query::PartialResult> ClusterEngine::ExecuteOnWorker(
+    const query::CompiledQuery& compiled, int worker) const {
+  query::StoreSegmentSource source(workers_[worker]->store());
+  return query_engine_->ExecutePartial(compiled, source);
+}
+
+Result<query::QueryResult> ClusterEngine::Execute(
+    const query::Query& ast) const {
+  if (ast.explain) {
+    MODELARDB_ASSIGN_OR_RETURN(std::string text, query_engine_->Explain(ast));
+    query::QueryResult result;
+    result.columns = {"plan"};
+    for (const std::string& line : SplitString(text, '\n')) {
+      if (!line.empty()) result.rows.push_back({line});
+    }
+    return result;
+  }
+  MODELARDB_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
+                             query_engine_->Compile(ast));
+  std::vector<query::PartialResult> partials(workers_.size());
+  if (config_.parallel_queries && workers_.size() > 1) {
+    std::vector<Status> statuses(workers_.size());
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      threads.emplace_back([this, &compiled, &partials, &statuses, i] {
+        auto result = ExecuteOnWorker(compiled, static_cast<int>(i));
+        if (result.ok()) {
+          partials[i] = std::move(*result);
+        } else {
+          statuses[i] = result.status();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const Status& status : statuses) {
+      MODELARDB_RETURN_NOT_OK(status);
+    }
+  } else {
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      MODELARDB_ASSIGN_OR_RETURN(partials[i],
+                                 ExecuteOnWorker(compiled,
+                                                 static_cast<int>(i)));
+    }
+  }
+  return query_engine_->MergeFinalize(compiled, std::move(partials));
+}
+
+Result<query::QueryResult> ClusterEngine::Execute(
+    const std::string& sql) const {
+  MODELARDB_ASSIGN_OR_RETURN(query::Query ast, query::ParseQuery(sql));
+  return Execute(ast);
+}
+
+int64_t ClusterEngine::DiskBytes() const {
+  int64_t total = 0;
+  for (const auto& worker : workers_) total += worker->store()->DiskBytes();
+  return total;
+}
+
+IngestStats ClusterEngine::TotalStats() const {
+  IngestStats total;
+  for (const auto& worker : workers_) {
+    for (const auto& [gid, coordinator] : worker->coordinators()) {
+      IngestStats stats = coordinator->stats();
+      total.rows_ingested += stats.rows_ingested;
+      total.values_ingested += stats.values_ingested;
+      total.segments_emitted += stats.segments_emitted;
+      total.bytes_emitted += stats.bytes_emitted;
+      for (const auto& [mid, n] : stats.segments_per_model) {
+        total.segments_per_model[mid] += n;
+      }
+      for (const auto& [mid, n] : stats.values_per_model) {
+        total.values_per_model[mid] += n;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace cluster
+}  // namespace modelardb

@@ -1,0 +1,122 @@
+// ClusterEngine: master/worker execution (paper §3.1, Fig 4).
+//
+// Substitutes the Spark + Cassandra cluster of the paper with an in-process
+// master and N workers. The data-placement property that the paper's
+// scalability rests on is preserved exactly: every time series group is
+// ingested by, stored on and queried from a single worker, so queries
+// require no shuffling — workers compute partial aggregates locally and
+// the master merges them (Algorithms 5/6 distributed as in §6.2).
+//
+// Groups are assigned to the worker with the most available capacity
+// (§3.1: "each group is assigned to the worker with the most available
+// resources"), measured in series count, largest groups first.
+
+#ifndef MODELARDB_CLUSTER_CLUSTER_H_
+#define MODELARDB_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/group_coordinator.h"
+#include "query/engine.h"
+#include "storage/segment_store.h"
+
+namespace modelardb {
+namespace cluster {
+
+struct ClusterConfig {
+  int num_workers = 1;
+  // Root directory for per-worker stores; empty keeps workers in memory.
+  std::string storage_root;
+  // Ingestion configuration applied to every group's coordinator.
+  ErrorBound error_bound = ErrorBound::Lossless();
+  int length_limit = 50;
+  bool enable_splitting = true;
+  double split_fraction = 10.0;
+  size_t bulk_write_size = 50000;
+  // Run worker partials on std::threads (true) or sequentially (false;
+  // used by the scale-out harness to measure per-worker makespan).
+  bool parallel_queries = true;
+};
+
+// One worker node: its assigned groups' coordinators plus its store.
+class Worker {
+ public:
+  Worker(int id, std::unique_ptr<SegmentStore> store)
+      : id_(id), store_(std::move(store)) {}
+
+  int id() const { return id_; }
+  SegmentStore* store() { return store_.get(); }
+  const SegmentStore* store() const { return store_.get(); }
+
+  void AddCoordinator(Gid gid, std::unique_ptr<GroupCoordinator> coordinator) {
+    coordinators_[gid] = std::move(coordinator);
+  }
+  GroupCoordinator* coordinator(Gid gid) {
+    auto it = coordinators_.find(gid);
+    return it == coordinators_.end() ? nullptr : it->second.get();
+  }
+  const std::map<Gid, std::unique_ptr<GroupCoordinator>>& coordinators()
+      const {
+    return coordinators_;
+  }
+
+ private:
+  int id_;
+  std::unique_ptr<SegmentStore> store_;
+  std::map<Gid, std::unique_ptr<GroupCoordinator>> coordinators_;
+};
+
+class ClusterEngine {
+ public:
+  // `catalog`, `registry` must outlive the engine; `groups` from the
+  // Partitioner.
+  static Result<std::unique_ptr<ClusterEngine>> Create(
+      const TimeSeriesCatalog* catalog, std::vector<TimeSeriesGroup> groups,
+      const ModelRegistry* registry, const ClusterConfig& config);
+
+  // Worker a group is assigned to.
+  int WorkerOf(Gid gid) const { return worker_of_.at(gid); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  Worker* worker(int i) { return workers_[i].get(); }
+
+  // Routes one sampling instant of a group to its worker's coordinator and
+  // persists emitted segments. Thread-safe across *different* workers.
+  Status Ingest(Gid gid, const GroupRow& row);
+
+  // Flushes all coordinators and stores.
+  Status FlushAll();
+
+  // Parses and executes a query: workers compute partials (in parallel
+  // when configured), the master merges and finalizes.
+  Result<query::QueryResult> Execute(const std::string& sql) const;
+  Result<query::QueryResult> Execute(const query::Query& ast) const;
+
+  // Per-worker partial execution (exposed for the scale-out harness).
+  Result<query::PartialResult> ExecuteOnWorker(
+      const query::CompiledQuery& compiled, int worker) const;
+
+  const query::QueryEngine& query_engine() const { return *query_engine_; }
+
+  // Total bytes across worker stores.
+  int64_t DiskBytes() const;
+  // Aggregated ingest statistics across all coordinators.
+  IngestStats TotalStats() const;
+
+ private:
+  ClusterEngine() = default;
+
+  ClusterConfig config_;
+  const TimeSeriesCatalog* catalog_ = nullptr;
+  const ModelRegistry* registry_ = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::map<Gid, int> worker_of_;
+  std::unique_ptr<query::QueryEngine> query_engine_;
+};
+
+}  // namespace cluster
+}  // namespace modelardb
+
+#endif  // MODELARDB_CLUSTER_CLUSTER_H_

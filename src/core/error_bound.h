@@ -1,0 +1,68 @@
+// User-defined error bound under the uniform (L-infinity) error norm
+// (paper §2, Definition 4). ModelarDB expresses bounds as a percentage of
+// each real value; 0% requires lossless reconstruction.
+
+#ifndef MODELARDB_CORE_ERROR_BOUND_H_
+#define MODELARDB_CORE_ERROR_BOUND_H_
+
+#include <cmath>
+
+#include "core/types.h"
+
+namespace modelardb {
+
+class ErrorBound {
+ public:
+  // A relative bound of `percent`% per value. Zero means lossless.
+  static ErrorBound Relative(double percent) {
+    return ErrorBound(percent, /*absolute=*/0.0, /*is_absolute=*/false);
+  }
+
+  // An absolute bound: |approx - real| <= max_deviation.
+  static ErrorBound Absolute(double max_deviation) {
+    return ErrorBound(0.0, max_deviation, /*is_absolute=*/true);
+  }
+
+  static ErrorBound Lossless() { return Relative(0.0); }
+
+  // Whether `approx` may stand in for `real` under this bound.
+  bool Within(double approx, Value real) const {
+    if (is_absolute_) return std::abs(approx - real) <= absolute_;
+    if (percent_ == 0.0) return static_cast<Value>(approx) == real;
+    return std::abs(approx - real) <= (percent_ / 100.0) * std::abs(real);
+  }
+
+  // The closed interval of estimates acceptable for `real`:
+  // [real - delta, real + delta]. For a 0% relative bound the interval is
+  // degenerate at `real` itself.
+  double LowerAllowed(Value real) const {
+    return static_cast<double>(real) - Delta(real);
+  }
+  double UpperAllowed(Value real) const {
+    return static_cast<double>(real) + Delta(real);
+  }
+
+  bool is_lossless() const { return !is_absolute_ && percent_ == 0.0; }
+  bool is_absolute() const { return is_absolute_; }
+  double percent() const { return percent_; }
+  double absolute() const { return absolute_; }
+
+  bool operator==(const ErrorBound&) const = default;
+
+ private:
+  ErrorBound(double percent, double absolute, bool is_absolute)
+      : percent_(percent), absolute_(absolute), is_absolute_(is_absolute) {}
+
+  double Delta(Value real) const {
+    if (is_absolute_) return absolute_;
+    return (percent_ / 100.0) * std::abs(static_cast<double>(real));
+  }
+
+  double percent_;
+  double absolute_;
+  bool is_absolute_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_ERROR_BOUND_H_

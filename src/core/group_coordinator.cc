@@ -1,0 +1,353 @@
+#include "core/group_coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace modelardb {
+namespace {
+
+// Counts how many trailing aligned values (from the newest end) of `a` and
+// `b` are within twice the error bound of each other. Two data points more
+// than 2ε apart can never be approximated by one per-instant value (§4.2).
+int64_t SuffixWithinDoubleBound(const std::vector<Value>& a,
+                                const std::vector<Value>& b,
+                                const ErrorBound& bound) {
+  auto within = [&bound](Value x, Value y) {
+    if (bound.is_absolute()) {
+      return std::abs(static_cast<double>(x) - y) <= 2.0 * bound.absolute();
+    }
+    if (bound.percent() == 0.0) return x == y;
+    double allowance = (2.0 * bound.percent() / 100.0) *
+                       std::max(std::abs(static_cast<double>(x)),
+                                std::abs(static_cast<double>(y)));
+    return std::abs(static_cast<double>(x) - y) <= allowance;
+  };
+  int64_t n = static_cast<int64_t>(std::min(a.size(), b.size()));
+  int64_t matched = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    if (!within(a[a.size() - i], b[b.size() - i])) break;
+    ++matched;
+  }
+  return matched;
+}
+
+void Accumulate(const IngestStats& from, IngestStats* to) {
+  to->rows_ingested += from.rows_ingested;
+  to->values_ingested += from.values_ingested;
+  to->segments_emitted += from.segments_emitted;
+  to->bytes_emitted += from.bytes_emitted;
+  for (const auto& [mid, n] : from.segments_per_model) {
+    to->segments_per_model[mid] += n;
+  }
+  for (const auto& [mid, n] : from.values_per_model) {
+    to->values_per_model[mid] += n;
+  }
+}
+
+}  // namespace
+
+GroupCoordinator::GroupCoordinator(const GroupCoordinatorConfig& config,
+                                   std::vector<Tid> tids)
+    : config_(config), tids_(std::move(tids)) {
+  std::vector<int> all_positions(tids_.size());
+  for (size_t i = 0; i < tids_.size(); ++i) all_positions[i] = static_cast<int>(i);
+  subgroups_.push_back(MakeSubgroup(all_positions));
+}
+
+std::unique_ptr<GroupCoordinator::Subgroup> GroupCoordinator::MakeSubgroup(
+    const std::vector<int>& positions) {
+  auto sub = std::make_unique<Subgroup>();
+  sub->positions = positions;
+  std::vector<Tid> sub_tids;
+  sub_tids.reserve(positions.size());
+  for (int p : positions) sub_tids.push_back(tids_[p]);
+  SegmentGeneratorConfig generator_config = config_.generator;
+  generator_config.num_series = static_cast<int>(positions.size());
+  sub->generator =
+      std::make_unique<SegmentGenerator>(generator_config, std::move(sub_tids));
+  sub->join_threshold =
+      positions.size() == tids_.size() ? 0 : config_.join_after_segments;
+  return sub;
+}
+
+uint64_t GroupCoordinator::RemapMask(const Subgroup& sub,
+                                     uint64_t sub_mask) const {
+  // Start with every full-group position marked absent, then clear the
+  // bits of subgroup members that are not in a gap.
+  uint64_t mask = tids_.size() >= 64 ? ~uint64_t{0}
+                                     : (uint64_t{1} << tids_.size()) - 1;
+  for (size_t k = 0; k < sub.positions.size(); ++k) {
+    if ((sub_mask & (uint64_t{1} << k)) == 0) {
+      mask &= ~(uint64_t{1} << sub.positions[k]);
+    }
+  }
+  return mask;
+}
+
+Result<int> GroupCoordinator::IngestInto(Subgroup* sub, const GroupRow& row,
+                                         std::vector<Segment>* out) {
+  GroupRow sub_row;
+  sub_row.timestamp = row.timestamp;
+  sub_row.values.reserve(sub->positions.size());
+  sub_row.present.reserve(sub->positions.size());
+  for (int p : sub->positions) {
+    sub_row.values.push_back(row.values[p]);
+    sub_row.present.push_back(row.present[p]);
+  }
+  std::vector<Segment> emitted;
+  MODELARDB_RETURN_NOT_OK(sub->generator->Ingest(sub_row, &emitted));
+  for (Segment& segment : emitted) {
+    segment.gap_mask = RemapMask(*sub, segment.gap_mask);
+    int represented =
+        segment.RepresentedSeries(static_cast<int>(tids_.size()));
+    double ratio = (static_cast<double>(segment.Length()) * represented *
+                    sizeof(Value)) /
+                   static_cast<double>(segment.StorageBytes());
+    ratio_sum_ += ratio;
+    ++ratio_count_;
+    ++sub->segments_since_split;
+    out->push_back(std::move(segment));
+  }
+  return static_cast<int>(emitted.size());
+}
+
+Status GroupCoordinator::Ingest(const GroupRow& row,
+                                std::vector<Segment>* out) {
+  ++rows_received_;
+  values_received_ += row.PresentCount();
+  std::vector<size_t> split_candidates;
+  for (size_t i = 0; i < subgroups_.size(); ++i) {
+    size_t out_before = out->size();
+    MODELARDB_ASSIGN_OR_RETURN(int emitted,
+                               IngestInto(subgroups_[i].get(), row, out));
+    if (!config_.enable_splitting || emitted == 0) continue;
+    if (subgroups_[i]->positions.size() < 2) continue;
+    if (subgroups_[i]->generator->BufferedRows() == 0) continue;
+    // Heuristic 1 (§4.2): a segment with a compression ratio far below the
+    // running average signals the group has become uncorrelated.
+    double average = ratio_count_ == 0 ? 0.0 : ratio_sum_ / ratio_count_;
+    bool poor = false;
+    for (size_t s = out_before; s < out->size(); ++s) {
+      const Segment& segment = (*out)[s];
+      int represented =
+          segment.RepresentedSeries(static_cast<int>(tids_.size()));
+      double ratio = (static_cast<double>(segment.Length()) * represented *
+                      sizeof(Value)) /
+                     static_cast<double>(segment.StorageBytes());
+      if (ratio < average / config_.split_fraction) {
+        poor = true;
+        break;
+      }
+    }
+    if (poor) split_candidates.push_back(i);
+  }
+  // Split from the back so indices stay valid.
+  for (auto it = split_candidates.rbegin(); it != split_candidates.rend();
+       ++it) {
+    MODELARDB_RETURN_NOT_OK(SplitSubgroup(*it, out));
+  }
+  if (subgroups_.size() > 1) {
+    MODELARDB_RETURN_NOT_OK(TryJoins(out));
+  }
+  return Status::OK();
+}
+
+Status GroupCoordinator::SplitSubgroup(size_t index,
+                                       std::vector<Segment>* out) {
+  Subgroup* old = subgroups_[index].get();
+  SegmentGenerator* generator = old->generator.get();
+
+  std::vector<Timestamp> timestamps = generator->BufferedTimestamps();
+  if (timestamps.empty()) return Status::OK();
+
+  // Buffered points per subgroup-relative position; series in a gap have no
+  // buffered values and are clustered together (Algorithm 3).
+  std::vector<std::vector<Value>> buffered(old->positions.size());
+  std::vector<int> gap_cluster;
+  std::vector<int> pending;  // Subset indices with buffered data.
+  for (size_t k = 0; k < old->positions.size(); ++k) {
+    buffered[k] = generator->BufferedValues(static_cast<int>(k));
+    if (buffered[k].empty()) {
+      gap_cluster.push_back(static_cast<int>(k));
+    } else {
+      pending.push_back(static_cast<int>(k));
+    }
+  }
+
+  // Greedy clustering by the double-error-bound test (Algorithm 3,
+  // lines 6-16).
+  std::vector<std::vector<int>> clusters;
+  while (!pending.empty()) {
+    int first = pending.front();
+    std::vector<int> cluster = {first};
+    std::vector<int> rest;
+    for (size_t i = 1; i < pending.size(); ++i) {
+      int other = pending[i];
+      int64_t n = static_cast<int64_t>(buffered[first].size());
+      if (SuffixWithinDoubleBound(buffered[first], buffered[other],
+                                  config_.generator.error_bound) >= n) {
+        cluster.push_back(other);
+      } else {
+        rest.push_back(other);
+      }
+    }
+    clusters.push_back(std::move(cluster));
+    pending = std::move(rest);
+  }
+  if (!gap_cluster.empty()) clusters.push_back(gap_cluster);
+
+  if (clusters.size() <= 1) return Status::OK();  // Split has no benefit.
+
+  // Retire the old generator. Its buffered rows are replayed into the new
+  // generators below, so subtract them from the retired counters to avoid
+  // double counting.
+  IngestStats old_stats = generator->stats();
+  old_stats.rows_ingested -= generator->BufferedRows();
+  old_stats.values_ingested -=
+      generator->BufferedRows() * generator->ActiveSeriesCount();
+  Accumulate(old_stats, &retired_stats_);
+
+  std::vector<std::unique_ptr<Subgroup>> created;
+  for (const std::vector<int>& cluster : clusters) {
+    std::vector<int> full_positions;
+    full_positions.reserve(cluster.size());
+    for (int k : cluster) full_positions.push_back(old->positions[k]);
+    std::sort(full_positions.begin(), full_positions.end());
+    created.push_back(MakeSubgroup(full_positions));
+  }
+
+  // Replay the buffered rows (same timestamps, per-cluster values) so no
+  // data point is lost by the split.
+  for (auto& sub : created) {
+    // Subset index of a full-group position in the old subgroup.
+    auto subset_index = [old](int p) {
+      return static_cast<size_t>(std::lower_bound(old->positions.begin(),
+                                                  old->positions.end(), p) -
+                                 old->positions.begin());
+    };
+    if (buffered[subset_index(sub->positions.front())].empty()) {
+      continue;  // The gap cluster has nothing to replay.
+    }
+    for (size_t r = 0; r < timestamps.size(); ++r) {
+      GroupRow row;
+      row.timestamp = timestamps[r];
+      for (int p : sub->positions) {
+        row.values.push_back(buffered[subset_index(p)][r]);
+        row.present.push_back(true);
+      }
+      std::vector<Segment> emitted;
+      MODELARDB_RETURN_NOT_OK(sub->generator->Ingest(row, &emitted));
+      for (Segment& segment : emitted) {
+        segment.gap_mask = RemapMask(*sub, segment.gap_mask);
+        ++sub->segments_since_split;
+        out->push_back(std::move(segment));
+      }
+    }
+  }
+
+  subgroups_.erase(subgroups_.begin() + index);
+  for (auto& sub : created) subgroups_.push_back(std::move(sub));
+  ++stats_.splits;
+  return Status::OK();
+}
+
+bool GroupCoordinator::WithinDoubleBound(const std::vector<Value>& a,
+                                         const std::vector<Value>& b) const {
+  int64_t shortest = static_cast<int64_t>(std::min(a.size(), b.size()));
+  if (shortest == 0) return false;
+  return SuffixWithinDoubleBound(a, b, config_.generator.error_bound) >=
+         shortest;
+}
+
+Status GroupCoordinator::TryJoins(std::vector<Segment>* out) {
+  // Algorithm 4, executed at the end of a sampling interval. Restart after
+  // every merge because indices shift.
+  bool merged = true;
+  while (merged && subgroups_.size() > 1) {
+    merged = false;
+    for (size_t i = 0; i < subgroups_.size() && !merged; ++i) {
+      Subgroup* candidate = subgroups_[i].get();
+      if (candidate->join_threshold <= 0) continue;
+      if (candidate->segments_since_split < candidate->join_threshold) {
+        continue;
+      }
+      ++stats_.join_attempts;
+      bool joined = false;
+      for (size_t j = 0; j < subgroups_.size(); ++j) {
+        if (j == i) continue;
+        // Compare one representative series per group: groups consist of
+        // correlated series, otherwise a split would have occurred (§4.2).
+        std::vector<Value> a = candidate->generator->BufferedValues(0);
+        std::vector<Value> b = subgroups_[j]->generator->BufferedValues(0);
+        if (WithinDoubleBound(a, b)) {
+          MODELARDB_RETURN_NOT_OK(MergeSubgroups(i, j, out));
+          joined = true;
+          merged = true;
+          break;
+        }
+      }
+      if (!joined) {
+        // Each failed attempt doubles the required segment count (§4.2).
+        candidate->join_threshold *= 2;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupCoordinator::MergeSubgroups(size_t i, size_t j,
+                                        std::vector<Segment>* out) {
+  Subgroup* a = subgroups_[i].get();
+  Subgroup* b = subgroups_[j].get();
+
+  // Flush both so the merged generator starts at an aligned boundary (the
+  // paper keeps the retired parent generator around for synchronization;
+  // flushing achieves the same alignment in a single-process design).
+  for (Subgroup* sub : {a, b}) {
+    std::vector<Segment> emitted;
+    MODELARDB_RETURN_NOT_OK(sub->generator->Flush(&emitted));
+    for (Segment& segment : emitted) {
+      segment.gap_mask = RemapMask(*sub, segment.gap_mask);
+      out->push_back(std::move(segment));
+    }
+    Accumulate(sub->generator->stats(), &retired_stats_);
+  }
+
+  std::vector<int> positions = a->positions;
+  positions.insert(positions.end(), b->positions.begin(), b->positions.end());
+  std::sort(positions.begin(), positions.end());
+
+  size_t low = std::min(i, j);
+  size_t high = std::max(i, j);
+  subgroups_.erase(subgroups_.begin() + high);
+  subgroups_.erase(subgroups_.begin() + low);
+  subgroups_.push_back(MakeSubgroup(positions));
+  ++stats_.joins;
+  return Status::OK();
+}
+
+Status GroupCoordinator::Flush(std::vector<Segment>* out) {
+  for (auto& sub : subgroups_) {
+    std::vector<Segment> emitted;
+    MODELARDB_RETURN_NOT_OK(sub->generator->Flush(&emitted));
+    for (Segment& segment : emitted) {
+      segment.gap_mask = RemapMask(*sub, segment.gap_mask);
+      out->push_back(std::move(segment));
+    }
+  }
+  return Status::OK();
+}
+
+IngestStats GroupCoordinator::stats() const {
+  IngestStats total = retired_stats_;
+  for (const auto& sub : subgroups_) {
+    Accumulate(sub->generator->stats(), &total);
+  }
+  // Rows/values are counted once per sampling instant at the coordinator;
+  // after a split the sub-generators would each count the same instant.
+  total.rows_ingested = rows_received_;
+  total.values_ingested = values_received_;
+  return total;
+}
+
+}  // namespace modelardb

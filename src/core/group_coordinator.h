@@ -1,0 +1,117 @@
+// GroupCoordinator: dynamic splitting and joining of a time series group
+// (paper §4.2, Algorithms 3 and 4).
+//
+// A group whose series become temporarily uncorrelated (a turbine turned
+// off, a damaged sensor) is split into sub-groups that are ingested by
+// separate SegmentGenerators; when the series become correlated again the
+// sub-groups are joined. The coordinator owns the generators, applies the
+// paper's two heuristics (poor compression ratio triggers a split check;
+// join attempts are spaced by a doubling segment-count threshold) and keeps
+// every emitted segment keyed by the original Gid, with the Gaps mask
+// recording which group members a segment does not represent.
+
+#ifndef MODELARDB_CORE_GROUP_COORDINATOR_H_
+#define MODELARDB_CORE_GROUP_COORDINATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/segment_generator.h"
+
+namespace modelardb {
+
+struct GroupCoordinatorConfig {
+  SegmentGeneratorConfig generator;  // Applies to the full group.
+  bool enable_splitting = true;
+  // Split check fires when a segment's compression ratio is below
+  // average / split_fraction (Table 1: Dynamic Split Fraction = 10).
+  double split_fraction = 10.0;
+  // Segments a split sub-group must emit before its first join attempt;
+  // doubles after every failed attempt (§4.2).
+  int64_t join_after_segments = 2;
+};
+
+struct CoordinatorStats {
+  int64_t splits = 0;
+  int64_t joins = 0;
+  int64_t join_attempts = 0;
+};
+
+class GroupCoordinator {
+ public:
+  GroupCoordinator(const GroupCoordinatorConfig& config,
+                   std::vector<Tid> tids);
+
+  GroupCoordinator(const GroupCoordinator&) = delete;
+  GroupCoordinator& operator=(const GroupCoordinator&) = delete;
+
+  // Ingests the values of all group members for one sampling instant.
+  Status Ingest(const GroupRow& row, std::vector<Segment>* out);
+
+  // Flushes every sub-group.
+  Status Flush(std::vector<Segment>* out);
+
+  int NumSubgroups() const { return static_cast<int>(subgroups_.size()); }
+  const CoordinatorStats& coordinator_stats() const { return stats_; }
+
+  // Aggregated ingestion statistics across all (incl. retired) generators.
+  IngestStats stats() const;
+
+  const std::vector<Tid>& tids() const { return tids_; }
+
+ private:
+  struct Subgroup {
+    std::vector<int> positions;  // Full-group positions, ascending.
+    std::unique_ptr<SegmentGenerator> generator;
+    int64_t segments_since_split = 0;
+    int64_t join_threshold = 0;  // Segments required before a join attempt.
+  };
+
+  std::unique_ptr<Subgroup> MakeSubgroup(const std::vector<int>& positions);
+
+  // Feeds the row slice for `sub`; emitted segments get their Gaps mask
+  // remapped to full-group positions and appended to `out`. Returns the
+  // number of segments emitted.
+  Result<int> IngestInto(Subgroup* sub, const GroupRow& row,
+                         std::vector<Segment>* out);
+
+  // Remaps a subset-relative gaps mask to full-group positions.
+  uint64_t RemapMask(const Subgroup& sub, uint64_t sub_mask) const;
+
+  // Algorithm 3: re-clusters `sub`'s members by their buffered points and
+  // replaces it with the resulting sub-groups (replaying buffered rows).
+  Status SplitSubgroup(size_t index, std::vector<Segment>* out);
+
+  // Algorithm 4: attempts to join sub-groups whose thresholds have passed.
+  Status TryJoins(std::vector<Segment>* out);
+
+  // Whether every pairwise-aligned value is within twice the error bound
+  // (§4.2: two points outside the double bound cannot share a model).
+  bool WithinDoubleBound(const std::vector<Value>& a,
+                         const std::vector<Value>& b) const;
+
+  // Merges subgroups at indices `i` and `j` (flushing both first so their
+  // emitted data stays aligned; the merged generator then resumes shared
+  // ingestion, which is what restores MGC's compression benefit).
+  Status MergeSubgroups(size_t i, size_t j, std::vector<Segment>* out);
+
+  GroupCoordinatorConfig config_;
+  std::vector<Tid> tids_;
+  std::vector<std::unique_ptr<Subgroup>> subgroups_;
+
+  // Running average compression ratio of emitted segments.
+  double ratio_sum_ = 0.0;
+  int64_t ratio_count_ = 0;
+
+  // Sampling instants / values received by the coordinator itself; the
+  // per-generator counters would double count after splits.
+  int64_t rows_received_ = 0;
+  int64_t values_received_ = 0;
+
+  IngestStats retired_stats_;  // From generators replaced by splits/joins.
+  CoordinatorStats stats_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_GROUP_COORDINATOR_H_

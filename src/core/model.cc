@@ -1,0 +1,133 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "core/models/gorilla.h"
+#include "core/models/per_series.h"
+#include "core/models/pmc_mean.h"
+#include "core/models/polynomial.h"
+#include "core/models/raw_fallback.h"
+#include "core/models/swing.h"
+
+namespace modelardb {
+
+AggregateSummary SegmentDecoder::AggregateRange(int from_row, int to_row,
+                                                int col) const {
+  AggregateSummary out;
+  out.count = to_row - from_row + 1;
+  Value first = ValueAt(from_row, col);
+  out.min = first;
+  out.max = first;
+  out.sum = first;
+  for (int row = from_row + 1; row <= to_row; ++row) {
+    Value v = ValueAt(row, col);
+    out.sum += v;
+    out.min = std::min(out.min, static_cast<double>(v));
+    out.max = std::max(out.max, static_cast<double>(v));
+  }
+  return out;
+}
+
+ModelRegistry::ModelRegistry() {
+  // Every registry can decode the bundled models so that stored data stays
+  // readable regardless of the configured fitting sequence.
+  auto add_decoder = [this](Mid mid, const char* name,
+                            DecoderFactory decoder) {
+    entries_[mid] = Entry{name, nullptr, std::move(decoder)};
+  };
+  add_decoder(kMidPmcMean, "PMC-Mean", PmcMeanModel::Decode);
+  add_decoder(kMidSwing, "Swing", SwingModel::Decode);
+  add_decoder(kMidGorilla, "Gorilla", GorillaModel::Decode);
+  add_decoder(kMidRawFallback, "Raw", RawFallbackModel::Decode);
+  add_decoder(kMidPolynomial, "Polynomial", PolynomialModel::Decode);
+  add_decoder(kMidMultiPmcMean, "Multi-PMC-Mean",
+              PerSeriesModel::DecodeMultiPmc);
+  add_decoder(kMidMultiSwing, "Multi-Swing", PerSeriesModel::DecodeMultiSwing);
+  add_decoder(kMidMultiGorilla, "Multi-Gorilla",
+              PerSeriesModel::DecodeMultiGorilla);
+}
+
+ModelRegistry ModelRegistry::Default() {
+  ModelRegistry registry;
+  registry.entries_[kMidPmcMean].model_factory = PmcMeanModel::Create;
+  registry.entries_[kMidSwing].model_factory = SwingModel::Create;
+  registry.entries_[kMidGorilla].model_factory = GorillaModel::Create;
+  registry.entries_[kMidRawFallback].model_factory = RawFallbackModel::Create;
+  // The paper's fitting order (§3.2/§7.1): constant, then linear, then
+  // lossless. The raw fallback is not part of the sequence; the generator
+  // only uses it when no sequence model accepted any row.
+  registry.fitting_sequence_ = {kMidPmcMean, kMidSwing, kMidGorilla};
+  return registry;
+}
+
+ModelRegistry ModelRegistry::Extended() {
+  ModelRegistry registry = Default();
+  registry.entries_[kMidPolynomial].model_factory = PolynomialModel::Create;
+  registry.fitting_sequence_ = {kMidPmcMean, kMidSwing, kMidPolynomial,
+                                kMidGorilla};
+  return registry;
+}
+
+ModelRegistry ModelRegistry::MultiModelPerSegment() {
+  ModelRegistry registry;
+  registry.entries_[kMidMultiPmcMean].model_factory =
+      PerSeriesModel::CreateMultiPmc;
+  registry.entries_[kMidMultiSwing].model_factory =
+      PerSeriesModel::CreateMultiSwing;
+  registry.entries_[kMidMultiGorilla].model_factory =
+      PerSeriesModel::CreateMultiGorilla;
+  registry.fitting_sequence_ = {kMidMultiPmcMean, kMidMultiSwing,
+                                kMidMultiGorilla};
+  return registry;
+}
+
+Status ModelRegistry::RegisterModel(Mid mid, std::string name,
+                                    ModelFactory model_factory,
+                                    DecoderFactory decoder_factory,
+                                    bool in_fitting_sequence) {
+  if (mid < kMinUserMid) {
+    return Status::InvalidArgument("user model Mids must be >= " +
+                                   std::to_string(kMinUserMid));
+  }
+  if (entries_.count(mid) > 0) {
+    return Status::AlreadyExists("Mid already registered: " +
+                                 std::to_string(mid));
+  }
+  entries_[mid] = Entry{std::move(name), std::move(model_factory),
+                        std::move(decoder_factory)};
+  if (in_fitting_sequence) fitting_sequence_.push_back(mid);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Model>> ModelRegistry::CreateModel(
+    Mid mid, const ModelConfig& config) const {
+  auto it = entries_.find(mid);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown Mid: " + std::to_string(mid));
+  }
+  if (!it->second.model_factory) {
+    return Status::InvalidArgument("Mid is decode-only: " +
+                                   std::to_string(mid));
+  }
+  return it->second.model_factory(config);
+}
+
+Result<std::unique_ptr<SegmentDecoder>> ModelRegistry::CreateDecoder(
+    Mid mid, const std::vector<uint8_t>& params, int num_series,
+    int length) const {
+  auto it = entries_.find(mid);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown Mid: " + std::to_string(mid));
+  }
+  return it->second.decoder_factory(params, num_series, length);
+}
+
+Result<std::string> ModelRegistry::ModelName(Mid mid) const {
+  auto it = entries_.find(mid);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown Mid: " + std::to_string(mid));
+  }
+  return it->second.name;
+}
+
+}  // namespace modelardb

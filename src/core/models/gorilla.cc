@@ -1,0 +1,136 @@
+#include "core/models/gorilla.h"
+
+namespace modelardb {
+namespace {
+
+// Bit widths of the control fields for 32-bit floats. The original Gorilla
+// paper compresses 64-bit values with 5 leading-zero bits and 6 length bits;
+// ModelarDB stores 32-bit floats, which need 5 bits for leading zeros
+// (0-31) and 6 bits for the meaningful-bit count (1-32).
+constexpr int kLeadingBits = 5;
+constexpr int kLengthBits = 6;
+
+}  // namespace
+
+void GorillaEncoder::Append(Value v) {
+  uint32_t bits = FloatToBits(v);
+  if (first_) {
+    writer_.WriteBits(bits, 32);
+    previous_ = bits;
+    first_ = false;
+    return;
+  }
+  uint32_t x = bits ^ previous_;
+  previous_ = bits;
+  if (x == 0) {
+    writer_.WriteBit(false);
+    return;
+  }
+  int leading = CountLeadingZeros64(x) - 32;  // Leading zeros of the u32.
+  int trailing = CountTrailingZeros64(x);
+  if (leading > 31) leading = 31;
+  if (prev_leading_ >= 0 && leading >= prev_leading_ &&
+      trailing >= prev_trailing_) {
+    // Control '10': reuse the previous meaningful-bit window.
+    writer_.WriteBits(0b10, 2);
+    int meaningful = 32 - prev_leading_ - prev_trailing_;
+    writer_.WriteBits(x >> prev_trailing_, meaningful);
+  } else {
+    // Control '11': store a new window.
+    writer_.WriteBits(0b11, 2);
+    int meaningful = 32 - leading - trailing;
+    writer_.WriteBits(static_cast<uint64_t>(leading), kLeadingBits);
+    // meaningful is in [1, 32]; store meaningful - 1 in 6 bits.
+    writer_.WriteBits(static_cast<uint64_t>(meaningful - 1), kLengthBits);
+    writer_.WriteBits(x >> trailing, meaningful);
+    prev_leading_ = leading;
+    prev_trailing_ = trailing;
+  }
+}
+
+Result<std::vector<Value>> GorillaDecodeStream(
+    const std::vector<uint8_t>& bytes, size_t count) {
+  std::vector<Value> out;
+  out.reserve(count);
+  BitReader reader(bytes);
+  uint32_t previous = 0;
+  int prev_leading = 0;
+  int prev_trailing = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      previous = static_cast<uint32_t>(reader.ReadBits(32));
+      out.push_back(BitsToFloat(previous));
+      continue;
+    }
+    if (!reader.ReadBit()) {
+      out.push_back(BitsToFloat(previous));
+      continue;
+    }
+    if (reader.ReadBit()) {
+      // '11': new window.
+      prev_leading = static_cast<int>(reader.ReadBits(kLeadingBits));
+      int meaningful = static_cast<int>(reader.ReadBits(kLengthBits)) + 1;
+      prev_trailing = 32 - prev_leading - meaningful;
+      if (prev_trailing < 0) {
+        return Status::Corruption("gorilla: invalid bit window");
+      }
+      uint32_t x = static_cast<uint32_t>(reader.ReadBits(meaningful))
+                   << prev_trailing;
+      previous ^= x;
+    } else {
+      // '10': previous window.
+      int meaningful = 32 - prev_leading - prev_trailing;
+      uint32_t x = static_cast<uint32_t>(reader.ReadBits(meaningful))
+                   << prev_trailing;
+      previous ^= x;
+    }
+    out.push_back(BitsToFloat(previous));
+  }
+  return out;
+}
+
+GorillaModel::GorillaModel(const ModelConfig& config) : config_(config) {
+  raw_.reserve(static_cast<size_t>(config.length_limit) * config.num_series);
+}
+
+std::unique_ptr<Model> GorillaModel::Create(const ModelConfig& config) {
+  return std::make_unique<GorillaModel>(config);
+}
+
+bool GorillaModel::Append(const Value* values) {
+  if (length_ >= config_.length_limit) return false;
+  for (int i = 0; i < config_.num_series; ++i) {
+    encoder_.Append(values[i]);
+    raw_.push_back(values[i]);
+  }
+  ++length_;
+  return true;
+}
+
+std::vector<uint8_t> GorillaModel::SerializeParameters(
+    int prefix_length) const {
+  // Re-encode the prefix from the raw copy; the incremental encoder only
+  // serves O(1) size queries during fitting.
+  GorillaEncoder encoder;
+  size_t n = static_cast<size_t>(prefix_length) * config_.num_series;
+  for (size_t i = 0; i < n; ++i) encoder.Append(raw_[i]);
+  return encoder.Finish();
+}
+
+void GorillaModel::Reset() {
+  length_ = 0;
+  encoder_ = GorillaEncoder();
+  raw_.clear();
+}
+
+Result<std::unique_ptr<SegmentDecoder>> GorillaModel::Decode(
+    const std::vector<uint8_t>& params, int num_series, int length) {
+  MODELARDB_ASSIGN_OR_RETURN(
+      std::vector<Value> grid,
+      GorillaDecodeStream(params,
+                          static_cast<size_t>(num_series) * length));
+  return std::unique_ptr<SegmentDecoder>(
+      new GorillaDecoder(std::move(grid), num_series, length));
+}
+
+}  // namespace modelardb

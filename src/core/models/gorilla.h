@@ -1,0 +1,84 @@
+// Gorilla lossless floating-point compression (Pelkonen et al., VLDB 2015)
+// extended for group compression (paper §5.2): the values of all series are
+// XOR-chained in time-ordered blocks, so at each sampling instant the n-1
+// values after the first differ only slightly from it and encode in few
+// bits when the group is correlated.
+
+#ifndef MODELARDB_CORE_MODELS_GORILLA_H_
+#define MODELARDB_CORE_MODELS_GORILLA_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "util/bits.h"
+
+namespace modelardb {
+
+// Streaming XOR encoder for a sequence of floats (shared by the model and
+// the TSM/columnar baselines).
+class GorillaEncoder {
+ public:
+  void Append(Value v);
+  size_t bit_count() const { return writer_.bit_count(); }
+  size_t SizeBytes() const { return writer_.SizeBytes(); }
+  std::vector<uint8_t> Finish() { return writer_.Finish(); }
+
+ private:
+  BitWriter writer_;
+  bool first_ = true;
+  uint32_t previous_ = 0;
+  int prev_leading_ = -1;  // <0: no reusable window yet.
+  int prev_trailing_ = 0;
+};
+
+// Decodes a stream produced by GorillaEncoder. `count` values are read.
+Result<std::vector<Value>> GorillaDecodeStream(
+    const std::vector<uint8_t>& bytes, size_t count);
+
+class GorillaModel : public Model {
+ public:
+  explicit GorillaModel(const ModelConfig& config);
+
+  Mid mid() const override { return kMidGorilla; }
+  const char* name() const override { return "Gorilla"; }
+  // Always accepts until the length limit: the encoding is lossless.
+  bool Append(const Value* values) override;
+  int length() const override { return length_; }
+  size_t ParameterSizeBytes() const override { return encoder_.SizeBytes(); }
+  std::vector<uint8_t> SerializeParameters(int prefix_length) const override;
+  void Reset() override;
+
+  static std::unique_ptr<Model> Create(const ModelConfig& config);
+  static Result<std::unique_ptr<SegmentDecoder>> Decode(
+      const std::vector<uint8_t>& params, int num_series, int length);
+
+ private:
+  ModelConfig config_;
+  int length_ = 0;
+  GorillaEncoder encoder_;       // Incremental, for O(1) size queries.
+  std::vector<Value> raw_;       // Row-major copy for prefix serialization.
+};
+
+// Materializes the decoded grid; aggregates scan (no closed form exists for
+// lossless data).
+class GorillaDecoder : public SegmentDecoder {
+ public:
+  GorillaDecoder(std::vector<Value> grid, int num_series, int length)
+      : grid_(std::move(grid)), num_series_(num_series), length_(length) {}
+
+  int num_series() const override { return num_series_; }
+  int length() const override { return length_; }
+  Value ValueAt(int row, int col) const override {
+    return grid_[static_cast<size_t>(row) * num_series_ + col];
+  }
+
+ private:
+  std::vector<Value> grid_;
+  int num_series_;
+  int length_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_MODELS_GORILLA_H_

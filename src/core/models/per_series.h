@@ -1,0 +1,87 @@
+// Multiple models per segment (paper §5.1): the baseline MGC scheme that
+// wraps one single-series model per group member and stores them together
+// in one segment, sharing the segment metadata but not the parameters.
+//
+// Case III of Fig 9 (some sub-models accept a value, others reject it) is
+// handled exactly as the paper prescribes: the wrapper's end time is simply
+// not advanced, and leftover parameters of the sub-models that accepted the
+// value are dropped because serialization always re-derives the parameters
+// for the wrapper's (shorter) accepted length.
+
+#ifndef MODELARDB_CORE_MODELS_PER_SERIES_H_
+#define MODELARDB_CORE_MODELS_PER_SERIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace modelardb {
+
+class PerSeriesModel : public Model {
+ public:
+  // `base_factory` creates the per-series sub-model (with num_series == 1).
+  PerSeriesModel(Mid mid, std::string name, const ModelConfig& config,
+                 ModelFactory base_factory);
+
+  Mid mid() const override { return mid_; }
+  const char* name() const override { return name_.c_str(); }
+  bool Append(const Value* values) override;
+  int length() const override { return length_; }
+  size_t ParameterSizeBytes() const override;
+  std::vector<uint8_t> SerializeParameters(int prefix_length) const override;
+  void Reset() override;
+
+  // Factory/decoder pairs for wrappers around the bundled models.
+  static std::unique_ptr<Model> CreateMultiPmc(const ModelConfig& config);
+  static std::unique_ptr<Model> CreateMultiSwing(const ModelConfig& config);
+  static std::unique_ptr<Model> CreateMultiGorilla(const ModelConfig& config);
+  static Result<std::unique_ptr<SegmentDecoder>> DecodeMultiPmc(
+      const std::vector<uint8_t>& params, int num_series, int length);
+  static Result<std::unique_ptr<SegmentDecoder>> DecodeMultiSwing(
+      const std::vector<uint8_t>& params, int num_series, int length);
+  static Result<std::unique_ptr<SegmentDecoder>> DecodeMultiGorilla(
+      const std::vector<uint8_t>& params, int num_series, int length);
+
+ private:
+  Mid mid_;
+  std::string name_;
+  ModelConfig config_;
+  ModelFactory base_factory_;
+  std::vector<std::unique_ptr<Model>> sub_models_;
+  int length_ = 0;
+  bool failed_ = false;
+};
+
+// Decoder delegating to one sub-decoder per series.
+class PerSeriesDecoder : public SegmentDecoder {
+ public:
+  PerSeriesDecoder(std::vector<std::unique_ptr<SegmentDecoder>> subs,
+                   int length)
+      : subs_(std::move(subs)), length_(length) {}
+
+  int num_series() const override { return static_cast<int>(subs_.size()); }
+  int length() const override { return length_; }
+  Value ValueAt(int row, int col) const override {
+    return subs_[col]->ValueAt(row, 0);
+  }
+  AggregateSummary AggregateRange(int from_row, int to_row,
+                                  int col) const override {
+    return subs_[col]->AggregateRange(from_row, to_row, 0);
+  }
+  bool HasConstantTimeAggregates() const override {
+    for (const auto& s : subs_) {
+      if (!s->HasConstantTimeAggregates()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SegmentDecoder>> subs_;
+  int length_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_MODELS_PER_SERIES_H_

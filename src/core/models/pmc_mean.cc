@@ -1,0 +1,89 @@
+#include "core/models/pmc_mean.h"
+
+#include <algorithm>
+
+#include "util/buffer.h"
+
+namespace modelardb {
+
+PmcMeanModel::PmcMeanModel(const ModelConfig& config) : config_(config) {}
+
+std::unique_ptr<Model> PmcMeanModel::Create(const ModelConfig& config) {
+  return std::make_unique<PmcMeanModel>(config);
+}
+
+bool PmcMeanModel::Append(const Value* values) {
+  if (length_ >= config_.length_limit) return false;
+  double lower = lower_;
+  double upper = upper_;
+  double sum = sum_;
+  for (int i = 0; i < config_.num_series; ++i) {
+    lower = std::max(lower, config_.error_bound.LowerAllowed(values[i]));
+    upper = std::min(upper, config_.error_bound.UpperAllowed(values[i]));
+    sum += values[i];
+  }
+  if (lower > upper) return false;
+  // The stored constant is a float; make sure a representable float exists
+  // inside the interval before accepting (relevant for 0% bounds).
+  float as_float = static_cast<float>(
+      std::clamp(sum / (count_ + config_.num_series), lower, upper));
+  if (static_cast<double>(as_float) < lower ||
+      static_cast<double>(as_float) > upper) {
+    // Try the interval midpoint instead; if even that rounds outside the
+    // interval no float can represent the window.
+    as_float = static_cast<float>((lower + upper) / 2.0);
+    if (static_cast<double>(as_float) < lower ||
+        static_cast<double>(as_float) > upper) {
+      return false;
+    }
+  }
+  lower_ = lower;
+  upper_ = upper;
+  sum_ = sum;
+  count_ += config_.num_series;
+  ++length_;
+  return true;
+}
+
+std::vector<uint8_t> PmcMeanModel::SerializeParameters(
+    int prefix_length) const {
+  (void)prefix_length;  // The constant is valid for any prefix of the window.
+  double mean = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  float value = static_cast<float>(std::clamp(mean, lower_, upper_));
+  if (static_cast<double>(value) < lower_ ||
+      static_cast<double>(value) > upper_) {
+    value = static_cast<float>((lower_ + upper_) / 2.0);
+  }
+  BufferWriter writer;
+  writer.WriteFloat(value);
+  return writer.Finish();
+}
+
+void PmcMeanModel::Reset() {
+  length_ = 0;
+  lower_ = -std::numeric_limits<double>::infinity();
+  upper_ = std::numeric_limits<double>::infinity();
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+Result<std::unique_ptr<SegmentDecoder>> PmcMeanModel::Decode(
+    const std::vector<uint8_t>& params, int num_series, int length) {
+  BufferReader reader(params);
+  MODELARDB_ASSIGN_OR_RETURN(float value, reader.ReadFloat());
+  return std::unique_ptr<SegmentDecoder>(
+      new PmcMeanDecoder(value, num_series, length));
+}
+
+AggregateSummary PmcMeanDecoder::AggregateRange(int from_row, int to_row,
+                                                int col) const {
+  (void)col;
+  AggregateSummary out;
+  out.count = to_row - from_row + 1;
+  out.sum = static_cast<double>(value_) * static_cast<double>(out.count);
+  out.min = value_;
+  out.max = value_;
+  return out;
+}
+
+}  // namespace modelardb

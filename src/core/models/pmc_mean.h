@@ -1,0 +1,67 @@
+// PMC-Mean (Lazaridis & Mehrotra, ICDE 2003) extended for group compression
+// (paper §5.2): a single constant represents all values of all series in the
+// group over the segment. Per sampling instant only the minimum and maximum
+// value can invalidate the model, so the group extension tracks the running
+// intersection of each value's allowed interval.
+
+#ifndef MODELARDB_CORE_MODELS_PMC_MEAN_H_
+#define MODELARDB_CORE_MODELS_PMC_MEAN_H_
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+
+namespace modelardb {
+
+class PmcMeanModel : public Model {
+ public:
+  explicit PmcMeanModel(const ModelConfig& config);
+
+  Mid mid() const override { return kMidPmcMean; }
+  const char* name() const override { return "PMC-Mean"; }
+  bool Append(const Value* values) override;
+  int length() const override { return length_; }
+  size_t ParameterSizeBytes() const override { return sizeof(float); }
+  std::vector<uint8_t> SerializeParameters(int prefix_length) const override;
+  void Reset() override;
+
+  static std::unique_ptr<Model> Create(const ModelConfig& config);
+  static Result<std::unique_ptr<SegmentDecoder>> Decode(
+      const std::vector<uint8_t>& params, int num_series, int length);
+
+ private:
+  ModelConfig config_;
+  int length_ = 0;
+  // Intersection of allowed intervals of every value seen so far.
+  double lower_ = -std::numeric_limits<double>::infinity();
+  double upper_ = std::numeric_limits<double>::infinity();
+  // Running mean of all values; the stored constant is the mean clamped
+  // into [lower_, upper_] (keeps the paper's avg(V) representation while
+  // remaining correct when value signs differ).
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+class PmcMeanDecoder : public SegmentDecoder {
+ public:
+  PmcMeanDecoder(float value, int num_series, int length)
+      : value_(value), num_series_(num_series), length_(length) {}
+
+  int num_series() const override { return num_series_; }
+  int length() const override { return length_; }
+  Value ValueAt(int, int) const override { return value_; }
+  AggregateSummary AggregateRange(int from_row, int to_row,
+                                  int col) const override;
+  bool HasConstantTimeAggregates() const override { return true; }
+
+ private:
+  float value_;
+  int num_series_;
+  int length_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_MODELS_PMC_MEAN_H_

@@ -1,0 +1,39 @@
+#include "core/models/raw_fallback.h"
+
+#include "core/models/gorilla.h"
+#include "util/buffer.h"
+
+namespace modelardb {
+
+bool RawFallbackModel::Append(const Value* values) {
+  if (length_ >= config_.length_limit) return false;
+  raw_.insert(raw_.end(), values, values + config_.num_series);
+  ++length_;
+  return true;
+}
+
+std::vector<uint8_t> RawFallbackModel::SerializeParameters(
+    int prefix_length) const {
+  BufferWriter writer;
+  size_t n = static_cast<size_t>(prefix_length) * config_.num_series;
+  for (size_t i = 0; i < n; ++i) writer.WriteFloat(raw_[i]);
+  return writer.Finish();
+}
+
+Result<std::unique_ptr<SegmentDecoder>> RawFallbackModel::Decode(
+    const std::vector<uint8_t>& params, int num_series, int length) {
+  size_t expected = static_cast<size_t>(num_series) * length;
+  if (params.size() != expected * sizeof(Value)) {
+    return Status::Corruption("raw model: size mismatch");
+  }
+  BufferReader reader(params);
+  std::vector<Value> grid(expected);
+  for (size_t i = 0; i < expected; ++i) {
+    MODELARDB_ASSIGN_OR_RETURN(grid[i], reader.ReadFloat());
+  }
+  // Reuse the Gorilla grid decoder: it is just a row-major value grid.
+  return std::unique_ptr<SegmentDecoder>(
+      new GorillaDecoder(std::move(grid), num_series, length));
+}
+
+}  // namespace modelardb

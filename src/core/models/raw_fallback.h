@@ -1,0 +1,48 @@
+// Raw fallback: stores the group's values verbatim. Never used when Gorilla
+// is in the fitting sequence (Gorilla is lossless and never larger in the
+// worst case by more than its control bits), but guarantees the generator
+// can always make progress even with a user-configured model sequence in
+// which every model rejects a row.
+
+#ifndef MODELARDB_CORE_MODELS_RAW_FALLBACK_H_
+#define MODELARDB_CORE_MODELS_RAW_FALLBACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+
+namespace modelardb {
+
+class RawFallbackModel : public Model {
+ public:
+  explicit RawFallbackModel(const ModelConfig& config) : config_(config) {}
+
+  Mid mid() const override { return kMidRawFallback; }
+  const char* name() const override { return "Raw"; }
+  bool Append(const Value* values) override;
+  int length() const override { return length_; }
+  size_t ParameterSizeBytes() const override {
+    return raw_.size() * sizeof(Value);
+  }
+  std::vector<uint8_t> SerializeParameters(int prefix_length) const override;
+  void Reset() override {
+    length_ = 0;
+    raw_.clear();
+  }
+
+  static std::unique_ptr<Model> Create(const ModelConfig& config) {
+    return std::make_unique<RawFallbackModel>(config);
+  }
+  static Result<std::unique_ptr<SegmentDecoder>> Decode(
+      const std::vector<uint8_t>& params, int num_series, int length);
+
+ private:
+  ModelConfig config_;
+  int length_ = 0;
+  std::vector<Value> raw_;  // Row-major.
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_MODELS_RAW_FALLBACK_H_

@@ -1,0 +1,109 @@
+#include "core/models/swing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/buffer.h"
+
+namespace modelardb {
+
+SwingModel::SwingModel(const ModelConfig& config) : config_(config) {}
+
+std::unique_ptr<Model> SwingModel::Create(const ModelConfig& config) {
+  return std::make_unique<SwingModel>(config);
+}
+
+bool SwingModel::RowInterval(const Value* values, double* low,
+                             double* high) const {
+  double lo = config_.error_bound.LowerAllowed(values[0]);
+  double hi = config_.error_bound.UpperAllowed(values[0]);
+  for (int i = 1; i < config_.num_series; ++i) {
+    lo = std::max(lo, config_.error_bound.LowerAllowed(values[i]));
+    hi = std::min(hi, config_.error_bound.UpperAllowed(values[i]));
+  }
+  if (lo > hi) return false;
+  *low = lo;
+  *high = hi;
+  return true;
+}
+
+bool SwingModel::Append(const Value* values) {
+  if (length_ >= config_.length_limit) return false;
+  double low, high;
+  if (!RowInterval(values, &low, &high)) return false;
+  if (length_ == 0) {
+    // Anchor the line PMC-style at the midpoint of the first instant's
+    // allowed interval (§5.2: the initial point is computed using PMC).
+    intercept_ = (low + high) / 2.0;
+    slope_lower_ = -std::numeric_limits<double>::infinity();
+    slope_upper_ = std::numeric_limits<double>::infinity();
+    ++length_;
+    return true;
+  }
+  double row = static_cast<double>(length_);
+  double lo_slope = (low - intercept_) / row;
+  double hi_slope = (high - intercept_) / row;
+  double new_lower = std::max(slope_lower_, lo_slope);
+  double new_upper = std::min(slope_upper_, hi_slope);
+  if (new_lower > new_upper) return false;
+  slope_lower_ = new_lower;
+  slope_upper_ = new_upper;
+  ++length_;
+  return true;
+}
+
+std::vector<uint8_t> SwingModel::SerializeParameters(int prefix_length) const {
+  // The slope interval only shrinks as rows are appended, so the current
+  // interval is valid for any prefix as well.
+  double slope = 0.0;
+  if (prefix_length > 1) {
+    if (std::isinf(slope_lower_) && std::isinf(slope_upper_)) {
+      slope = 0.0;
+    } else if (std::isinf(slope_lower_)) {
+      slope = slope_upper_;
+    } else if (std::isinf(slope_upper_)) {
+      slope = slope_lower_;
+    } else {
+      slope = (slope_lower_ + slope_upper_) / 2.0;
+    }
+  }
+  BufferWriter writer;
+  writer.WriteDouble(intercept_);
+  writer.WriteDouble(slope);
+  return writer.Finish();
+}
+
+void SwingModel::Reset() {
+  length_ = 0;
+  intercept_ = 0.0;
+  slope_lower_ = 0.0;
+  slope_upper_ = 0.0;
+}
+
+Result<std::unique_ptr<SegmentDecoder>> SwingModel::Decode(
+    const std::vector<uint8_t>& params, int num_series, int length) {
+  BufferReader reader(params);
+  MODELARDB_ASSIGN_OR_RETURN(double intercept, reader.ReadDouble());
+  MODELARDB_ASSIGN_OR_RETURN(double slope, reader.ReadDouble());
+  return std::unique_ptr<SegmentDecoder>(
+      new SwingDecoder(intercept, slope, num_series, length));
+}
+
+AggregateSummary SwingDecoder::AggregateRange(int from_row, int to_row,
+                                              int col) const {
+  (void)col;
+  AggregateSummary out;
+  out.count = to_row - from_row + 1;
+  // Sum of an arithmetic progression; evaluated on the float-reconstructed
+  // endpoint values so results agree with the Data Point View within float
+  // rounding. SUM on a linear function is O(1) (§6.1).
+  double first = intercept_ + slope_ * from_row;
+  double last = intercept_ + slope_ * to_row;
+  out.sum = (first + last) / 2.0 * static_cast<double>(out.count);
+  out.min = std::min(ValueAt(from_row, 0), ValueAt(to_row, 0));
+  out.max = std::max(ValueAt(from_row, 0), ValueAt(to_row, 0));
+  return out;
+}
+
+}  // namespace modelardb

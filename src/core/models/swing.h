@@ -1,0 +1,75 @@
+// Swing filter (Elmeleegy et al., VLDB 2009) extended for group compression
+// (paper §5.2): one linear function v = a*t + b represents the values of all
+// series in the group. The line is anchored at an initial value computed
+// PMC-style from the first sampling instant, and per appended instant only
+// the allowed-interval intersection of the instant's values can tighten the
+// slope bounds.
+
+#ifndef MODELARDB_CORE_MODELS_SWING_H_
+#define MODELARDB_CORE_MODELS_SWING_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+
+namespace modelardb {
+
+class SwingModel : public Model {
+ public:
+  explicit SwingModel(const ModelConfig& config);
+
+  Mid mid() const override { return kMidSwing; }
+  const char* name() const override { return "Swing"; }
+  bool Append(const Value* values) override;
+  int length() const override { return length_; }
+  // Parameters are the double intercept and slope (in row-index units).
+  size_t ParameterSizeBytes() const override { return 2 * sizeof(double); }
+  std::vector<uint8_t> SerializeParameters(int prefix_length) const override;
+  void Reset() override;
+
+  static std::unique_ptr<Model> Create(const ModelConfig& config);
+  static Result<std::unique_ptr<SegmentDecoder>> Decode(
+      const std::vector<uint8_t>& params, int num_series, int length);
+
+ private:
+  // Intersection of the allowed intervals of the instant's values.
+  // Returns false when the intersection is empty (the instant cannot be
+  // represented by any single per-instant value).
+  bool RowInterval(const Value* values, double* low, double* high) const;
+
+  ModelConfig config_;
+  int length_ = 0;
+  double intercept_ = 0.0;  // Value at row 0.
+  double slope_lower_ = 0.0;
+  double slope_upper_ = 0.0;
+};
+
+// Decodes v(row) = intercept + slope * row, identical for every series.
+class SwingDecoder : public SegmentDecoder {
+ public:
+  SwingDecoder(double intercept, double slope, int num_series, int length)
+      : intercept_(intercept),
+        slope_(slope),
+        num_series_(num_series),
+        length_(length) {}
+
+  int num_series() const override { return num_series_; }
+  int length() const override { return length_; }
+  Value ValueAt(int row, int) const override {
+    return static_cast<Value>(intercept_ + slope_ * row);
+  }
+  AggregateSummary AggregateRange(int from_row, int to_row,
+                                  int col) const override;
+  bool HasConstantTimeAggregates() const override { return true; }
+
+ private:
+  double intercept_;
+  double slope_;
+  int num_series_;
+  int length_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_MODELS_SWING_H_

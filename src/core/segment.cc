@@ -1,0 +1,38 @@
+#include "core/segment.h"
+
+namespace modelardb {
+
+void Segment::SerializeTo(BufferWriter* writer) const {
+  writer->WriteVarint(static_cast<uint64_t>(gid));
+  writer->WriteI64(end_time);
+  writer->WriteVarint(static_cast<uint64_t>(Length()));
+  writer->WriteVarint(static_cast<uint64_t>(si));
+  writer->WriteVarint(gap_mask);
+  writer->WriteVarint(static_cast<uint64_t>(mid));
+  writer->WriteFloat(error_bound_pct);
+  writer->WriteFloat(min_value);
+  writer->WriteFloat(max_value);
+  writer->WriteBytes(parameters);
+}
+
+Result<Segment> Segment::Deserialize(BufferReader* reader) {
+  Segment s;
+  MODELARDB_ASSIGN_OR_RETURN(uint64_t gid, reader->ReadVarint());
+  s.gid = static_cast<Gid>(gid);
+  MODELARDB_ASSIGN_OR_RETURN(s.end_time, reader->ReadI64());
+  MODELARDB_ASSIGN_OR_RETURN(uint64_t length, reader->ReadVarint());
+  MODELARDB_ASSIGN_OR_RETURN(uint64_t si, reader->ReadVarint());
+  s.si = static_cast<SamplingInterval>(si);
+  // StartTime is not stored; recompute it from EndTime and Size (§3.3).
+  s.start_time = s.end_time - static_cast<int64_t>(length - 1) * s.si;
+  MODELARDB_ASSIGN_OR_RETURN(s.gap_mask, reader->ReadVarint());
+  MODELARDB_ASSIGN_OR_RETURN(uint64_t mid, reader->ReadVarint());
+  s.mid = static_cast<Mid>(mid);
+  MODELARDB_ASSIGN_OR_RETURN(s.error_bound_pct, reader->ReadFloat());
+  MODELARDB_ASSIGN_OR_RETURN(s.min_value, reader->ReadFloat());
+  MODELARDB_ASSIGN_OR_RETURN(s.max_value, reader->ReadFloat());
+  MODELARDB_ASSIGN_OR_RETURN(s.parameters, reader->ReadBytes());
+  return s;
+}
+
+}  // namespace modelardb

@@ -1,0 +1,74 @@
+// Segments: the storage unit of model-based compression (paper §2 Def 9).
+//
+// A segment represents a bounded window of a time series group with a single
+// model (or, for the §5.1 baseline, one wrapper model holding per-series
+// sub-models). Gaps use the paper's second method (§3.2): a gap terminates
+// the segment, and the next segment lists the Tids it does NOT represent.
+
+#ifndef MODELARDB_CORE_SEGMENT_H_
+#define MODELARDB_CORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/types.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace modelardb {
+
+struct Segment {
+  Gid gid = 0;
+  Timestamp start_time = 0;
+  Timestamp end_time = 0;          // Inclusive (start of last represented SI).
+  SamplingInterval si = 0;
+  // Bitmask over the group's member positions: bit i set means the i-th
+  // series of the group is in a gap for this whole segment (its values are
+  // not represented). Matches the integer Gaps column of Fig 6.
+  uint64_t gap_mask = 0;
+  Mid mid = 0;
+  std::vector<uint8_t> parameters;
+  float error_bound_pct = 0.0f;    // The ε the segment was built under.
+  // Value statistics over every represented series/instant (in stored,
+  // i.e. scaled, units). Written at emission; they enable the
+  // model-exploiting segment pruning of §9's future work (i): scans with
+  // value predicates skip segments whose range cannot match.
+  float min_value = 0.0f;
+  float max_value = 0.0f;
+
+  // Number of sampling instants represented (Size in the Cassandra schema;
+  // StartTime = EndTime - (Size - 1) * SI once stored).
+  int64_t Length() const {
+    return si == 0 ? 0 : (end_time - start_time) / si + 1;
+  }
+
+  // Number of series whose values this segment represents.
+  int RepresentedSeries(int group_size) const {
+    int n = 0;
+    for (int i = 0; i < group_size; ++i) {
+      if ((gap_mask & (uint64_t{1} << i)) == 0) ++n;
+    }
+    return n;
+  }
+
+  bool SeriesInGap(int position) const {
+    return (gap_mask & (uint64_t{1} << position)) != 0;
+  }
+
+  // On-disk footprint: fixed header + parameters. The 24-byte figure is the
+  // per-segment metadata cost the paper quotes for the gap trade-off (§3.2).
+  size_t StorageBytes() const { return kHeaderBytes + parameters.size(); }
+  static constexpr size_t kHeaderBytes = 24;
+
+  // Serialization used by the SegmentStore and the cluster transport.
+  void SerializeTo(BufferWriter* writer) const;
+  static Result<Segment> Deserialize(BufferReader* reader);
+
+  bool operator==(const Segment&) const = default;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_CORE_SEGMENT_H_

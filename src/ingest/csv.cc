@@ -1,0 +1,195 @@
+#include "ingest/csv.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "util/strings.h"
+
+namespace modelardb {
+namespace ingest {
+
+Result<DataPoint> ParseCsvPoint(const std::string& line) {
+  size_t comma = line.find(',');
+  if (comma == std::string::npos) {
+    return Status::InvalidArgument("CSV line has no comma: " + line);
+  }
+  MODELARDB_ASSIGN_OR_RETURN(
+      Timestamp ts, query::ParseTimeLiteral(TrimString(line.substr(0, comma))));
+  MODELARDB_ASSIGN_OR_RETURN(
+      double value, ParseDouble(TrimString(line.substr(comma + 1))));
+  return DataPoint{0, ts, static_cast<Value>(value)};
+}
+
+Result<std::unique_ptr<CsvSeriesReader>> CsvSeriesReader::Open(
+    const std::string& path) {
+  std::unique_ptr<CsvSeriesReader> reader(new CsvSeriesReader(path));
+  reader->in_.open(path);
+  if (!reader->in_.is_open()) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  return reader;
+}
+
+Result<std::optional<DataPoint>> CsvSeriesReader::Next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    line = TrimString(line);
+    if (line.empty() || line[0] == '#') continue;
+    Result<DataPoint> point = ParseCsvPoint(line);
+    if (!point.ok()) {
+      if (first_line_) {
+        first_line_ = false;  // Header row.
+        continue;
+      }
+      return point.status();
+    }
+    first_line_ = false;
+    if (point->timestamp <= last_timestamp_) {
+      return Status::InvalidArgument("out-of-order timestamp in " + path_ +
+                                     ": " + line);
+    }
+    last_timestamp_ = point->timestamp;
+    return std::optional<DataPoint>(*point);
+  }
+  return std::optional<DataPoint>();
+}
+
+Result<std::unique_ptr<CsvGroupSource>> CsvGroupSource::Open(
+    const TimeSeriesCatalog& catalog, const TimeSeriesGroup& group) {
+  std::unique_ptr<CsvGroupSource> source(new CsvGroupSource());
+  source->gid_ = group.gid;
+  source->si_ = group.si;
+  for (Tid tid : group.tids) {
+    const TimeSeriesMeta& meta = catalog.Get(tid);
+    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<CsvSeriesReader> reader,
+                               CsvSeriesReader::Open(meta.source));
+    source->readers_.push_back(std::move(reader));
+    source->scalings_.push_back(meta.scaling);
+    source->heads_.emplace_back();
+  }
+  return source;
+}
+
+Result<bool> CsvGroupSource::Next(GroupRow* row) {
+  if (!primed_) {
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      MODELARDB_ASSIGN_OR_RETURN(heads_[i], readers_[i]->Next());
+    }
+    primed_ = true;
+  }
+  // The next instant is the smallest pending timestamp, snapped to the
+  // group's sampling grid (Definition 8 requires aligned series).
+  Timestamp next = std::numeric_limits<Timestamp>::max();
+  for (const auto& head : heads_) {
+    if (head.has_value()) next = std::min(next, head->timestamp);
+  }
+  if (next == std::numeric_limits<Timestamp>::max()) return false;
+
+  row->timestamp = next;
+  row->values.assign(readers_.size(), 0.0f);
+  row->present.assign(readers_.size(), false);
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    if (heads_[i].has_value() && heads_[i]->timestamp == next) {
+      row->present[i] = true;
+      row->values[i] =
+          static_cast<Value>(heads_[i]->value * scalings_[i]);
+      MODELARDB_ASSIGN_OR_RETURN(heads_[i], readers_[i]->Next());
+    }
+  }
+  return true;
+}
+
+Result<Deployment> LoadDeployment(const std::string& config_text) {
+  std::vector<Dimension> dimensions;
+  struct SeriesLine {
+    std::string path;
+    SamplingInterval si;
+    std::vector<MemberPath> members;
+  };
+  std::vector<SeriesLine> series;
+  std::string hint_lines;
+
+  for (const std::string& raw_line : SplitString(config_text, '\n')) {
+    std::string line = TrimString(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected 'key = value': " + line);
+    }
+    std::string key = TrimString(line.substr(0, eq));
+    std::string value = TrimString(line.substr(eq + 1));
+    std::vector<std::string> tokens;
+    for (const std::string& t : SplitString(value, ' ')) {
+      if (!TrimString(t).empty()) tokens.push_back(TrimString(t));
+    }
+    if (EqualsIgnoreCase(key, "modelardb.dimension")) {
+      if (tokens.size() < 2) {
+        return Status::InvalidArgument(
+            "dimension needs a name and at least one level: " + line);
+      }
+      dimensions.emplace_back(
+          tokens[0], std::vector<std::string>(tokens.begin() + 1,
+                                              tokens.end()));
+    } else if (EqualsIgnoreCase(key, "modelardb.series")) {
+      if (tokens.size() < 2) {
+        return Status::InvalidArgument("series needs a path and an SI: " +
+                                       line);
+      }
+      SeriesLine s;
+      s.path = tokens[0];
+      MODELARDB_ASSIGN_OR_RETURN(int64_t si, ParseInt64(tokens[1]));
+      s.si = si;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        s.members.push_back(SplitString(tokens[i], '/'));
+      }
+      series.push_back(std::move(s));
+    } else if (EqualsIgnoreCase(key, "modelardb.correlation") ||
+               EqualsIgnoreCase(key, "modelardb.scaling") ||
+               EqualsIgnoreCase(key, "modelardb.scaling.series")) {
+      hint_lines += line + "\n";
+    } else {
+      return Status::InvalidArgument("unknown configuration key: " + key);
+    }
+  }
+
+  Deployment deployment;
+  deployment.catalog = std::make_unique<TimeSeriesCatalog>(dimensions);
+  Tid tid = 1;
+  for (SeriesLine& s : series) {
+    TimeSeriesMeta meta;
+    meta.tid = tid++;
+    meta.si = s.si;
+    meta.source = s.path;
+    meta.members = std::move(s.members);
+    MODELARDB_RETURN_NOT_OK(deployment.catalog->AddSeries(std::move(meta)));
+  }
+  MODELARDB_ASSIGN_OR_RETURN(deployment.hints,
+                             PartitionHints::Parse(hint_lines));
+  return deployment;
+}
+
+Result<Deployment> LoadDeploymentFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open configuration file: " + path);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return LoadDeployment(text);
+}
+
+Result<std::vector<std::unique_ptr<GroupRowSource>>> MakeCsvSources(
+    const TimeSeriesCatalog& catalog,
+    const std::vector<TimeSeriesGroup>& groups) {
+  std::vector<std::unique_ptr<GroupRowSource>> sources;
+  sources.reserve(groups.size());
+  for (const TimeSeriesGroup& group : groups) {
+    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<CsvGroupSource> source,
+                               CsvGroupSource::Open(catalog, group));
+    sources.push_back(std::move(source));
+  }
+  return sources;
+}
+
+}  // namespace ingest
+}  // namespace modelardb

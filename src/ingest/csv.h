@@ -1,0 +1,105 @@
+// CSV ingestion: the paper's evaluation feeds ModelarDB from per-series
+// CSV files (one file per time series, as produced by the energy SCADA
+// collectors). This module provides:
+//   - CsvSeriesReader: streams (timestamp, value) rows from one CSV file,
+//   - CsvGroupSource: aligns the readers of one time series group on the
+//     shared sampling interval, producing GroupRows with gaps where a
+//     series has no data point for an instant,
+//   - LoadDeployment: parses a deployment configuration describing
+//     dimensions, series files and correlation hints, and builds the
+//     catalog + partition hints.
+//
+// Configuration grammar (one statement per line, '#' comments):
+//   modelardb.dimension   = <name> <level1> <level2> ...
+//   modelardb.series      = <csv path> <si ms> <path1> <path2> ...
+//       (one member path per dimension, levels separated by '/',
+//        e.g. Denmark/Aalborg/T1)
+//   modelardb.correlation = ... (see partition/correlation.h)
+//   modelardb.scaling     = ... (see partition/correlation.h)
+
+#ifndef MODELARDB_INGEST_CSV_H_
+#define MODELARDB_INGEST_CSV_H_
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dims/dimensions.h"
+#include "ingest/pipeline.h"
+#include "partition/correlation.h"
+#include "partition/partitioner.h"
+
+namespace modelardb {
+namespace ingest {
+
+// Streams data points from a CSV file with lines `<time>,<value>`, where
+// <time> is epoch milliseconds or "YYYY-MM-DD[ HH:MM[:SS]]". A header line
+// is skipped when its first field is not a valid time.
+class CsvSeriesReader {
+ public:
+  static Result<std::unique_ptr<CsvSeriesReader>> Open(
+      const std::string& path);
+
+  // Next point; nullopt at end of file. Timestamps must be increasing.
+  Result<std::optional<DataPoint>> Next();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit CsvSeriesReader(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  std::ifstream in_;
+  bool first_line_ = true;
+  Timestamp last_timestamp_ = std::numeric_limits<Timestamp>::min();
+};
+
+// Parses one CSV line into a data point (tid filled by the caller).
+Result<DataPoint> ParseCsvPoint(const std::string& line);
+
+// Aligns the CSV readers of one group's members on the group's sampling
+// interval. Each emitted GroupRow covers one instant; members without a
+// point at that instant are marked absent (a gap). Values are multiplied
+// by each series' scaling constant (§3.3).
+class CsvGroupSource : public GroupRowSource {
+ public:
+  static Result<std::unique_ptr<CsvGroupSource>> Open(
+      const TimeSeriesCatalog& catalog, const TimeSeriesGroup& group);
+
+  Gid gid() const override { return gid_; }
+  Result<bool> Next(GroupRow* row) override;
+
+ private:
+  CsvGroupSource() = default;
+
+  Gid gid_ = 0;
+  SamplingInterval si_ = 0;
+  std::vector<std::unique_ptr<CsvSeriesReader>> readers_;
+  std::vector<double> scalings_;
+  std::vector<std::optional<DataPoint>> heads_;  // Next unconsumed point.
+  bool primed_ = false;
+};
+
+// A parsed deployment: catalog, hints, and the per-series CSV paths.
+struct Deployment {
+  std::unique_ptr<TimeSeriesCatalog> catalog;
+  PartitionHints hints;
+};
+
+// Parses configuration text (see the grammar above).
+Result<Deployment> LoadDeployment(const std::string& config_text);
+
+// Convenience: reads the file at `path` and calls LoadDeployment.
+Result<Deployment> LoadDeploymentFile(const std::string& path);
+
+// Builds one CsvGroupSource per group.
+Result<std::vector<std::unique_ptr<GroupRowSource>>> MakeCsvSources(
+    const TimeSeriesCatalog& catalog,
+    const std::vector<TimeSeriesGroup>& groups);
+
+}  // namespace ingest
+}  // namespace modelardb
+
+#endif  // MODELARDB_INGEST_CSV_H_

@@ -1,0 +1,90 @@
+#include "ingest/pipeline.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace modelardb {
+namespace ingest {
+namespace {
+
+// Ingests one partition of sources (all owned by the same worker) to
+// exhaustion, micro-batch by micro-batch.
+Status RunPartition(cluster::ClusterEngine* cluster,
+                    std::vector<GroupRowSource*> sources,
+                    const PipelineOptions& options, std::atomic<int64_t>* rows,
+                    std::atomic<int64_t>* points) {
+  std::vector<bool> exhausted(sources.size(), false);
+  size_t remaining = sources.size();
+  GroupRow row;
+  while (remaining > 0) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (exhausted[i]) continue;
+      for (int b = 0; b < options.micro_batch_rows; ++b) {
+        MODELARDB_ASSIGN_OR_RETURN(bool has_row, sources[i]->Next(&row));
+        if (!has_row) {
+          exhausted[i] = true;
+          --remaining;
+          break;
+        }
+        MODELARDB_RETURN_NOT_OK(cluster->Ingest(sources[i]->gid(), row));
+        rows->fetch_add(1, std::memory_order_relaxed);
+        points->fetch_add(row.PresentCount(), std::memory_order_relaxed);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IngestReport> RunPipeline(
+    cluster::ClusterEngine* cluster,
+    std::vector<std::unique_ptr<GroupRowSource>> sources,
+    const PipelineOptions& options) {
+  // Partition sources by owning worker (one writer per group).
+  std::vector<std::vector<GroupRowSource*>> partitions(
+      cluster->num_workers());
+  for (const auto& source : sources) {
+    partitions[cluster->WorkerOf(source->gid())].push_back(source.get());
+  }
+
+  std::atomic<int64_t> rows{0};
+  std::atomic<int64_t> points{0};
+  Stopwatch stopwatch;
+
+  if (options.thread_per_worker && cluster->num_workers() > 1) {
+    std::vector<Status> statuses(partitions.size());
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      if (partitions[i].empty()) continue;
+      threads.emplace_back([&, i] {
+        statuses[i] = RunPartition(cluster, partitions[i], options, &rows,
+                                   &points);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const Status& status : statuses) {
+      MODELARDB_RETURN_NOT_OK(status);
+    }
+  } else {
+    for (const auto& partition : partitions) {
+      if (partition.empty()) continue;
+      MODELARDB_RETURN_NOT_OK(
+          RunPartition(cluster, partition, options, &rows, &points));
+    }
+  }
+  MODELARDB_RETURN_NOT_OK(cluster->FlushAll());
+
+  IngestReport report;
+  report.seconds = stopwatch.ElapsedSeconds();
+  report.rows = rows.load();
+  report.data_points = points.load();
+  report.points_per_second =
+      report.seconds > 0 ? report.data_points / report.seconds : 0;
+  return report;
+}
+
+}  // namespace ingest
+}  // namespace modelardb

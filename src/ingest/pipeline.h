@@ -1,0 +1,57 @@
+// Streaming ingestion pipeline (paper §3.2, Fig 4 "Data Ingestion").
+//
+// Substitutes Spark Streaming: sources deliver one GroupRow per sampling
+// instant per group; the pipeline routes each group's stream to the worker
+// that owns the group and drives its SegmentGenerators, in micro-batches,
+// with one ingestion thread per worker (the paper runs one receiver per
+// node). Queries can run concurrently — that is the Online Analytics
+// scenario of Fig 13.
+
+#ifndef MODELARDB_INGEST_PIPELINE_H_
+#define MODELARDB_INGEST_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace modelardb {
+namespace ingest {
+
+// A stream of sampling-instant rows for one time series group.
+class GroupRowSource {
+ public:
+  virtual ~GroupRowSource() = default;
+  virtual Gid gid() const = 0;
+  // Produces the next row into *row; returns false when exhausted.
+  virtual Result<bool> Next(GroupRow* row) = 0;
+};
+
+struct PipelineOptions {
+  // Rows pulled from one source before moving to the next (micro-batch).
+  int micro_batch_rows = 512;
+  // Use one thread per worker (true) or a single thread (false).
+  bool thread_per_worker = true;
+};
+
+struct IngestReport {
+  int64_t data_points = 0;  // Values delivered to generators.
+  int64_t rows = 0;         // Sampling instants.
+  double seconds = 0.0;
+  double points_per_second = 0.0;
+};
+
+// Runs all sources to exhaustion against `cluster` and flushes. Sources
+// are partitioned by owning worker; each partition is ingested by its own
+// thread, preserving the one-writer-per-group invariant.
+Result<IngestReport> RunPipeline(
+    cluster::ClusterEngine* cluster,
+    std::vector<std::unique_ptr<GroupRowSource>> sources,
+    const PipelineOptions& options);
+
+}  // namespace ingest
+}  // namespace modelardb
+
+#endif  // MODELARDB_INGEST_PIPELINE_H_

@@ -1,0 +1,116 @@
+#include "partition/auto_hints.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace modelardb {
+namespace {
+
+// Fraction of sampled instants where the two (scaled) series stay within
+// twice the reference bound of each other (§4.2's groupability test).
+double PassFraction(const SampleProvider& sample, Tid a, Tid b,
+                    double scale_a, double scale_b, int64_t n,
+                    double reference_pct) {
+  int64_t passed = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    double va = sample(a, i) * scale_a;
+    double vb = sample(b, i) * scale_b;
+    double allowance = (2.0 * reference_pct / 100.0) *
+                       std::max(std::abs(va), std::abs(vb));
+    if (std::abs(va - vb) <= allowance) ++passed;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(passed) / n;
+}
+
+}  // namespace
+
+double InferScalingConstant(const SampleProvider& sample, Tid reference,
+                            Tid tid, int64_t sample_size) {
+  std::vector<double> ratios;
+  ratios.reserve(sample_size);
+  for (int64_t i = 0; i < sample_size; ++i) {
+    double ref = sample(reference, i);
+    double val = sample(tid, i);
+    if (std::abs(val) > 1e-9 && std::abs(ref) > 1e-9) {
+      ratios.push_back(ref / val);
+    }
+  }
+  if (ratios.size() < static_cast<size_t>(sample_size) / 4) return 1.0;
+  std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                   ratios.end());
+  double median = ratios[ratios.size() / 2];
+  if (median <= 0.0 || !std::isfinite(median)) return 1.0;
+  // Require the ratio to be stable: most ratios within 10% of the median,
+  // otherwise the series is not proportional and scaling would mislead.
+  int64_t stable = 0;
+  for (double r : ratios) {
+    if (std::abs(r - median) <= 0.1 * std::abs(median)) ++stable;
+  }
+  if (stable * 2 < static_cast<int64_t>(ratios.size())) return 1.0;
+  // A ratio close to 1 is noise; only magnitude differences matter.
+  if (std::abs(median - 1.0) < 0.05) return 1.0;
+  return median;
+}
+
+Result<std::vector<TimeSeriesGroup>> InferPartitioning(
+    TimeSeriesCatalog* catalog, const SampleProvider& sample,
+    const AutoHintsOptions& options) {
+  // Step 1: candidate groups from the lowest-distance rule of thumb.
+  std::vector<int> heights;
+  for (const Dimension& dim : catalog->dimensions()) {
+    heights.push_back(dim.height());
+  }
+  PartitionHints hints =
+      PartitionHints::Distance(LowestDistance(heights));
+  MODELARDB_ASSIGN_OR_RETURN(std::vector<TimeSeriesGroup> candidates,
+                             Partitioner::Partition(catalog, hints));
+  if (!sample) return candidates;
+
+  // Step 2: per candidate group, infer scaling constants against the
+  // first member, then keep only members whose sampled values actually
+  // co-vary with it; the rest fall back to singleton groups.
+  std::vector<std::vector<Tid>> validated;
+  for (const TimeSeriesGroup& group : candidates) {
+    if (group.tids.size() == 1) {
+      validated.push_back(group.tids);
+      continue;
+    }
+    Tid reference = group.tids.front();
+    std::vector<Tid> kept = {reference};
+    for (size_t i = 1; i < group.tids.size(); ++i) {
+      Tid tid = group.tids[i];
+      double scaling = InferScalingConstant(sample, reference, tid,
+                                            options.sample_size);
+      double fraction =
+          PassFraction(sample, reference, tid, 1.0, scaling,
+                       options.sample_size, options.reference_error_pct);
+      if (fraction >= options.min_pass_fraction) {
+        kept.push_back(tid);
+        catalog->GetMutable(tid)->scaling = scaling;
+      } else {
+        validated.push_back({tid});  // Not actually correlated: singleton.
+      }
+    }
+    validated.push_back(std::move(kept));
+  }
+
+  // Reassign dense Gids in deterministic order.
+  std::sort(validated.begin(), validated.end(),
+            [](const std::vector<Tid>& a, const std::vector<Tid>& b) {
+              return a.front() < b.front();
+            });
+  std::vector<TimeSeriesGroup> out;
+  out.reserve(validated.size());
+  for (size_t i = 0; i < validated.size(); ++i) {
+    TimeSeriesGroup group;
+    group.gid = static_cast<Gid>(i + 1);
+    group.tids = std::move(validated[i]);
+    std::sort(group.tids.begin(), group.tids.end());
+    group.si = catalog->Get(group.tids.front()).si;
+    for (Tid tid : group.tids) catalog->GetMutable(tid)->gid = group.gid;
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace modelardb

@@ -1,0 +1,57 @@
+// Automatic inference of partitioning parameters (paper §9, future work
+// (iii): "either removing or automatically inferring parameter arguments").
+//
+// Two inference steps:
+//   1. InferCorrelationHints: with no user hints, start from the paper's
+//      lowest-distance rule of thumb ((1/max levels)/|dimensions|, §4.1)
+//      and, when a data sample is available, validate each candidate group
+//      by measuring how often the sampled values of its members stay
+//      within twice a reference error bound of each other (the same test
+//      Algorithm 3 uses). Groups that fail are split back apart by
+//      keeping only members that pass against the group's first series.
+//   2. InferScalingConstants: for each group, estimate per-member scaling
+//      constants as the median ratio between the group's first series and
+//      the member over the sample — this automates the 4-tuple scaling
+//      hints of §4.1 for correlated series at different magnitudes.
+
+#ifndef MODELARDB_PARTITION_AUTO_HINTS_H_
+#define MODELARDB_PARTITION_AUTO_HINTS_H_
+
+#include <functional>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace modelardb {
+
+// Provides sample values: `Sample(tid, i)` must return the i-th sampled
+// value of series `tid`, aligned across series (same instants).
+using SampleProvider = std::function<Value(Tid tid, int64_t index)>;
+
+struct AutoHintsOptions {
+  int64_t sample_size = 256;
+  // Reference bound for the pairwise double-bound test.
+  double reference_error_pct = 5.0;
+  // Minimum fraction of sampled instants that must pass the double-bound
+  // test for two series to stay grouped.
+  double min_pass_fraction = 0.9;
+};
+
+// Infers groups for `catalog` without user hints. When `sample` is null the
+// result is purely metadata-based (the rule of thumb); with a sample the
+// candidate groups are validated and corrected, and scaling constants are
+// inferred and written into the catalog. Returns the final groups (also
+// reflected in the catalog's Gid column).
+Result<std::vector<TimeSeriesGroup>> InferPartitioning(
+    TimeSeriesCatalog* catalog, const SampleProvider& sample,
+    const AutoHintsOptions& options = {});
+
+// Estimates the scaling constant aligning `tid` to `reference` over a
+// sample: the median of reference/tid value ratios (robust to outliers).
+// Returns 1.0 when the ratio is unstable (not actually proportional).
+double InferScalingConstant(const SampleProvider& sample, Tid reference,
+                            Tid tid, int64_t sample_size);
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_PARTITION_AUTO_HINTS_H_

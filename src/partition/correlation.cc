@@ -1,0 +1,138 @@
+#include "partition/correlation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace modelardb {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(s);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Status ParsePrimitive(const std::string& text, CorrelationClause* clause) {
+  std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty correlation primitive");
+  }
+  if (EqualsIgnoreCase(tokens[0], "series")) {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("'series' needs at least one source");
+    }
+    for (size_t i = 1; i < tokens.size(); ++i) clause->sources.insert(tokens[i]);
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(tokens[0], "distance")) {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("'distance' needs one threshold");
+    }
+    MODELARDB_ASSIGN_OR_RETURN(double threshold, ParseDouble(tokens[1]));
+    if (threshold < 0.0 || threshold > 1.0) {
+      return Status::InvalidArgument("distance threshold must be in [0,1]");
+    }
+    clause->distance_threshold = threshold;
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(tokens[0], "weight")) {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("'weight' needs dimension and factor");
+    }
+    MODELARDB_ASSIGN_OR_RETURN(double factor, ParseDouble(tokens[2]));
+    clause->weights[tokens[1]] = factor;
+    return Status::OK();
+  }
+  if (tokens.size() == 2) {
+    MODELARDB_ASSIGN_OR_RETURN(int64_t level, ParseInt64(tokens[1]));
+    clause->lca_requirements.push_back(
+        LcaRequirement{tokens[0], static_cast<int>(level)});
+    return Status::OK();
+  }
+  if (tokens.size() == 3) {
+    MODELARDB_ASSIGN_OR_RETURN(int64_t level, ParseInt64(tokens[1]));
+    if (level < 1) {
+      return Status::InvalidArgument("member level must be >= 1");
+    }
+    clause->members.push_back(
+        MemberTriple{tokens[0], static_cast<int>(level), tokens[2]});
+    return Status::OK();
+  }
+  return Status::InvalidArgument("cannot parse correlation primitive: " +
+                                 text);
+}
+
+}  // namespace
+
+PartitionHints PartitionHints::Distance(double threshold,
+                                        std::map<std::string, double> weights) {
+  PartitionHints hints;
+  CorrelationClause clause;
+  clause.distance_threshold = threshold;
+  clause.weights = std::move(weights);
+  hints.clauses.push_back(std::move(clause));
+  return hints;
+}
+
+Result<PartitionHints> PartitionHints::Parse(const std::string& config_text) {
+  PartitionHints hints;
+  for (const std::string& raw_line : SplitString(config_text, '\n')) {
+    std::string line = TrimString(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected 'key = value': " + line);
+    }
+    std::string key = TrimString(line.substr(0, eq));
+    std::string value = TrimString(line.substr(eq + 1));
+    if (EqualsIgnoreCase(key, "modelardb.correlation")) {
+      CorrelationClause clause;
+      for (const std::string& primitive : SplitString(value, ',')) {
+        MODELARDB_RETURN_NOT_OK(ParsePrimitive(TrimString(primitive), &clause));
+      }
+      if (clause.empty()) {
+        return Status::InvalidArgument("clause has no primitives: " + line);
+      }
+      hints.clauses.push_back(std::move(clause));
+    } else if (EqualsIgnoreCase(key, "modelardb.scaling")) {
+      std::vector<std::string> tokens = Tokenize(value);
+      if (tokens.size() != 4) {
+        return Status::InvalidArgument(
+            "scaling needs: dimension level member factor");
+      }
+      ScalingRule rule;
+      rule.dimension = tokens[0];
+      MODELARDB_ASSIGN_OR_RETURN(int64_t level, ParseInt64(tokens[1]));
+      rule.level = static_cast<int>(level);
+      rule.member = tokens[2];
+      MODELARDB_ASSIGN_OR_RETURN(rule.factor, ParseDouble(tokens[3]));
+      hints.scaling_rules.push_back(std::move(rule));
+    } else if (EqualsIgnoreCase(key, "modelardb.scaling.series")) {
+      std::vector<std::string> tokens = Tokenize(value);
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("scaling.series needs: source factor");
+      }
+      ScalingRule rule;
+      rule.source = tokens[0];
+      MODELARDB_ASSIGN_OR_RETURN(rule.factor, ParseDouble(tokens[1]));
+      hints.scaling_rules.push_back(std::move(rule));
+    } else {
+      return Status::InvalidArgument("unknown configuration key: " + key);
+    }
+  }
+  return hints;
+}
+
+double LowestDistance(const std::vector<int>& dimension_heights) {
+  if (dimension_heights.empty()) return 0.0;
+  int max_height =
+      *std::max_element(dimension_heights.begin(), dimension_heights.end());
+  if (max_height == 0) return 0.0;
+  return (1.0 / max_height) / static_cast<double>(dimension_heights.size());
+}
+
+}  // namespace modelardb

@@ -1,0 +1,98 @@
+// User hints describing time series correlation (paper §4.1).
+//
+// Correlation is specified as clauses of primitives: primitives within a
+// clause are combined with AND, clauses with OR (the paper's
+// modelardb.correlation configuration semantics). Four primitive kinds:
+//   - explicit sets of time series (by source location),
+//   - (dimension, level, member) triples: series sharing that member,
+//   - (dimension, LCA level) pairs: LCA level >= the given level; level 0
+//     requires all levels equal, a negative level -k requires all but the
+//     lowest k levels equal,
+//   - a distance threshold in [0,1] over all dimensions (Algorithm 2),
+//     optionally with per-dimension weights.
+// Scaling constants (per source or per dimensional member) are carried
+// alongside (§3.3/§4.1).
+
+#ifndef MODELARDB_PARTITION_CORRELATION_H_
+#define MODELARDB_PARTITION_CORRELATION_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace modelardb {
+
+struct MemberTriple {
+  std::string dimension;
+  int level = 0;
+  std::string member;
+};
+
+struct LcaRequirement {
+  std::string dimension;
+  // > 0: required LCA level; 0: all levels must match; -k: all but the
+  // lowest k levels must match.
+  int level = 0;
+};
+
+struct CorrelationClause {
+  // All series of both groups must come from these sources (when set).
+  std::set<std::string> sources;
+  std::vector<MemberTriple> members;
+  std::vector<LcaRequirement> lca_requirements;
+  std::optional<double> distance_threshold;
+  std::map<std::string, double> weights;  // Default 1.0 per dimension.
+
+  bool empty() const {
+    return sources.empty() && members.empty() && lca_requirements.empty() &&
+           !distance_threshold.has_value();
+  }
+};
+
+struct ScalingRule {
+  // Either a specific source...
+  std::string source;
+  // ...or a dimensional member (4-tuple of §4.1).
+  std::string dimension;
+  int level = 0;
+  std::string member;
+  double factor = 1.0;
+};
+
+struct PartitionHints {
+  std::vector<CorrelationClause> clauses;  // OR semantics.
+  std::vector<ScalingRule> scaling_rules;
+
+  // ModelarDBv1 mode: one group per series, MMC without MGC.
+  static PartitionHints DisableGrouping() { return PartitionHints{}; }
+
+  // Single-clause shortcut for a distance threshold.
+  static PartitionHints Distance(double threshold,
+                                 std::map<std::string, double> weights = {});
+
+  // Parses `modelardb.correlation` / `modelardb.scaling` configuration
+  // lines. Each correlation line is one clause; primitives are separated
+  // by commas. Primitive grammar (tokens are whitespace-separated):
+  //   series <source> <source> ...
+  //   <dimension> <level> <member>
+  //   <dimension> <level>
+  //   distance <threshold>
+  //   weight <dimension> <factor>
+  // Scaling lines:
+  //   modelardb.scaling = <dimension> <level> <member> <factor>
+  //   modelardb.scaling.series = <source> <factor>
+  // Lines starting with '#' and blank lines are ignored.
+  static Result<PartitionHints> Parse(const std::string& config_text);
+};
+
+// The lowest meaningful non-zero distance for a schema: the paper's rule
+// of thumb (1/max(Levels))/|Dimensions| (§4.1).
+double LowestDistance(const std::vector<int>& dimension_heights);
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_PARTITION_CORRELATION_H_

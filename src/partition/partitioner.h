@@ -1,0 +1,52 @@
+// The Partitioner (paper §3.1, §4.1): groups dimensional time series by
+// user-specified correlation before ingestion starts, using only metadata —
+// comparing historical data for all pairs of series is infeasible (§4.1).
+//
+// Grouping is Algorithm 1: start with one group per series and merge groups
+// until a fixpoint, merging two groups when any correlation clause holds
+// (each clause's primitives must all hold). Distance-based clauses use
+// Algorithm 2. Scaling rules are applied to the catalog afterwards.
+
+#ifndef MODELARDB_PARTITION_PARTITIONER_H_
+#define MODELARDB_PARTITION_PARTITIONER_H_
+
+#include <vector>
+
+#include "dims/dimensions.h"
+#include "partition/correlation.h"
+
+namespace modelardb {
+
+// A time series group (paper §2, Definition 8): series with identical SI.
+struct TimeSeriesGroup {
+  Gid gid = 0;
+  std::vector<Tid> tids;  // Ascending.
+  SamplingInterval si = 0;
+};
+
+class Partitioner {
+ public:
+  // Groups all series of `catalog` according to `hints`, assigns dense Gids
+  // starting at 1, writes each series' Gid and scaling constant back into
+  // the catalog, and returns the groups. Series never merged by any clause
+  // stay in singleton groups (ModelarDBv1 behaviour when hints are empty).
+  static Result<std::vector<TimeSeriesGroup>> Partition(
+      TimeSeriesCatalog* catalog, const PartitionHints& hints);
+
+  // Algorithm 2: normalized weighted dimension distance between two groups
+  // of series, in [0, 1].
+  static double GroupDistance(const TimeSeriesCatalog& catalog,
+                              const std::vector<Tid>& group1,
+                              const std::vector<Tid>& group2,
+                              const std::map<std::string, double>& weights);
+
+  // Whether `clause` holds for the union of the two groups.
+  static Result<bool> ClauseHolds(const TimeSeriesCatalog& catalog,
+                                  const CorrelationClause& clause,
+                                  const std::vector<Tid>& group1,
+                                  const std::vector<Tid>& group2);
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_PARTITION_PARTITIONER_H_

@@ -1,0 +1,94 @@
+// Abstract syntax tree for ModelarDB++'s SQL subset (paper §6.1).
+//
+// Queries run against two views:
+//   Segment View    (Tid, StartTime, EndTime, SI, Mid, Parameters, Gaps,
+//                    <denormalized dimension columns>)
+//   Data Point View (Tid, TS, Value, <denormalized dimension columns>)
+// Aggregates on the Segment View are suffixed _S (SUM_S, ...); aggregates
+// that roll up in the time dimension are CUBE_<AGG>_<LEVEL> (CUBE_SUM_HOUR,
+// ...). The Data Point View uses the plain SQL aggregate names.
+
+#ifndef MODELARDB_QUERY_AST_H_
+#define MODELARDB_QUERY_AST_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/time_util.h"
+
+namespace modelardb {
+namespace query {
+
+enum class View { kSegment, kDataPoint };
+
+enum class AggregateFunction { kCount, kMin, kMax, kSum, kAvg };
+
+const char* AggregateFunctionName(AggregateFunction fn);
+
+// One item of the SELECT list.
+struct SelectItem {
+  enum class Kind {
+    kColumn,     // Tid, TS, Value, StartTime, ..., or a dimension column.
+    kAggregate,  // SUM_S(*), AVG(Value), ...
+    kCubeAggregate,  // CUBE_SUM_HOUR(*), ...
+    kStar,       // SELECT *
+  };
+  Kind kind = Kind::kStar;
+  std::string column;                 // kColumn.
+  AggregateFunction aggregate = AggregateFunction::kCount;
+  TimeLevel cube_level = TimeLevel::kHour;  // kCubeAggregate.
+  std::string display;                // Column header in the result.
+};
+
+// A conjunct of the WHERE clause. The parser accepts only conjunctions —
+// exactly what ModelarDB can push down (§6.2).
+struct Predicate {
+  enum class Kind {
+    kTidEquals,      // Tid = n
+    kTidIn,          // Tid IN (...)
+    kTimeRange,      // TS/StartTime/EndTime bounds, merged into one range.
+    kMemberEquals,   // <dimension column> = 'member'
+    kValueRange,     // Value comparisons (pruned via segment statistics).
+  };
+  Kind kind = Kind::kTidEquals;
+  std::vector<Tid> tids;              // kTidEquals / kTidIn.
+  Timestamp min_time = std::numeric_limits<Timestamp>::min();
+  Timestamp max_time = std::numeric_limits<Timestamp>::max();
+  std::string column;                 // kMemberEquals.
+  std::string member;                 // kMemberEquals.
+  double min_value = -std::numeric_limits<double>::infinity();  // kValueRange.
+  double max_value = std::numeric_limits<double>::infinity();   // kValueRange.
+};
+
+struct OrderBy {
+  std::string column;
+  bool descending = false;
+};
+
+struct Query {
+  bool explain = false;  // EXPLAIN <query>: describe the plan, do not run.
+  View view = View::kSegment;
+  std::vector<SelectItem> select;
+  std::vector<Predicate> where;       // Conjunction.
+  std::vector<std::string> group_by;  // Column names (Tid or dimensions).
+  std::optional<OrderBy> order_by;
+  std::optional<int64_t> limit;
+
+  bool HasAggregates() const {
+    for (const SelectItem& item : select) {
+      if (item.kind == SelectItem::Kind::kAggregate ||
+          item.kind == SelectItem::Kind::kCubeAggregate) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace query
+}  // namespace modelardb
+
+#endif  // MODELARDB_QUERY_AST_H_

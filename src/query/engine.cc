@@ -1,0 +1,639 @@
+#include "query/engine.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "util/strings.h"
+
+namespace modelardb {
+namespace query {
+namespace {
+
+// Row-index range of `segment` intersected with the query's time range.
+// Returns false when the intersection is empty.
+bool RowRange(const Segment& segment, const SegmentFilter& filter,
+              int64_t* from_row, int64_t* to_row) {
+  Timestamp eff_min = std::max(filter.min_time, segment.start_time);
+  Timestamp eff_max = std::min(filter.max_time, segment.end_time);
+  if (eff_min > eff_max) return false;
+  *from_row = (eff_min - segment.start_time + segment.si - 1) / segment.si;
+  *to_row = (eff_max - segment.start_time) / segment.si;
+  return *from_row <= *to_row;
+}
+
+void UpdateState(AggState* state, const AggregateSummary& summary,
+                 double scaling) {
+  state->count += summary.count;
+  state->sum += summary.sum / scaling;
+  state->min = std::min(state->min, summary.min / scaling);
+  state->max = std::max(state->max, summary.max / scaling);
+}
+
+void UpdateState(AggState* state, double value) {
+  ++state->count;
+  state->sum += value;
+  state->min = std::min(state->min, value);
+  state->max = std::max(state->max, value);
+}
+
+Cell FinalizeAggregate(AggregateFunction fn, const AggState& state) {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return state.count;
+    case AggregateFunction::kSum:
+      return state.sum;
+    case AggregateFunction::kAvg:
+      return state.count == 0 ? 0.0 : state.sum / state.count;
+    case AggregateFunction::kMin:
+      return state.count == 0 ? 0.0 : state.min;
+    case AggregateFunction::kMax:
+      return state.count == 0 ? 0.0 : state.max;
+  }
+  return 0.0;
+}
+
+// How a segment's value statistics relate to a compiled value predicate
+// for a series with a given scaling constant.
+enum class StatsRelation { kDisjoint, kContained, kOverlapping };
+
+StatsRelation RelateStats(const CompiledQuery& compiled,
+                          const Segment& segment, double scaling) {
+  if (!compiled.has_value_predicate) return StatsRelation::kContained;
+  // Statistics are in stored units; predicates are in raw units (§6.1).
+  double lo = segment.min_value / scaling;
+  double hi = segment.max_value / scaling;
+  if (hi < compiled.min_value || lo > compiled.max_value) {
+    return StatsRelation::kDisjoint;
+  }
+  if (lo >= compiled.min_value && hi <= compiled.max_value) {
+    return StatsRelation::kContained;
+  }
+  return StatsRelation::kOverlapping;
+}
+
+}  // namespace
+
+void PartialResult::Merge(PartialResult&& other) {
+  for (auto& [key, states] : other.groups) {
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      groups.emplace(key, std::move(states));
+    } else {
+      for (size_t i = 0; i < states.size(); ++i) {
+        it->second[i].Merge(states[i]);
+      }
+    }
+  }
+  rows.insert(rows.end(), std::make_move_iterator(other.rows.begin()),
+              std::make_move_iterator(other.rows.end()));
+}
+
+QueryEngine::QueryEngine(const TimeSeriesCatalog* catalog,
+                         std::vector<TimeSeriesGroup> groups,
+                         const ModelRegistry* registry)
+    : catalog_(catalog), groups_(std::move(groups)), registry_(registry) {
+  gid_of_.assign(catalog_->NumSeries(), 0);
+  for (const TimeSeriesGroup& group : groups_) {
+    for (Tid tid : group.tids) gid_of_[tid - 1] = group.gid;
+  }
+}
+
+Result<std::pair<int, int>> QueryEngine::ResolveDimensionColumn(
+    const std::string& name) const {
+  // Qualified forms: "Dimension.Level" or "Dimension_Level".
+  for (char sep : {'.', '_'}) {
+    size_t pos = name.find(sep);
+    if (pos != std::string::npos) {
+      std::string dim_name = name.substr(0, pos);
+      std::string level_name = name.substr(pos + 1);
+      Result<int> dim = catalog_->DimensionIndex(dim_name);
+      if (dim.ok()) {
+        MODELARDB_ASSIGN_OR_RETURN(
+            int level, catalog_->dimensions()[*dim].LevelOf(level_name));
+        return std::make_pair(*dim, level);
+      }
+    }
+  }
+  // Unqualified level name; must be unique across dimensions.
+  std::optional<std::pair<int, int>> found;
+  for (size_t d = 0; d < catalog_->dimensions().size(); ++d) {
+    Result<int> level = catalog_->dimensions()[d].LevelOf(name);
+    if (level.ok()) {
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous dimension column: " + name);
+      }
+      found = std::make_pair(static_cast<int>(d), *level);
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("unknown column: " + name);
+  }
+  return *found;
+}
+
+Result<CompiledQuery> QueryEngine::Compile(const Query& ast) const {
+  CompiledQuery compiled;
+  compiled.ast = ast;
+
+  // Conjunction of predicates over series: intersect Tid sets with the
+  // Tid sets of member predicates (rewriting of §6.2).
+  bool restricted = false;
+  std::set<Tid> selected;
+  auto intersect = [&](const std::vector<Tid>& tids) {
+    std::set<Tid> incoming(tids.begin(), tids.end());
+    if (!restricted) {
+      selected = std::move(incoming);
+      restricted = true;
+    } else {
+      std::set<Tid> merged;
+      std::set_intersection(selected.begin(), selected.end(),
+                            incoming.begin(), incoming.end(),
+                            std::inserter(merged, merged.begin()));
+      selected = std::move(merged);
+    }
+  };
+
+  for (const Predicate& pred : ast.where) {
+    switch (pred.kind) {
+      case Predicate::Kind::kTidEquals:
+      case Predicate::Kind::kTidIn: {
+        for (Tid tid : pred.tids) {
+          if (!catalog_->Contains(tid)) {
+            return Status::InvalidArgument("unknown Tid: " +
+                                           std::to_string(tid));
+          }
+        }
+        intersect(pred.tids);
+        break;
+      }
+      case Predicate::Kind::kTimeRange: {
+        compiled.filter.min_time =
+            std::max(compiled.filter.min_time, pred.min_time);
+        compiled.filter.max_time =
+            std::min(compiled.filter.max_time, pred.max_time);
+        break;
+      }
+      case Predicate::Kind::kMemberEquals: {
+        MODELARDB_ASSIGN_OR_RETURN(auto resolved,
+                                   ResolveDimensionColumn(pred.column));
+        intersect(catalog_->SeriesWithMember(resolved.first, resolved.second,
+                                             pred.member));
+        break;
+      }
+      case Predicate::Kind::kValueRange: {
+        compiled.min_value = std::max(compiled.min_value, pred.min_value);
+        compiled.max_value = std::min(compiled.max_value, pred.max_value);
+        compiled.has_value_predicate = true;
+        break;
+      }
+    }
+  }
+  if (restricted) {
+    compiled.selected_tids = std::move(selected);
+    // Rewrite to Gids for push-down (Figure 11: Tids -> Gid IN (...)).
+    std::set<Gid> gids;
+    for (Tid tid : compiled.selected_tids) gids.insert(GidOf(tid));
+    compiled.filter.gids.assign(gids.begin(), gids.end());
+  }
+
+  for (const std::string& column : ast.group_by) {
+    KeyPart part;
+    if (EqualsIgnoreCase(column, "Tid")) {
+      part.kind = KeyPart::Kind::kTid;
+      part.display = "Tid";
+    } else {
+      MODELARDB_ASSIGN_OR_RETURN(auto resolved,
+                                 ResolveDimensionColumn(column));
+      part.kind = KeyPart::Kind::kMember;
+      part.dim_index = resolved.first;
+      part.level = resolved.second;
+      part.display = column;
+    }
+    compiled.key_parts.push_back(std::move(part));
+  }
+
+  for (const SelectItem& item : ast.select) {
+    if (item.kind == SelectItem::Kind::kCubeAggregate) {
+      if (compiled.cube_level.has_value() &&
+          *compiled.cube_level != item.cube_level) {
+        return Status::InvalidArgument(
+            "all CUBE_ aggregates in a query must use one time level");
+      }
+      compiled.cube_level = item.cube_level;
+    }
+    if (item.kind == SelectItem::Kind::kColumn &&
+        !EqualsIgnoreCase(item.column, "Tid") &&
+        !EqualsIgnoreCase(item.column, "TS") &&
+        !EqualsIgnoreCase(item.column, "Value") &&
+        !EqualsIgnoreCase(item.column, "StartTime") &&
+        !EqualsIgnoreCase(item.column, "EndTime") &&
+        !EqualsIgnoreCase(item.column, "SI") &&
+        !EqualsIgnoreCase(item.column, "Mid")) {
+      MODELARDB_RETURN_NOT_OK(ResolveDimensionColumn(item.column).status());
+    }
+  }
+  return compiled;
+}
+
+std::vector<QueryEngine::SelectedSeries> QueryEngine::SelectSeries(
+    const CompiledQuery& compiled, const Segment& segment) const {
+  std::vector<SelectedSeries> out;
+  const TimeSeriesGroup& group = groups_[segment.gid - 1];
+  int column = 0;
+  for (size_t pos = 0; pos < group.tids.size(); ++pos) {
+    if (segment.SeriesInGap(static_cast<int>(pos))) continue;
+    Tid tid = group.tids[pos];
+    if (compiled.selected_tids.empty() ||
+        compiled.selected_tids.count(tid) > 0) {
+      out.push_back(SelectedSeries{tid, column, catalog_->Get(tid).scaling});
+    }
+    ++column;
+  }
+  return out;
+}
+
+std::vector<Cell> QueryEngine::KeyFor(const CompiledQuery& compiled,
+                                      Tid tid) const {
+  std::vector<Cell> key;
+  key.reserve(compiled.key_parts.size());
+  for (const KeyPart& part : compiled.key_parts) {
+    if (part.kind == KeyPart::Kind::kTid) {
+      key.emplace_back(static_cast<int64_t>(tid));
+    } else {
+      key.emplace_back(catalog_->Member(tid, part.dim_index, part.level));
+    }
+  }
+  return key;
+}
+
+Result<PartialResult> QueryEngine::SegmentViewPartial(
+    const CompiledQuery& compiled, const SegmentSource& source) const {
+  PartialResult partial;
+  const bool has_agg = compiled.ast.HasAggregates();
+  size_t num_aggs = 0;
+  for (const SelectItem& item : compiled.ast.select) {
+    if (item.kind != SelectItem::Kind::kColumn &&
+        item.kind != SelectItem::Kind::kStar) {
+      ++num_aggs;
+    }
+  }
+
+  Status scan_status = source.ScanSegments(
+      compiled.filter, [&](const Segment& segment) -> Status {
+        std::vector<SelectedSeries> series = SelectSeries(compiled, segment);
+        if (series.empty()) return Status::OK();
+        if (!has_agg) {
+          // Segment metadata rows (one per selected series).
+          for (const SelectedSeries& s : series) {
+            std::vector<Cell> row;
+            for (const SelectItem& item : compiled.ast.select) {
+              if (item.kind == SelectItem::Kind::kStar) {
+                row.emplace_back(static_cast<int64_t>(s.tid));
+                row.emplace_back(segment.start_time);
+                row.emplace_back(segment.end_time);
+                row.emplace_back(static_cast<int64_t>(segment.si));
+                row.emplace_back(static_cast<int64_t>(segment.mid));
+              } else if (EqualsIgnoreCase(item.column, "Tid")) {
+                row.emplace_back(static_cast<int64_t>(s.tid));
+              } else if (EqualsIgnoreCase(item.column, "StartTime")) {
+                row.emplace_back(segment.start_time);
+              } else if (EqualsIgnoreCase(item.column, "EndTime")) {
+                row.emplace_back(segment.end_time);
+              } else if (EqualsIgnoreCase(item.column, "SI")) {
+                row.emplace_back(static_cast<int64_t>(segment.si));
+              } else if (EqualsIgnoreCase(item.column, "Mid")) {
+                row.emplace_back(static_cast<int64_t>(segment.mid));
+              } else {
+                auto resolved = ResolveDimensionColumn(item.column);
+                if (!resolved.ok()) return resolved.status();
+                row.emplace_back(catalog_->Member(s.tid, resolved->first,
+                                                  resolved->second));
+              }
+            }
+            partial.rows.push_back(std::move(row));
+          }
+          return Status::OK();
+        }
+
+        int64_t from_row, to_row;
+        if (!RowRange(segment, compiled.filter, &from_row, &to_row)) {
+          return Status::OK();
+        }
+        int represented =
+            segment.RepresentedSeries(static_cast<int>(
+                groups_[segment.gid - 1].tids.size()));
+        auto decoder_result = registry_->CreateDecoder(
+            segment.mid, segment.parameters, represented,
+            static_cast<int>(segment.Length()));
+        if (!decoder_result.ok()) return decoder_result.status();
+        const SegmentDecoder& decoder = **decoder_result;
+
+        for (const SelectedSeries& s : series) {
+          StatsRelation relation = RelateStats(compiled, segment, s.scaling);
+          if (relation == StatsRelation::kDisjoint) continue;  // Pruned.
+          std::vector<Cell> base_key = KeyFor(compiled, s.tid);
+          if (relation == StatsRelation::kOverlapping) {
+            // The segment straddles the value range: reconstruct and
+            // filter point-wise (the statistics only prune whole
+            // segments).
+            for (int64_t row = from_row; row <= to_row; ++row) {
+              double value =
+                  static_cast<double>(
+                      decoder.ValueAt(static_cast<int>(row), s.column)) /
+                  s.scaling;
+              if (value < compiled.min_value || value > compiled.max_value) {
+                continue;
+              }
+              std::vector<Cell> key = base_key;
+              if (compiled.cube_level.has_value()) {
+                Timestamp ts = segment.start_time + row * segment.si;
+                key.emplace_back(TimeBucket(ts, *compiled.cube_level));
+              }
+              auto& states = partial.groups[key];
+              if (states.empty()) states.resize(num_aggs);
+              for (auto& state : states) UpdateState(&state, value);
+            }
+            continue;
+          }
+          if (!compiled.cube_level.has_value()) {
+            AggregateSummary summary = decoder.AggregateRange(
+                static_cast<int>(from_row), static_cast<int>(to_row),
+                s.column);
+            auto& states = partial.groups[base_key];
+            if (states.empty()) states.resize(num_aggs);
+            for (auto& state : states) UpdateState(&state, summary, s.scaling);
+          } else {
+            // Algorithm 6: per calendar interval of the requested level.
+            TimeLevel level = *compiled.cube_level;
+            int64_t row = from_row;
+            while (row <= to_row) {
+              Timestamp ts0 = segment.start_time + row * segment.si;
+              Timestamp boundary = CeilToLevel(ts0, level);
+              Timestamp last_ts = std::min(
+                  segment.start_time + to_row * segment.si, boundary - 1);
+              int64_t row2 = (last_ts - segment.start_time) / segment.si;
+              AggregateSummary summary = decoder.AggregateRange(
+                  static_cast<int>(row), static_cast<int>(row2), s.column);
+              std::vector<Cell> key = base_key;
+              key.emplace_back(TimeBucket(ts0, level));
+              auto& states = partial.groups[key];
+              if (states.empty()) states.resize(num_aggs);
+              for (auto& state : states) {
+                UpdateState(&state, summary, s.scaling);
+              }
+              row = row2 + 1;
+            }
+          }
+        }
+        return Status::OK();
+      });
+  MODELARDB_RETURN_NOT_OK(scan_status);
+  return partial;
+}
+
+Result<PartialResult> QueryEngine::DataPointViewPartial(
+    const CompiledQuery& compiled, const SegmentSource& source) const {
+  PartialResult partial;
+  const bool has_agg = compiled.ast.HasAggregates();
+  size_t num_aggs = 0;
+  for (const SelectItem& item : compiled.ast.select) {
+    if (item.kind == SelectItem::Kind::kAggregate) ++num_aggs;
+  }
+
+  Status scan_status = source.ScanSegments(
+      compiled.filter, [&](const Segment& segment) -> Status {
+        std::vector<SelectedSeries> series = SelectSeries(compiled, segment);
+        if (series.empty()) return Status::OK();
+        int64_t from_row, to_row;
+        if (!RowRange(segment, compiled.filter, &from_row, &to_row)) {
+          return Status::OK();
+        }
+        int represented = segment.RepresentedSeries(
+            static_cast<int>(groups_[segment.gid - 1].tids.size()));
+        auto decoder_result = registry_->CreateDecoder(
+            segment.mid, segment.parameters, represented,
+            static_cast<int>(segment.Length()));
+        if (!decoder_result.ok()) return decoder_result.status();
+        const SegmentDecoder& decoder = **decoder_result;
+
+        for (const SelectedSeries& s : series) {
+          StatsRelation relation = RelateStats(compiled, segment, s.scaling);
+          if (relation == StatsRelation::kDisjoint) continue;  // Pruned.
+          bool must_filter = relation == StatsRelation::kOverlapping;
+          std::vector<Cell> base_key;
+          if (has_agg) base_key = KeyFor(compiled, s.tid);
+          for (int64_t row = from_row; row <= to_row; ++row) {
+            Timestamp ts = segment.start_time + row * segment.si;
+            double value =
+                static_cast<double>(decoder.ValueAt(static_cast<int>(row),
+                                                    s.column)) /
+                s.scaling;
+            if (must_filter &&
+                (value < compiled.min_value || value > compiled.max_value)) {
+              continue;
+            }
+            if (has_agg) {
+              auto& states = partial.groups[base_key];
+              if (states.empty()) states.resize(num_aggs);
+              for (auto& state : states) UpdateState(&state, value);
+            } else {
+              std::vector<Cell> out_row;
+              for (const SelectItem& item : compiled.ast.select) {
+                if (item.kind == SelectItem::Kind::kStar) {
+                  out_row.emplace_back(static_cast<int64_t>(s.tid));
+                  out_row.emplace_back(ts);
+                  out_row.emplace_back(value);
+                } else if (EqualsIgnoreCase(item.column, "Tid")) {
+                  out_row.emplace_back(static_cast<int64_t>(s.tid));
+                } else if (EqualsIgnoreCase(item.column, "TS")) {
+                  out_row.emplace_back(ts);
+                } else if (EqualsIgnoreCase(item.column, "Value")) {
+                  out_row.emplace_back(value);
+                } else {
+                  auto resolved = ResolveDimensionColumn(item.column);
+                  if (!resolved.ok()) return resolved.status();
+                  out_row.emplace_back(catalog_->Member(
+                      s.tid, resolved->first, resolved->second));
+                }
+              }
+              partial.rows.push_back(std::move(out_row));
+            }
+          }
+        }
+        return Status::OK();
+      });
+  MODELARDB_RETURN_NOT_OK(scan_status);
+  return partial;
+}
+
+Result<PartialResult> QueryEngine::ExecutePartial(
+    const CompiledQuery& compiled, const SegmentSource& source) const {
+  if (compiled.ast.view == View::kSegment) {
+    return SegmentViewPartial(compiled, source);
+  }
+  return DataPointViewPartial(compiled, source);
+}
+
+Result<QueryResult> QueryEngine::MergeFinalize(
+    const CompiledQuery& compiled, std::vector<PartialResult> partials) const {
+  PartialResult merged;
+  for (PartialResult& partial : partials) {
+    merged.Merge(std::move(partial));
+  }
+
+  QueryResult result;
+  const bool has_agg = compiled.ast.HasAggregates();
+  if (has_agg) {
+    for (const KeyPart& part : compiled.key_parts) {
+      result.columns.push_back(part.display);
+    }
+    if (compiled.cube_level.has_value()) {
+      result.columns.push_back(TimeLevelName(*compiled.cube_level));
+    }
+    std::vector<AggregateFunction> functions;
+    for (const SelectItem& item : compiled.ast.select) {
+      if (item.kind == SelectItem::Kind::kAggregate ||
+          item.kind == SelectItem::Kind::kCubeAggregate) {
+        result.columns.push_back(item.display);
+        functions.push_back(item.aggregate);
+      }
+    }
+    // Global aggregates over an empty selection still yield one row.
+    if (merged.groups.empty() && compiled.key_parts.empty() &&
+        !compiled.cube_level.has_value()) {
+      merged.groups.emplace(std::vector<Cell>{},
+                            std::vector<AggState>(functions.size()));
+    }
+    for (const auto& [key, states] : merged.groups) {
+      std::vector<Cell> row = key;
+      for (size_t i = 0; i < functions.size(); ++i) {
+        row.push_back(FinalizeAggregate(functions[i], states[i]));
+      }
+      result.rows.push_back(std::move(row));
+    }
+  } else {
+    for (const SelectItem& item : compiled.ast.select) {
+      if (item.kind == SelectItem::Kind::kStar) {
+        if (compiled.ast.view == View::kSegment) {
+          result.columns.insert(result.columns.end(),
+                                {"Tid", "StartTime", "EndTime", "SI", "Mid"});
+        } else {
+          result.columns.insert(result.columns.end(), {"Tid", "TS", "Value"});
+        }
+      } else {
+        result.columns.push_back(item.display);
+      }
+    }
+    result.rows = std::move(merged.rows);
+    std::sort(result.rows.begin(), result.rows.end(),
+              [](const std::vector<Cell>& a, const std::vector<Cell>& b) {
+                return a < b;
+              });
+  }
+
+  if (compiled.ast.order_by.has_value()) {
+    const OrderBy& order = *compiled.ast.order_by;
+    int index = -1;
+    for (size_t c = 0; c < result.columns.size(); ++c) {
+      if (EqualsIgnoreCase(result.columns[c], order.column)) {
+        index = static_cast<int>(c);
+        break;
+      }
+    }
+    if (index < 0) {
+      return Status::InvalidArgument("ORDER BY column not in result: " +
+                                     order.column);
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const std::vector<Cell>& a,
+                         const std::vector<Cell>& b) {
+                       return order.descending ? CellLess(b[index], a[index])
+                                               : CellLess(a[index], b[index]);
+                     });
+  }
+  if (compiled.ast.limit.has_value() &&
+      static_cast<int64_t>(result.rows.size()) > *compiled.ast.limit) {
+    result.rows.resize(*compiled.ast.limit);
+  }
+  return result;
+}
+
+Result<std::string> QueryEngine::Explain(const Query& ast) const {
+  Query stripped = ast;
+  stripped.explain = false;
+  MODELARDB_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(stripped));
+  std::string out;
+  out += std::string("view: ") +
+         (ast.view == View::kSegment ? "Segment" : "DataPoint") + "\n";
+  out += "push-down gids: ";
+  if (compiled.filter.gids.empty()) {
+    out += "all";
+  } else {
+    for (size_t i = 0; i < compiled.filter.gids.size(); ++i) {
+      out += (i ? ", " : "") + std::to_string(compiled.filter.gids[i]);
+    }
+  }
+  out += "\n";
+  if (compiled.filter.min_time != std::numeric_limits<Timestamp>::min() ||
+      compiled.filter.max_time != std::numeric_limits<Timestamp>::max()) {
+    out += "push-down time: [" + std::to_string(compiled.filter.min_time) +
+           ", " + std::to_string(compiled.filter.max_time) + "]\n";
+  }
+  if (!compiled.selected_tids.empty()) {
+    out += "series filter: ";
+    bool first = true;
+    for (Tid tid : compiled.selected_tids) {
+      out += (first ? "" : ", ") + std::to_string(tid);
+      first = false;
+    }
+    out += "\n";
+  }
+  if (compiled.has_value_predicate) {
+    out += "value range (segment statistics pruning): [" +
+           std::to_string(compiled.min_value) + ", " +
+           std::to_string(compiled.max_value) + "]\n";
+  }
+  if (!compiled.key_parts.empty()) {
+    out += "group by:";
+    for (const KeyPart& part : compiled.key_parts) {
+      out += " " + part.display;
+    }
+    out += "\n";
+  }
+  if (compiled.cube_level.has_value()) {
+    out += std::string("time rollup: per ") +
+           TimeLevelName(*compiled.cube_level) + " (Algorithm 6)\n";
+  }
+  out += ast.HasAggregates()
+             ? "execution: iterate aggregates on models (Algorithm 5)\n"
+             : "execution: reconstruct matching rows\n";
+  return out;
+}
+
+Result<QueryResult> QueryEngine::Execute(const Query& ast,
+                                         const SegmentSource& source) const {
+  if (ast.explain) {
+    MODELARDB_ASSIGN_OR_RETURN(std::string text, Explain(ast));
+    QueryResult result;
+    result.columns = {"plan"};
+    for (const std::string& line : SplitString(text, '\n')) {
+      if (!line.empty()) result.rows.push_back({line});
+    }
+    return result;
+  }
+  MODELARDB_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(ast));
+  MODELARDB_ASSIGN_OR_RETURN(PartialResult partial,
+                             ExecutePartial(compiled, source));
+  std::vector<PartialResult> partials;
+  partials.push_back(std::move(partial));
+  return MergeFinalize(compiled, std::move(partials));
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql,
+                                         const SegmentSource& source) const {
+  MODELARDB_ASSIGN_OR_RETURN(Query ast, ParseQuery(sql));
+  return Execute(ast, source);
+}
+
+}  // namespace query
+}  // namespace modelardb

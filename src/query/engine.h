@@ -1,0 +1,172 @@
+// Query processing on models (paper §6).
+//
+// The engine implements the paper's Segment View and Data Point View over
+// a segment source. Algorithm 5 (simple aggregates) and Algorithm 6
+// (aggregates rolled up in the time dimension) are implemented as an
+// initialize / iterate / finalize pipeline over segments, with:
+//   - query rewriting from Tids and dimension members to Gids (§6.2) so
+//     the segment store only needs predicate push-down on one id,
+//   - per-series scaling constants applied during iterate (§6.1),
+//   - the array-based dimension join against the in-memory catalog (§6.1),
+//   - constant-time aggregation on constant/linear models via
+//     SegmentDecoder::AggregateRange.
+//
+// The pipeline is split into Compile / ExecutePartial / MergeFinalize so
+// the cluster engine can run iterate on each worker and merge at the
+// master, exactly as the paper distributes Algorithm 5/6.
+
+#ifndef MODELARDB_QUERY_ENGINE_H_
+#define MODELARDB_QUERY_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "dims/dimensions.h"
+#include "partition/partitioner.h"
+#include "query/ast.h"
+#include "query/result.h"
+#include "storage/segment_store.h"
+
+namespace modelardb {
+namespace query {
+
+// Abstraction over "where segments come from": a local SegmentStore, a
+// worker's partition, or a mock in tests.
+class SegmentSource {
+ public:
+  virtual ~SegmentSource() = default;
+  virtual Status ScanSegments(
+      const SegmentFilter& filter,
+      const std::function<Status(const Segment&)>& fn) const = 0;
+};
+
+// Adapter for SegmentStore.
+class StoreSegmentSource : public SegmentSource {
+ public:
+  explicit StoreSegmentSource(const SegmentStore* store) : store_(store) {}
+  Status ScanSegments(
+      const SegmentFilter& filter,
+      const std::function<Status(const Segment&)>& fn) const override {
+    return store_->Scan(filter, fn);
+  }
+
+ private:
+  const SegmentStore* store_;
+};
+
+// Group-by key parts after name resolution.
+struct KeyPart {
+  enum class Kind { kTid, kMember };
+  Kind kind = Kind::kTid;
+  int dim_index = 0;  // kMember.
+  int level = 0;      // kMember.
+  std::string display;
+};
+
+// A compiled (rewritten + resolved) query.
+struct CompiledQuery {
+  Query ast;
+  SegmentFilter filter;           // Gids + time range (push-down, §6.2).
+  // Series surviving the conjunction of Tid and member predicates. Groups
+  // are supersets of this set, so iterate re-filters per series. Empty
+  // with no predicates: all series.
+  std::set<Tid> selected_tids;
+  // Value-range predicate in raw (unscaled) units. Segments whose value
+  // statistics cannot intersect the range are pruned without decoding —
+  // the model-exploiting index of the paper's future work (i).
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
+  bool has_value_predicate = false;
+  std::vector<KeyPart> key_parts;
+  std::optional<TimeLevel> cube_level;  // Set when any CUBE_ aggregate.
+};
+
+// Distributive/algebraic aggregate state (merged across workers).
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Merge(const AggState& other) {
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+};
+
+// A worker's partial result: either grouped aggregate states or raw rows.
+struct PartialResult {
+  std::map<std::vector<Cell>, std::vector<AggState>> groups;
+  std::vector<std::vector<Cell>> rows;  // Non-aggregate queries.
+
+  void Merge(PartialResult&& other);
+};
+
+class QueryEngine {
+ public:
+  // `catalog` and `registry` must outlive the engine; `groups` comes from
+  // the Partitioner.
+  QueryEngine(const TimeSeriesCatalog* catalog,
+              std::vector<TimeSeriesGroup> groups,
+              const ModelRegistry* registry);
+
+  // Parses, compiles and runs `sql` against `source`.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const SegmentSource& source) const;
+  Result<QueryResult> Execute(const Query& ast,
+                              const SegmentSource& source) const;
+
+  // Renders the compiled plan of `ast`: view, push-down predicates (Gids,
+  // time range, value range), per-series filters, grouping and rollup.
+  // Also reachable through SQL as `EXPLAIN SELECT ...`.
+  Result<std::string> Explain(const Query& ast) const;
+
+  // Distributed building blocks.
+  Result<CompiledQuery> Compile(const Query& ast) const;
+  Result<PartialResult> ExecutePartial(const CompiledQuery& compiled,
+                                       const SegmentSource& source) const;
+  Result<QueryResult> MergeFinalize(const CompiledQuery& compiled,
+                                    std::vector<PartialResult> partials) const;
+
+  const std::vector<TimeSeriesGroup>& groups() const { return groups_; }
+  Gid GidOf(Tid tid) const { return gid_of_[tid - 1]; }
+
+ private:
+  // Resolves a dimension column name ("Park" or "Location.Park" /
+  // "Location_Park") to (dimension index, level).
+  Result<std::pair<int, int>> ResolveDimensionColumn(
+      const std::string& name) const;
+
+  Result<PartialResult> SegmentViewPartial(const CompiledQuery& compiled,
+                                           const SegmentSource& source) const;
+  Result<PartialResult> DataPointViewPartial(const CompiledQuery& compiled,
+                                             const SegmentSource& source) const;
+
+  // Positions (and Tids) of a segment's represented, selected series.
+  struct SelectedSeries {
+    Tid tid;
+    int column;      // Decoder column.
+    double scaling;  // Applied as value / scaling during iterate (§6.1).
+  };
+  std::vector<SelectedSeries> SelectSeries(const CompiledQuery& compiled,
+                                           const Segment& segment) const;
+
+  std::vector<Cell> KeyFor(const CompiledQuery& compiled, Tid tid) const;
+
+  const TimeSeriesCatalog* catalog_;
+  std::vector<TimeSeriesGroup> groups_;     // Indexed gid-1.
+  std::vector<Gid> gid_of_;                 // Indexed tid-1.
+  const ModelRegistry* registry_;
+};
+
+}  // namespace query
+}  // namespace modelardb
+
+#endif  // MODELARDB_QUERY_ENGINE_H_

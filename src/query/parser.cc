@@ -1,0 +1,440 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace modelardb {
+namespace query {
+namespace {
+
+const char* AggregateNames[] = {"COUNT", "MIN", "MAX", "SUM", "AVG"};
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < sql_.size()) {
+      char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < sql_.size() &&
+               (std::isalnum(static_cast<unsigned char>(sql_[i])) ||
+                sql_[i] == '_' || sql_[i] == '.')) {
+          ++i;
+        }
+        tokens.push_back({Token::Kind::kIdent, sql_.substr(start, i - start)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[i + 1])))) {
+        size_t start = i;
+        ++i;
+        while (i < sql_.size() &&
+               (std::isdigit(static_cast<unsigned char>(sql_[i])) ||
+                sql_[i] == '.')) {
+          ++i;
+        }
+        tokens.push_back({Token::Kind::kNumber, sql_.substr(start, i - start)});
+        continue;
+      }
+      if (c == '\'') {
+        size_t end = sql_.find('\'', i + 1);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        tokens.push_back(
+            {Token::Kind::kString, sql_.substr(i + 1, end - i - 1)});
+        i = end + 1;
+        continue;
+      }
+      if (c == '<' || c == '>') {
+        if (i + 1 < sql_.size() && sql_[i + 1] == '=') {
+          tokens.push_back({Token::Kind::kSymbol, sql_.substr(i, 2)});
+          i += 2;
+        } else {
+          tokens.push_back({Token::Kind::kSymbol, std::string(1, c)});
+          ++i;
+        }
+        continue;
+      }
+      if (c == '=' || c == ',' || c == '(' || c == ')' || c == '*') {
+        tokens.push_back({Token::Kind::kSymbol, std::string(1, c)});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in query");
+    }
+    tokens.push_back({Token::Kind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& sql_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    if (ConsumeKeyword("EXPLAIN")) q.explain = true;
+    MODELARDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    do {
+      MODELARDB_RETURN_NOT_OK(ParseSelectItem(&q));
+    } while (ConsumeSymbol(","));
+    MODELARDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    MODELARDB_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    if (EqualsIgnoreCase(table, "Segment")) {
+      q.view = View::kSegment;
+    } else if (EqualsIgnoreCase(table, "DataPoint")) {
+      q.view = View::kDataPoint;
+    } else {
+      return Status::InvalidArgument("unknown view: " + table +
+                                     " (expected Segment or DataPoint)");
+    }
+    if (ConsumeKeyword("WHERE")) {
+      do {
+        MODELARDB_RETURN_NOT_OK(ParsePredicate(&q));
+      } while (ConsumeKeyword("AND"));
+    }
+    if (ConsumeKeyword("GROUP")) {
+      MODELARDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        MODELARDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        q.group_by.push_back(col);
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeKeyword("ORDER")) {
+      MODELARDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      OrderBy order;
+      MODELARDB_ASSIGN_OR_RETURN(order.column, ExpectIdent());
+      if (ConsumeKeyword("DESC")) {
+        order.descending = true;
+      } else {
+        ConsumeKeyword("ASC");
+      }
+      q.order_by = order;
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      MODELARDB_ASSIGN_OR_RETURN(std::string n, ExpectNumber());
+      MODELARDB_ASSIGN_OR_RETURN(q.limit, ParseInt64(n));
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing token: " +
+                                     Peek().text);
+    }
+    MODELARDB_RETURN_NOT_OK(Validate(q));
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeSymbol(const std::string& s) {
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (Peek().kind == Token::Kind::kIdent &&
+        EqualsIgnoreCase(Peek().text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " near '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Next().text;
+  }
+
+  Result<std::string> ExpectNumber() {
+    if (Peek().kind != Token::Kind::kNumber) {
+      return Status::InvalidArgument("expected number near '" + Peek().text +
+                                     "'");
+    }
+    return Next().text;
+  }
+
+  // Recognizes COUNT/.../AVG, the _S variants and CUBE_<AGG>_<LEVEL>.
+  static bool ParseAggregateName(const std::string& name,
+                                 SelectItem* item) {
+    std::string upper = ToUpper(name);
+    std::string base = upper;
+    if (StartsWith(upper, "CUBE_")) {
+      // CUBE_<AGG>_<LEVEL>.
+      std::string rest = upper.substr(5);
+      size_t underscore = rest.rfind('_');
+      if (underscore == std::string::npos) return false;
+      std::string agg = rest.substr(0, underscore);
+      std::string level = rest.substr(underscore + 1);
+      for (int i = 0; i < 5; ++i) {
+        if (agg == AggregateNames[i]) {
+          Result<TimeLevel> parsed = ParseTimeLevel(level);
+          if (!parsed.ok()) return false;
+          item->kind = SelectItem::Kind::kCubeAggregate;
+          item->aggregate = static_cast<AggregateFunction>(i);
+          item->cube_level = *parsed;
+          return true;
+        }
+      }
+      return false;
+    }
+    if (EndsWith(upper, "_S")) base = upper.substr(0, upper.size() - 2);
+    for (int i = 0; i < 5; ++i) {
+      if (base == AggregateNames[i]) {
+        item->kind = SelectItem::Kind::kAggregate;
+        item->aggregate = static_cast<AggregateFunction>(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status ParseSelectItem(Query* q) {
+    if (ConsumeSymbol("*")) {
+      q->select.push_back({SelectItem::Kind::kStar, "", {}, {}, "*"});
+      return Status::OK();
+    }
+    MODELARDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    SelectItem item;
+    if (ConsumeSymbol("(")) {
+      if (!ParseAggregateName(name, &item)) {
+        return Status::InvalidArgument("unknown aggregate function: " + name);
+      }
+      // Argument: '*' or a column name (ignored: only Value aggregates).
+      if (!ConsumeSymbol("*")) {
+        MODELARDB_RETURN_NOT_OK(ExpectIdent().status());
+      }
+      if (!ConsumeSymbol(")")) {
+        return Status::InvalidArgument("expected ')' after aggregate");
+      }
+      item.display = ToUpper(name) + "(*)";
+    } else {
+      item.kind = SelectItem::Kind::kColumn;
+      item.column = name;
+      item.display = name;
+    }
+    q->select.push_back(std::move(item));
+    return Status::OK();
+  }
+
+  Result<Timestamp> ParseTimeValue() {
+    if (Peek().kind == Token::Kind::kNumber) {
+      MODELARDB_ASSIGN_OR_RETURN(int64_t v, ParseInt64(Next().text));
+      return v;
+    }
+    if (Peek().kind == Token::Kind::kString) {
+      return ParseTimeLiteral(Next().text);
+    }
+    return Status::InvalidArgument("expected time literal near '" +
+                                   Peek().text + "'");
+  }
+
+  Status ParsePredicate(Query* q) {
+    MODELARDB_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+    bool is_tid = EqualsIgnoreCase(column, "Tid");
+    bool is_time = EqualsIgnoreCase(column, "TS") ||
+                   EqualsIgnoreCase(column, "StartTime") ||
+                   EqualsIgnoreCase(column, "EndTime");
+    bool is_value = EqualsIgnoreCase(column, "Value");
+    if (is_tid) {
+      Predicate pred;
+      if (ConsumeSymbol("=")) {
+        pred.kind = Predicate::Kind::kTidEquals;
+        MODELARDB_ASSIGN_OR_RETURN(std::string n, ExpectNumber());
+        MODELARDB_ASSIGN_OR_RETURN(int64_t tid, ParseInt64(n));
+        pred.tids = {static_cast<Tid>(tid)};
+      } else if (ConsumeKeyword("IN")) {
+        pred.kind = Predicate::Kind::kTidIn;
+        if (!ConsumeSymbol("(")) {
+          return Status::InvalidArgument("expected '(' after IN");
+        }
+        do {
+          MODELARDB_ASSIGN_OR_RETURN(std::string n, ExpectNumber());
+          MODELARDB_ASSIGN_OR_RETURN(int64_t tid, ParseInt64(n));
+          pred.tids.push_back(static_cast<Tid>(tid));
+        } while (ConsumeSymbol(","));
+        if (!ConsumeSymbol(")")) {
+          return Status::InvalidArgument("expected ')' after IN list");
+        }
+      } else {
+        return Status::InvalidArgument("expected '=' or IN after Tid");
+      }
+      q->where.push_back(std::move(pred));
+      return Status::OK();
+    }
+    if (is_time) {
+      Predicate pred;
+      pred.kind = Predicate::Kind::kTimeRange;
+      if (ConsumeKeyword("BETWEEN")) {
+        MODELARDB_ASSIGN_OR_RETURN(pred.min_time, ParseTimeValue());
+        MODELARDB_RETURN_NOT_OK(ExpectKeyword("AND"));
+        MODELARDB_ASSIGN_OR_RETURN(pred.max_time, ParseTimeValue());
+      } else if (ConsumeSymbol("=")) {
+        MODELARDB_ASSIGN_OR_RETURN(Timestamp t, ParseTimeValue());
+        pred.min_time = t;
+        pred.max_time = t;
+      } else if (ConsumeSymbol(">=")) {
+        MODELARDB_ASSIGN_OR_RETURN(pred.min_time, ParseTimeValue());
+      } else if (ConsumeSymbol(">")) {
+        MODELARDB_ASSIGN_OR_RETURN(Timestamp t, ParseTimeValue());
+        pred.min_time = t + 1;
+      } else if (ConsumeSymbol("<=")) {
+        MODELARDB_ASSIGN_OR_RETURN(pred.max_time, ParseTimeValue());
+      } else if (ConsumeSymbol("<")) {
+        MODELARDB_ASSIGN_OR_RETURN(Timestamp t, ParseTimeValue());
+        pred.max_time = t - 1;
+      } else {
+        return Status::InvalidArgument("expected comparison after " + column);
+      }
+      q->where.push_back(std::move(pred));
+      return Status::OK();
+    }
+    if (is_value) {
+      // Value predicates are pruned with per-segment min/max statistics
+      // during execution (the model-exploiting index of the paper's
+      // future work).
+      Predicate pred;
+      pred.kind = Predicate::Kind::kValueRange;
+      auto number = [this]() -> Result<double> {
+        MODELARDB_ASSIGN_OR_RETURN(std::string n, ExpectNumber());
+        return ParseDouble(n);
+      };
+      if (ConsumeKeyword("BETWEEN")) {
+        MODELARDB_ASSIGN_OR_RETURN(pred.min_value, number());
+        MODELARDB_RETURN_NOT_OK(ExpectKeyword("AND"));
+        MODELARDB_ASSIGN_OR_RETURN(pred.max_value, number());
+      } else if (ConsumeSymbol("=")) {
+        MODELARDB_ASSIGN_OR_RETURN(double v, number());
+        pred.min_value = v;
+        pred.max_value = v;
+      } else if (ConsumeSymbol(">=")) {
+        MODELARDB_ASSIGN_OR_RETURN(pred.min_value, number());
+      } else if (ConsumeSymbol(">")) {
+        MODELARDB_ASSIGN_OR_RETURN(double v, number());
+        pred.min_value =
+            std::nextafter(v, std::numeric_limits<double>::infinity());
+      } else if (ConsumeSymbol("<=")) {
+        MODELARDB_ASSIGN_OR_RETURN(pred.max_value, number());
+      } else if (ConsumeSymbol("<")) {
+        MODELARDB_ASSIGN_OR_RETURN(double v, number());
+        pred.max_value =
+            std::nextafter(v, -std::numeric_limits<double>::infinity());
+      } else {
+        return Status::InvalidArgument("expected comparison after Value");
+      }
+      q->where.push_back(std::move(pred));
+      return Status::OK();
+    }
+    // Dimension member predicate: <column> = 'member'.
+    if (!ConsumeSymbol("=")) {
+      return Status::InvalidArgument("expected '=' after column " + column);
+    }
+    if (Peek().kind != Token::Kind::kString) {
+      return Status::InvalidArgument("expected string literal for dimension " +
+                                     column);
+    }
+    Predicate pred;
+    pred.kind = Predicate::Kind::kMemberEquals;
+    pred.column = column;
+    pred.member = Next().text;
+    q->where.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  static Status Validate(const Query& q) {
+    bool has_agg = q.HasAggregates();
+    for (const SelectItem& item : q.select) {
+      if (q.view == View::kDataPoint &&
+          (item.kind == SelectItem::Kind::kCubeAggregate)) {
+        return Status::InvalidArgument(
+            "CUBE_ aggregates require the Segment view");
+      }
+      if (has_agg && item.kind == SelectItem::Kind::kColumn) {
+        bool grouped = false;
+        for (const std::string& g : q.group_by) {
+          if (EqualsIgnoreCase(g, item.column)) grouped = true;
+        }
+        if (!grouped) {
+          return Status::InvalidArgument("column " + item.column +
+                                         " must appear in GROUP BY");
+        }
+      }
+      if (has_agg && item.kind == SelectItem::Kind::kStar) {
+        return Status::InvalidArgument(
+            "'*' cannot be mixed with aggregates");
+      }
+    }
+    if (!has_agg && !q.group_by.empty()) {
+      return Status::InvalidArgument("GROUP BY requires aggregates");
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* AggregateFunctionName(AggregateFunction fn) {
+  return AggregateNames[static_cast<int>(fn)];
+}
+
+Result<Timestamp> ParseTimeLiteral(const std::string& text) {
+  // Integer milliseconds?
+  Result<int64_t> as_int = ParseInt64(text);
+  if (as_int.ok()) return *as_int;
+  CivilTime c{1970, 1, 1, 0, 0, 0, 0};
+  int matched = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &c.year,
+                            &c.month, &c.day, &c.hour, &c.minute, &c.second);
+  if (matched >= 3) return FromCivil(c);
+  return Status::InvalidArgument("cannot parse time literal: " + text);
+}
+
+Result<Query> ParseQuery(const std::string& sql) {
+  Lexer lexer(sql);
+  MODELARDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace query
+}  // namespace modelardb

@@ -1,0 +1,39 @@
+// Recursive-descent parser for ModelarDB++'s SQL subset (§6.1).
+//
+// Grammar (case-insensitive keywords):
+//   query     := SELECT select (',' select)* FROM table
+//                [WHERE pred (AND pred)*]
+//                [GROUP BY ident (',' ident)*]
+//                [ORDER BY ident [ASC|DESC]] [LIMIT int]
+//   table     := 'Segment' | 'DataPoint'
+//   select    := '*' | ident | aggname '(' ('*' | ident) ')'
+//   aggname   := COUNT|MIN|MAX|SUM|AVG            (Data Point View)
+//              | COUNT_S|MIN_S|MAX_S|SUM_S|AVG_S  (Segment View)
+//              | CUBE_<AGG>_<LEVEL>               (Segment View, Alg 6)
+//   pred      := Tid '=' int | Tid IN '(' int (',' int)* ')'
+//              | ts_col op time | ts_col BETWEEN time AND time
+//              | ident '=' string
+//   ts_col    := TS | StartTime | EndTime
+//   time      := integer milliseconds | 'YYYY-MM-DD[ HH:MM[:SS]]'
+
+#ifndef MODELARDB_QUERY_PARSER_H_
+#define MODELARDB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace modelardb {
+namespace query {
+
+Result<Query> ParseQuery(const std::string& sql);
+
+// Parses a time literal: integer epoch-milliseconds or an ISO-ish date
+// string "YYYY-MM-DD[ HH:MM[:SS]]". Exposed for tests and tools.
+Result<Timestamp> ParseTimeLiteral(const std::string& text);
+
+}  // namespace query
+}  // namespace modelardb
+
+#endif  // MODELARDB_QUERY_PARSER_H_

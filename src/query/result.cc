@@ -1,0 +1,66 @@
+#include "query/result.h"
+
+#include <cstdio>
+
+namespace modelardb {
+namespace query {
+
+std::string CellToString(const Cell& cell) {
+  if (std::holds_alternative<int64_t>(cell)) {
+    return std::to_string(std::get<int64_t>(cell));
+  }
+  if (std::holds_alternative<double>(cell)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(cell));
+    return buf;
+  }
+  return std::get<std::string>(cell);
+}
+
+bool CellLess(const Cell& a, const Cell& b) {
+  if (a.index() != b.index()) return a.index() < b.index();
+  if (std::holds_alternative<int64_t>(a)) {
+    return std::get<int64_t>(a) < std::get<int64_t>(b);
+  }
+  if (std::holds_alternative<double>(a)) {
+    return std::get<double>(a) < std::get<double>(b);
+  }
+  return std::get<std::string>(a) < std::get<std::string>(b);
+}
+
+std::string QueryResult::ToString() const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    for (size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(CellToString(row[c]));
+      if (c < widths.size()) {
+        widths[c] = std::max(widths[c], cells.back().size());
+      }
+    }
+    rendered.push_back(std::move(cells));
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    out += "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  append_row(columns);
+  out += "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& cells : rendered) append_row(cells);
+  return out;
+}
+
+}  // namespace query
+}  // namespace modelardb

@@ -1,0 +1,35 @@
+// Tabular query results.
+
+#ifndef MODELARDB_QUERY_RESULT_H_
+#define MODELARDB_QUERY_RESULT_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.h"
+
+namespace modelardb {
+namespace query {
+
+// A result cell: integer (Tid, timestamps, buckets), double (aggregates,
+// values) or string (dimension members).
+using Cell = std::variant<int64_t, double, std::string>;
+
+std::string CellToString(const Cell& cell);
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Cell>> rows;
+
+  // Renders an aligned ASCII table (examples and the CLI use this).
+  std::string ToString() const;
+};
+
+// Ordering used by ORDER BY and for deterministic result comparison.
+bool CellLess(const Cell& a, const Cell& b);
+
+}  // namespace query
+}  // namespace modelardb
+
+#endif  // MODELARDB_QUERY_RESULT_H_

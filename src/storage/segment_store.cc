@@ -1,0 +1,208 @@
+#include "storage/segment_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/buffer.h"
+
+namespace modelardb {
+namespace {
+
+constexpr uint32_t kBlockMagic = 0x4d444253;  // "MDBS"
+
+}  // namespace
+
+SegmentStore::SegmentStore(SegmentStoreOptions options)
+    : options_(std::move(options)) {
+  if (!options_.directory.empty()) {
+    log_path_ = options_.directory + "/segments.log";
+  }
+}
+
+SegmentStore::~SegmentStore() {
+  // Best effort: persist whatever is still buffered.
+  if (!write_buffer_.empty()) Flush().ok();
+}
+
+Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
+    const SegmentStoreOptions& options) {
+  std::unique_ptr<SegmentStore> store(new SegmentStore(options));
+  if (!options.directory.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.directory, ec);
+    if (ec) {
+      return Status::IOError("cannot create directory " + options.directory +
+                             ": " + ec.message());
+    }
+    MODELARDB_RETURN_NOT_OK(store->ReplayLog());
+  }
+  return store;
+}
+
+Status SegmentStore::ReplayLog() {
+  std::ifstream in(log_path_, std::ios::binary);
+  if (!in.is_open()) return Status::OK();  // Fresh store.
+  std::vector<uint8_t> file((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  disk_bytes_ = static_cast<int64_t>(file.size());
+  BufferReader reader(file);
+  while (!reader.exhausted()) {
+    MODELARDB_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+    if (magic != kBlockMagic) {
+      return Status::Corruption("bad block magic in " + log_path_);
+    }
+    MODELARDB_ASSIGN_OR_RETURN(uint32_t length, reader.ReadU32());
+    if (length > reader.remaining()) {
+      return Status::Corruption("truncated block in " + log_path_);
+    }
+    BufferReader block(file.data() + reader.position(), length);
+    MODELARDB_ASSIGN_OR_RETURN(uint64_t count, block.ReadVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      MODELARDB_ASSIGN_OR_RETURN(Segment segment,
+                                 Segment::Deserialize(&block));
+      index_[segment.gid].push_back(std::move(segment));
+      ++num_segments_;
+    }
+    MODELARDB_RETURN_NOT_OK(reader.Skip(length));
+  }
+  for (auto& [gid, segments] : index_) {
+    std::sort(segments.begin(), segments.end(),
+              [](const Segment& a, const Segment& b) {
+                return std::tie(a.end_time, a.gap_mask) <
+                       std::tie(b.end_time, b.gap_mask);
+              });
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::Put(const Segment& segment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PutLocked(segment);
+}
+
+Status SegmentStore::PutLocked(const Segment& segment) {
+  auto& segments = index_[segment.gid];
+  // Common case: appends arrive in end_time order per group.
+  if (!segments.empty() &&
+      std::tie(segments.back().end_time, segments.back().gap_mask) >
+          std::tie(segment.end_time, segment.gap_mask)) {
+    auto it = std::upper_bound(
+        segments.begin(), segments.end(), segment,
+        [](const Segment& a, const Segment& b) {
+          return std::tie(a.end_time, a.gap_mask) <
+                 std::tie(b.end_time, b.gap_mask);
+        });
+    segments.insert(it, segment);
+  } else {
+    segments.push_back(segment);
+  }
+  ++num_segments_;
+  if (!log_path_.empty()) {
+    write_buffer_.push_back(segment);
+    if (write_buffer_.size() >= options_.bulk_write_size) {
+      MODELARDB_RETURN_NOT_OK(FlushLocked());
+    }
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::PutBatch(const std::vector<Segment>& segments) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Segment& segment : segments) {
+    MODELARDB_RETURN_NOT_OK(PutLocked(segment));
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::WriteBlock(const std::vector<Segment>& segments) {
+  BufferWriter payload;
+  payload.WriteVarint(segments.size());
+  for (const Segment& segment : segments) segment.SerializeTo(&payload);
+  BufferWriter header;
+  header.WriteU32(kBlockMagic);
+  header.WriteU32(static_cast<uint32_t>(payload.size()));
+
+  std::ofstream out(log_path_, std::ios::binary | std::ios::app);
+  if (!out.is_open()) return Status::IOError("cannot open " + log_path_);
+  out.write(reinterpret_cast<const char*>(header.bytes().data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(payload.bytes().data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out.good()) return Status::IOError("write failed: " + log_path_);
+  disk_bytes_ += static_cast<int64_t>(header.size() + payload.size());
+  return Status::OK();
+}
+
+Status SegmentStore::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FlushLocked();
+}
+
+Status SegmentStore::FlushLocked() {
+  if (log_path_.empty() || write_buffer_.empty()) return Status::OK();
+  MODELARDB_RETURN_NOT_OK(WriteBlock(write_buffer_));
+  write_buffer_.clear();
+  return Status::OK();
+}
+
+Status SegmentStore::Scan(
+    const SegmentFilter& filter,
+    const std::function<Status(const Segment&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto scan_group = [&](const std::vector<Segment>& segments) -> Status {
+    // Clustering on end_time: binary search to the first candidate.
+    auto it = std::lower_bound(
+        segments.begin(), segments.end(), filter.min_time,
+        [](const Segment& s, Timestamp t) { return s.end_time < t; });
+    for (; it != segments.end(); ++it) {
+      if (it->start_time > filter.max_time) {
+        // start_time is not monotone in end_time order when segment
+        // lengths vary, so keep scanning; the filter check handles it.
+        continue;
+      }
+      if (filter.Matches(*it)) {
+        MODELARDB_RETURN_NOT_OK(fn(*it));
+      }
+    }
+    return Status::OK();
+  };
+  if (filter.gids.empty()) {
+    for (const auto& [gid, segments] : index_) {
+      MODELARDB_RETURN_NOT_OK(scan_group(segments));
+    }
+  } else {
+    for (Gid gid : filter.gids) {
+      auto it = index_.find(gid);
+      if (it != index_.end()) {
+        MODELARDB_RETURN_NOT_OK(scan_group(it->second));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Segment> SegmentStore::GetSegments(Gid gid, Timestamp min_time,
+                                               Timestamp max_time) const {
+  std::vector<Segment> out;
+  SegmentFilter filter;
+  filter.gids = {gid};
+  filter.min_time = min_time;
+  filter.max_time = max_time;
+  Scan(filter, [&out](const Segment& segment) {
+    out.push_back(segment);
+    return Status::OK();
+  }).ok();
+  return out;
+}
+
+std::vector<Gid> SegmentStore::Gids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Gid> out;
+  out.reserve(index_.size());
+  for (const auto& [gid, segments] : index_) out.push_back(gid);
+  return out;
+}
+
+}  // namespace modelardb

@@ -1,0 +1,60 @@
+#include "util/bits.h"
+
+namespace modelardb {
+
+void BitWriter::WriteBits(uint64_t bits, int num_bits) {
+  if (num_bits <= 0) return;
+  if (num_bits < 64) bits &= (uint64_t{1} << num_bits) - 1;
+  int remaining = num_bits;
+  while (remaining > 0) {
+    size_t bit_in_byte = bit_count_ % 8;
+    if (bit_in_byte == 0) bytes_.push_back(0);
+    int space = static_cast<int>(8 - bit_in_byte);
+    int take = remaining < space ? remaining : space;
+    uint64_t chunk = (bits >> (remaining - take)) & ((uint64_t{1} << take) - 1);
+    bytes_.back() |= static_cast<uint8_t>(chunk << (space - take));
+    bit_count_ += take;
+    remaining -= take;
+  }
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  return std::move(bytes_);
+}
+
+uint64_t BitReader::ReadBits(int num_bits) {
+  if (num_bits <= 0) return 0;
+  uint64_t out = 0;
+  int remaining = num_bits;
+  while (remaining > 0) {
+    if (pos_ >= size_bits_) {
+      // Past the end: behave as if padded with zero bits.
+      out <<= remaining;
+      pos_ += remaining;
+      break;
+    }
+    size_t byte_index = pos_ / 8;
+    size_t bit_in_byte = pos_ % 8;
+    int avail = static_cast<int>(8 - bit_in_byte);
+    int take = remaining < avail ? remaining : avail;
+    uint8_t byte = data_[byte_index];
+    uint8_t chunk =
+        static_cast<uint8_t>(byte >> (avail - take)) & ((1u << take) - 1);
+    out = (out << take) | chunk;
+    pos_ += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+int CountLeadingZeros64(uint64_t x) {
+  if (x == 0) return 64;
+  return __builtin_clzll(x);
+}
+
+int CountTrailingZeros64(uint64_t x) {
+  if (x == 0) return 64;
+  return __builtin_ctzll(x);
+}
+
+}  // namespace modelardb

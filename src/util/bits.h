@@ -1,0 +1,96 @@
+// Bit-granular writer/reader used by the Gorilla model and the storage
+// formats. Bits are written MSB-first within each byte, matching the layout
+// described in the Gorilla paper (Pelkonen et al., VLDB 2015).
+
+#ifndef MODELARDB_UTIL_BITS_H_
+#define MODELARDB_UTIL_BITS_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace modelardb {
+
+// Appends bit fields to a growable byte buffer, MSB-first.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Appends the lowest `num_bits` bits of `bits` (num_bits in [0, 64]).
+  void WriteBits(uint64_t bits, int num_bits);
+
+  // Appends a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  // Number of bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+  // Pads the final partial byte with zero bits and returns the buffer.
+  std::vector<uint8_t> Finish();
+
+  // Current size in whole bytes (rounded up), without finishing.
+  size_t SizeBytes() const { return (bit_count_ + 7) / 8; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_count_ = 0;
+};
+
+// Reads bit fields from a byte buffer produced by BitWriter.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+  explicit BitReader(const std::vector<uint8_t>& data)
+      : BitReader(data.data(), data.size()) {}
+  // The reader borrows the buffer; constructing from a temporary would
+  // dangle immediately.
+  explicit BitReader(std::vector<uint8_t>&&) = delete;
+
+  // Reads `num_bits` bits (in [0, 64]); returns them right-aligned.
+  // Reading past the end returns zero bits (callers track logical length).
+  uint64_t ReadBits(int num_bits);
+
+  bool ReadBit() { return ReadBits(1) != 0; }
+
+  size_t position_bits() const { return pos_; }
+  bool exhausted() const { return pos_ >= size_bits_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+};
+
+// Returns the number of leading zeros of `x` (64 for x == 0).
+int CountLeadingZeros64(uint64_t x);
+
+// Returns the number of trailing zeros of `x` (64 for x == 0).
+int CountTrailingZeros64(uint64_t x);
+
+// Bit casts between float and its IEEE-754 representation.
+inline uint32_t FloatToBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+inline float BitsToFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+inline uint64_t DoubleToBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+inline double BitsToDouble(uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_BITS_H_

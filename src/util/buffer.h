@@ -1,0 +1,181 @@
+// Byte-granular buffer writer/reader with fixed-width and varint encodings.
+// Used by the storage formats to serialize segments and data-point blocks.
+
+#ifndef MODELARDB_UTIL_BUFFER_H_
+#define MODELARDB_UTIL_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace modelardb {
+
+// Encodes a signed integer into the unsigned zig-zag representation so that
+// small magnitudes (of either sign) varint-encode into few bytes.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t u) {
+  return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+}
+
+// Appends little-endian fixed-width and LEB128 varint values to a buffer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU16(uint16_t v) { WriteFixed(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { WriteFixed(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteFixed(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteFixed(&v, sizeof(v)); }
+  void WriteFloat(float v) { WriteFixed(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteFixed(&v, sizeof(v)); }
+
+  // LEB128 unsigned varint (1-10 bytes).
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(v));
+  }
+
+  // Zig-zag varint for signed integers.
+  void WriteSignedVarint(int64_t v) { WriteVarint(ZigZagEncode(v)); }
+
+  // Length-prefixed byte string.
+  void WriteBytes(const uint8_t* data, size_t size) {
+    WriteVarint(size);
+    bytes_.insert(bytes_.end(), data, data + size);
+  }
+  void WriteBytes(const std::vector<uint8_t>& data) {
+    WriteBytes(data.data(), data.size());
+  }
+  void WriteString(const std::string& s) {
+    WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  // Raw bytes without a length prefix.
+  void WriteRaw(const uint8_t* data, size_t size) {
+    bytes_.insert(bytes_.end(), data, data + size);
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Finish() { return std::move(bytes_); }
+
+ private:
+  void WriteFixed(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+// Reads values written by BufferWriter. Read methods return OutOfRange when
+// the buffer is exhausted so corrupt inputs are detected, not crashed on.
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BufferReader(const std::vector<uint8_t>& data)
+      : BufferReader(data.data(), data.size()) {}
+
+  Result<uint8_t> ReadU8() {
+    uint8_t v;
+    MODELARDB_RETURN_NOT_OK(ReadFixed(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint16_t> ReadU16() {
+    uint16_t v;
+    MODELARDB_RETURN_NOT_OK(ReadFixed(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint32_t> ReadU32() {
+    uint32_t v;
+    MODELARDB_RETURN_NOT_OK(ReadFixed(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> ReadU64() {
+    uint64_t v;
+    MODELARDB_RETURN_NOT_OK(ReadFixed(&v, sizeof(v)));
+    return v;
+  }
+  Result<int64_t> ReadI64() {
+    int64_t v;
+    MODELARDB_RETURN_NOT_OK(ReadFixed(&v, sizeof(v)));
+    return v;
+  }
+  Result<float> ReadFloat() {
+    float v;
+    MODELARDB_RETURN_NOT_OK(ReadFixed(&v, sizeof(v)));
+    return v;
+  }
+  Result<double> ReadDouble() {
+    double v;
+    MODELARDB_RETURN_NOT_OK(ReadFixed(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<uint64_t> ReadVarint() {
+    uint64_t out = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Status::OutOfRange("varint past end");
+      if (shift >= 64) return Status::Corruption("varint too long");
+      uint8_t b = data_[pos_++];
+      out |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return out;
+  }
+
+  Result<int64_t> ReadSignedVarint() {
+    MODELARDB_ASSIGN_OR_RETURN(uint64_t u, ReadVarint());
+    return ZigZagDecode(u);
+  }
+
+  Result<std::vector<uint8_t>> ReadBytes() {
+    MODELARDB_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (pos_ + n > size_) return Status::OutOfRange("bytes past end");
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<std::string> ReadString() {
+    MODELARDB_ASSIGN_OR_RETURN(std::vector<uint8_t> b, ReadBytes());
+    return std::string(b.begin(), b.end());
+  }
+
+  Status Skip(size_t n) {
+    if (pos_ + n > size_) return Status::OutOfRange("skip past end");
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  Status ReadFixed(void* p, size_t n) {
+    if (pos_ + n > size_) return Status::OutOfRange("read past end");
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_BUFFER_H_

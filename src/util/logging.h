@@ -1,0 +1,48 @@
+// Minimal leveled logger. Kept deliberately simple: the library's public API
+// reports errors through Status; logging exists for operational visibility
+// in the ingestion pipeline and cluster engine.
+
+#ifndef MODELARDB_UTIL_LOGGING_H_
+#define MODELARDB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace modelardb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets the minimum level that is emitted (default kWarn so tests are quiet).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace modelardb
+
+#define MODELARDB_LOG(level)                                   \
+  if (::modelardb::LogLevel::level < ::modelardb::GetLogLevel()) \
+    ;                                                          \
+  else                                                         \
+    ::modelardb::internal_logging::LogMessage(::modelardb::LogLevel::level)
+
+#endif  // MODELARDB_UTIL_LOGGING_H_

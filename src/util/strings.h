@@ -1,0 +1,37 @@
+// Small string helpers shared by the SQL parser, CSV reader and config code.
+
+#ifndef MODELARDB_UTIL_STRINGS_H_
+#define MODELARDB_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace modelardb {
+
+// Splits on `sep`; keeps empty fields.
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string TrimString(const std::string& s);
+
+std::string ToUpper(const std::string& s);
+std::string ToLower(const std::string& s);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+// Case-insensitive equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+Result<int64_t> ParseInt64(const std::string& s);
+Result<double> ParseDouble(const std::string& s);
+
+// Joins with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_STRINGS_H_

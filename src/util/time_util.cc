@@ -1,0 +1,179 @@
+#include "util/time_util.h"
+
+#include <cstdio>
+
+namespace modelardb {
+namespace {
+
+// Days from civil date; Howard Hinnant's public-domain algorithm.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);         // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;            // [0, 399]
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                              // [0, 11]
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);                  // [1, 31]
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));                       // [1, 12]
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+// Floored division/modulo so negative timestamps behave like pre-epoch time.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace
+
+Result<TimeLevel> ParseTimeLevel(const std::string& name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) upper.push_back(static_cast<char>(::toupper(c)));
+  if (upper == "SECOND") return TimeLevel::kSecond;
+  if (upper == "MINUTE") return TimeLevel::kMinute;
+  if (upper == "HOUR") return TimeLevel::kHour;
+  if (upper == "DAY") return TimeLevel::kDay;
+  if (upper == "MONTH") return TimeLevel::kMonth;
+  if (upper == "YEAR") return TimeLevel::kYear;
+  return Status::InvalidArgument("unknown time level: " + name);
+}
+
+const char* TimeLevelName(TimeLevel level) {
+  switch (level) {
+    case TimeLevel::kSecond:
+      return "SECOND";
+    case TimeLevel::kMinute:
+      return "MINUTE";
+    case TimeLevel::kHour:
+      return "HOUR";
+    case TimeLevel::kDay:
+      return "DAY";
+    case TimeLevel::kMonth:
+      return "MONTH";
+    case TimeLevel::kYear:
+      return "YEAR";
+  }
+  return "UNKNOWN";
+}
+
+CivilTime ToCivil(Timestamp ts) {
+  CivilTime c;
+  int64_t days = FloorDiv(ts, kMillisPerDay);
+  int64_t in_day = FloorMod(ts, kMillisPerDay);
+  CivilFromDays(days, &c.year, &c.month, &c.day);
+  c.hour = static_cast<int>(in_day / kMillisPerHour);
+  c.minute = static_cast<int>((in_day / kMillisPerMinute) % 60);
+  c.second = static_cast<int>((in_day / kMillisPerSecond) % 60);
+  c.millis = static_cast<int>(in_day % 1000);
+  return c;
+}
+
+Timestamp FromCivil(const CivilTime& c) {
+  int64_t days = DaysFromCivil(c.year, c.month, c.day);
+  return days * kMillisPerDay + c.hour * kMillisPerHour +
+         c.minute * kMillisPerMinute + c.second * kMillisPerSecond + c.millis;
+}
+
+Timestamp FloorToLevel(Timestamp ts, TimeLevel level) {
+  switch (level) {
+    case TimeLevel::kSecond:
+      return FloorDiv(ts, kMillisPerSecond) * kMillisPerSecond;
+    case TimeLevel::kMinute:
+      return FloorDiv(ts, kMillisPerMinute) * kMillisPerMinute;
+    case TimeLevel::kHour:
+      return FloorDiv(ts, kMillisPerHour) * kMillisPerHour;
+    case TimeLevel::kDay:
+      return FloorDiv(ts, kMillisPerDay) * kMillisPerDay;
+    case TimeLevel::kMonth: {
+      CivilTime c = ToCivil(ts);
+      return FromCivil({c.year, c.month, 1, 0, 0, 0, 0});
+    }
+    case TimeLevel::kYear: {
+      CivilTime c = ToCivil(ts);
+      return FromCivil({c.year, 1, 1, 0, 0, 0, 0});
+    }
+  }
+  return ts;
+}
+
+Timestamp CeilToLevel(Timestamp ts, TimeLevel level) {
+  return UpdateForLevel(FloorToLevel(ts, level), level);
+}
+
+Timestamp UpdateForLevel(Timestamp boundary, TimeLevel level) {
+  switch (level) {
+    case TimeLevel::kSecond:
+      return boundary + kMillisPerSecond;
+    case TimeLevel::kMinute:
+      return boundary + kMillisPerMinute;
+    case TimeLevel::kHour:
+      return boundary + kMillisPerHour;
+    case TimeLevel::kDay:
+      return boundary + kMillisPerDay;
+    case TimeLevel::kMonth: {
+      CivilTime c = ToCivil(boundary);
+      int month = c.month + 1;
+      int year = c.year;
+      if (month > 12) {
+        month = 1;
+        ++year;
+      }
+      return FromCivil({year, month, 1, 0, 0, 0, 0});
+    }
+    case TimeLevel::kYear: {
+      CivilTime c = ToCivil(boundary);
+      return FromCivil({c.year + 1, 1, 1, 0, 0, 0, 0});
+    }
+  }
+  return boundary;
+}
+
+int64_t TimeBucket(Timestamp ts, TimeLevel level) {
+  switch (level) {
+    case TimeLevel::kSecond:
+      return FloorDiv(ts, kMillisPerSecond);
+    case TimeLevel::kMinute:
+      return FloorDiv(ts, kMillisPerMinute);
+    case TimeLevel::kHour:
+      return FloorDiv(ts, kMillisPerHour);
+    case TimeLevel::kDay:
+      return FloorDiv(ts, kMillisPerDay);
+    case TimeLevel::kMonth: {
+      CivilTime c = ToCivil(ts);
+      return static_cast<int64_t>(c.year) * 12 + (c.month - 1);
+    }
+    case TimeLevel::kYear:
+      return ExtractYear(ts);
+  }
+  return 0;
+}
+
+int ExtractYear(Timestamp ts) { return ToCivil(ts).year; }
+int ExtractMonth(Timestamp ts) { return ToCivil(ts).month; }
+int ExtractDay(Timestamp ts) { return ToCivil(ts).day; }
+int ExtractHour(Timestamp ts) { return ToCivil(ts).hour; }
+int ExtractMinute(Timestamp ts) { return ToCivil(ts).minute; }
+
+std::string FormatTimestamp(Timestamp ts) {
+  CivilTime c = ToCivil(ts);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second, c.millis);
+  return buf;
+}
+
+}  // namespace modelardb

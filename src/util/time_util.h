@@ -1,0 +1,83 @@
+// Timestamp arithmetic and calendar helpers (UTC, proleptic Gregorian).
+//
+// Timestamps throughout ModelarDB++ are int64 milliseconds since the Unix
+// epoch. The time-dimension rollup of Algorithm 6 needs boundary arithmetic
+// at calendar levels (hour, day, month, ...) without a separate stored time
+// dimension; these helpers provide it.
+
+#ifndef MODELARDB_UTIL_TIME_UTIL_H_
+#define MODELARDB_UTIL_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace modelardb {
+
+using Timestamp = int64_t;  // Milliseconds since the Unix epoch (UTC).
+
+inline constexpr Timestamp kMillisPerSecond = 1000;
+inline constexpr Timestamp kMillisPerMinute = 60 * kMillisPerSecond;
+inline constexpr Timestamp kMillisPerHour = 60 * kMillisPerMinute;
+inline constexpr Timestamp kMillisPerDay = 24 * kMillisPerHour;
+
+// Calendar levels of the implicit time hierarchy used by CUBE_<AGG>_<LEVEL>.
+enum class TimeLevel {
+  kSecond,
+  kMinute,
+  kHour,
+  kDay,
+  kMonth,
+  kYear,
+};
+
+// Parses "HOUR"/"hour" etc. into a TimeLevel.
+Result<TimeLevel> ParseTimeLevel(const std::string& name);
+const char* TimeLevelName(TimeLevel level);
+
+// A civil (calendar) date-time in UTC.
+struct CivilTime {
+  int year;    // e.g. 2016
+  int month;   // 1-12
+  int day;     // 1-31
+  int hour;    // 0-23
+  int minute;  // 0-59
+  int second;  // 0-59
+  int millis;  // 0-999
+};
+
+// Converts a timestamp to its civil representation and back.
+CivilTime ToCivil(Timestamp ts);
+Timestamp FromCivil(const CivilTime& c);
+
+// Largest boundary of `level` that is <= ts.
+Timestamp FloorToLevel(Timestamp ts, TimeLevel level);
+
+// Smallest boundary of `level` that is strictly greater than ts. This is the
+// `ceilToLevel` of Algorithm 6: the next timestamp delimiting aggregation
+// intervals after a segment's start time.
+Timestamp CeilToLevel(Timestamp ts, TimeLevel level);
+
+// Given a boundary timestamp, returns the next boundary (Algorithm 6's
+// `updateForLevel`). Equivalent to CeilToLevel for boundary inputs.
+Timestamp UpdateForLevel(Timestamp boundary, TimeLevel level);
+
+// A stable integer identifying the `level` bucket that `ts` falls into
+// (e.g. hours since epoch for kHour, months since year 0 for kMonth). Used
+// as the GROUP BY key of time-dimension rollups.
+int64_t TimeBucket(Timestamp ts, TimeLevel level);
+
+// Date-part extraction (the capability the paper notes InfluxDB lacks).
+int ExtractYear(Timestamp ts);
+int ExtractMonth(Timestamp ts);   // 1-12
+int ExtractDay(Timestamp ts);     // 1-31
+int ExtractHour(Timestamp ts);    // 0-23
+int ExtractMinute(Timestamp ts);  // 0-59
+
+// Formats as "YYYY-MM-DD HH:MM:SS.mmm" for logs and test output.
+std::string FormatTimestamp(Timestamp ts);
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_TIME_UTIL_H_

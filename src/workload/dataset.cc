@@ -1,0 +1,325 @@
+#include "workload/dataset.h"
+
+#include <cmath>
+
+namespace modelardb {
+namespace workload {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic uniform [0, 1) from a seed and up to three coordinates.
+double Hash01(uint64_t seed, int64_t a, int64_t b = 0, int64_t c = 0) {
+  uint64_t h = Mix(seed ^ Mix(static_cast<uint64_t>(a) * 0x517cc1b727220a95ull)
+                   ^ Mix(static_cast<uint64_t>(b) * 0x2545f4914f6cdd1dull)
+                   ^ Mix(static_cast<uint64_t>(c) * 0x9e3779b97f4a7c15ull));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Piecewise-linear signal: random levels connected linearly, piece length
+// keyed by the signal id. Piecewise-smooth like energy production data:
+// long stretches fit PMC-Mean/Swing, transitions fall back to Gorilla.
+double PiecewiseSignal(uint64_t seed, int64_t signal_id, int64_t row,
+                       int64_t base_piece_len = 40, double amp = 60.0,
+                       double base_level = 100.0, double base_amp = 80.0) {
+  int64_t piece_len = base_piece_len +
+                      static_cast<int64_t>(Hash01(seed, signal_id, -1) *
+                                           base_piece_len);
+  int64_t piece = row / piece_len;
+  double frac = static_cast<double>(row % piece_len) /
+                static_cast<double>(piece_len);
+  double l0 = amp * (Hash01(seed, signal_id, piece) - 0.5) * 2.0;
+  double l1 = amp * (Hash01(seed, signal_id, piece + 1) - 0.5) * 2.0;
+  double base =
+      base_level + base_amp * (Hash01(seed, signal_id, -2) - 0.5) * 2.0;
+  return base + l0 + (l1 - l0) * frac;
+}
+
+// A zero-mean level that changes every `block_rows` sampling instants.
+double BlockyLevel(uint64_t seed, int64_t signal_id, int64_t row,
+                   int64_t block_rows, double amp) {
+  return amp * (Hash01(seed, signal_id, row / block_rows) - 0.5) * 2.0;
+}
+
+// Quantizes to a sensor resolution grid (high-frequency sensors report
+// discrete steps, which is why real EH data contains exact repeats).
+Value Quantize(double v, double step) {
+  return static_cast<Value>(std::round(v / step) * step);
+}
+
+}  // namespace
+
+SyntheticDataset SyntheticDataset::Ep(int entities, int64_t rows_per_series,
+                                      uint64_t seed) {
+  SyntheticDataset ds;
+  ds.spec_.kind = DatasetKind::kEp;
+  ds.spec_.entities = entities;
+  ds.spec_.rows_per_series = rows_per_series;
+  ds.spec_.seed = seed;
+  ds.spec_.start_time = FromCivil({2016, 1, 1, 0, 0, 0, 0});
+  ds.si_ = 60000;  // 60 s (§7.2).
+  ds.correlation_ = 1.0;
+  ds.noise_scale_ = 0.08;  // Strongly correlated within clusters.
+  ds.gap_probability_ = 0.02;
+
+  ds.catalog_ = std::make_unique<TimeSeriesCatalog>(std::vector<Dimension>{
+      Dimension("Production", {"Type", "Entity"}),
+      Dimension("Measure", {"Category", "Concrete"})});
+
+  struct SeriesKind {
+    const char* category;
+    const char* concrete;
+    double gain;
+    int cluster_slot;
+  };
+  // Four ProductionMWh measures per entity (one at a different magnitude,
+  // aligned by a scaling constant), plus temperature and wind speed.
+  const SeriesKind kinds[] = {
+      {"ProductionMWh", "ActivePower", 1.0, 0},
+      {"ProductionMWh", "ReactivePower", 0.25, 0},
+      {"ProductionMWh", "PowerSetpoint", 1.0, 0},
+      {"ProductionMWh", "PossiblePower", 1.0, 0},
+      {"Temperature", "NacelleTemp", 1.0, 1},
+      {"Wind", "WindSpeed", 1.0, 2},
+  };
+  Tid tid = 1;
+  for (int e = 0; e < entities; ++e) {
+    std::string entity = "E" + std::to_string(e);
+    std::string type = "Type" + std::to_string(e % 4);
+    for (const SeriesKind& kind : kinds) {
+      TimeSeriesMeta meta;
+      meta.tid = tid;
+      meta.si = ds.si_;
+      meta.scaling = 1.0 / kind.gain;
+      meta.source = entity + "_" + kind.concrete + ".gz";
+      meta.members = {{type, entity}, {kind.category, kind.concrete}};
+      ds.catalog_->AddSeries(meta).ok();
+      ds.cluster_of_.push_back(e * 8 + kind.cluster_slot);
+      ds.gain_of_.push_back(kind.gain);
+      ++tid;
+    }
+  }
+  return ds;
+}
+
+SyntheticDataset SyntheticDataset::Eh(int parks, int entities_per_park,
+                                      int64_t rows_per_series,
+                                      uint64_t seed) {
+  SyntheticDataset ds;
+  ds.spec_.kind = DatasetKind::kEh;
+  ds.spec_.parks = parks;
+  ds.spec_.entities = parks * entities_per_park;
+  ds.spec_.rows_per_series = rows_per_series;
+  ds.spec_.seed = seed;
+  ds.spec_.start_time = FromCivil({2016, 1, 1, 0, 0, 0, 0});
+  ds.si_ = 100;  // 100 ms (§7.2).
+  ds.correlation_ = 0.3;  // Much less correlated than EP (§7.3).
+  ds.noise_scale_ = 1.5;
+  ds.gap_probability_ = 0.01;
+
+  ds.catalog_ = std::make_unique<TimeSeriesCatalog>(std::vector<Dimension>{
+      Dimension("Location", {"Country", "Park", "Entity"}),
+      Dimension("Measure", {"Category", "Concrete"})});
+
+  struct SeriesKind {
+    const char* category;
+    const char* concrete;
+  };
+  const SeriesKind kinds[] = {
+      {"Energy", "ActivePower"},
+      {"Energy", "ReactivePower"},
+      {"Temperature", "NacelleTemp"},
+      {"Temperature", "GearTemp"},
+  };
+  Tid tid = 1;
+  for (int p = 0; p < parks; ++p) {
+    std::string park = "Park" + std::to_string(p);
+    for (int e = 0; e < entities_per_park; ++e) {
+      std::string entity = "P" + std::to_string(p) + "E" + std::to_string(e);
+      int kind_index = 0;
+      for (const SeriesKind& kind : kinds) {
+        TimeSeriesMeta meta;
+        meta.tid = tid;
+        meta.si = ds.si_;
+        meta.scaling = 1.0;
+        meta.source = entity + "_" + kind.concrete + ".gz";
+        meta.members = {{"Denmark", park, entity},
+                        {kind.category, kind.concrete}};
+        ds.catalog_->AddSeries(meta).ok();
+        // Weak-correlation clusters: same park and concrete measure (what
+        // the lowest-distance rule of thumb groups).
+        ds.cluster_of_.push_back(p * 8 + kind_index);
+        ds.gain_of_.push_back(1.0);
+        ++tid;
+        ++kind_index;
+      }
+    }
+  }
+  return ds;
+}
+
+PartitionHints SyntheticDataset::BestHints() const {
+  if (spec_.kind == DatasetKind::kEp) {
+    // §7.3: "Production 0, Measure 1 ProductionMWh" plus a scaling
+    // constant for the measure at a different magnitude.
+    auto hints = PartitionHints::Parse(
+        "modelardb.correlation = Production 0, Measure 1 ProductionMWh\n"
+        "modelardb.scaling = Measure 2 ReactivePower 4.0\n");
+    return *hints;
+  }
+  // §7.3 uses the lowest-distance rule of thumb for EH: (1/3)/2.
+  return DistanceHints(LowestDistance({3, 2}));
+}
+
+PartitionHints SyntheticDataset::DistanceHints(double threshold) const {
+  PartitionHints hints = PartitionHints::Distance(threshold);
+  if (spec_.kind == DatasetKind::kEp) {
+    // Keep EP's scaling rule so magnitude-shifted series stay aligned.
+    ScalingRule rule;
+    rule.dimension = "Measure";
+    rule.level = 2;
+    rule.member = "ReactivePower";
+    rule.factor = 4.0;
+    hints.scaling_rules.push_back(rule);
+  }
+  return hints;
+}
+
+int64_t SyntheticDataset::ClusterOf(Tid tid) const {
+  return cluster_of_[tid - 1];
+}
+
+double SyntheticDataset::GainOf(Tid tid) const { return gain_of_[tid - 1]; }
+
+Value SyntheticDataset::RawValue(Tid tid, int64_t row) const {
+  if (spec_.kind == DatasetKind::kEp) {
+    // EP: strongly correlated piecewise-smooth production signals,
+    // reported at SCADA sensor resolution (quantization produces the
+    // short constant runs PMC-Mean captures even at a 0% bound).
+    double shared = PiecewiseSignal(spec_.seed, ClusterOf(tid), row);
+    double noise =
+        noise_scale_ * (Hash01(spec_.seed, tid, row, 7) - 0.5) * 2.0;
+    return static_cast<Value>(
+        GainOf(tid) * static_cast<double>(Quantize(shared + noise, 0.25)));
+  }
+  // EH: high-frequency measurements hovering near zero with idle
+  // stretches (a relative error bound is nearly useless near zero, which
+  // is why the paper's EH barely compresses at low bounds), weak
+  // correlation across a cluster, quantized sensor resolution.
+  double shared = PiecewiseSignal(spec_.seed, ClusterOf(tid), row,
+                                  /*base_piece_len=*/1200, /*amp=*/45.0,
+                                  /*base_level=*/25.0, /*base_amp=*/15.0);
+  double own = BlockyLevel(spec_.seed ^ 0xabcdef, 1000000 + tid, row,
+                           /*block_rows=*/256, /*amp=*/3.0);
+  double jitter = BlockyLevel(spec_.seed ^ 0x5511, 2000000 + tid, row,
+                              /*block_rows=*/3, noise_scale_);
+  double value = shared + own + jitter;
+  // Idle clamp: below the cut-in threshold the sensor reports exactly 0;
+  // whole clusters go idle together (shared drives it), producing the
+  // long constant runs PMC-Mean captures even at a 0% bound.
+  if (shared < 12.0) return 0.0f;
+  return Quantize(value, 0.25);
+}
+
+bool SyntheticDataset::Present(Tid tid, int64_t row) const {
+  if (gap_probability_ <= 0.0) return true;
+  // Gaps come in blocks of 200 sampling instants (Definition 5/6).
+  int64_t block = row / 200;
+  return Hash01(spec_.seed, tid, block, 13) >= gap_probability_;
+}
+
+int64_t SyntheticDataset::CountDataPoints() const {
+  int64_t count = 0;
+  for (Tid tid = 1; tid <= num_series(); ++tid) {
+    for (int64_t block = 0; block * 200 < spec_.rows_per_series; ++block) {
+      int64_t block_rows =
+          std::min<int64_t>(200, spec_.rows_per_series - block * 200);
+      if (Present(tid, block * 200)) count += block_rows;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+// Source producing the rows of one group from the deterministic functions.
+class DatasetSource : public ingest::GroupRowSource {
+ public:
+  DatasetSource(const SyntheticDataset* dataset, TimeSeriesGroup group)
+      : dataset_(dataset), group_(std::move(group)) {
+    scalings_.reserve(group_.tids.size());
+    for (Tid tid : group_.tids) {
+      scalings_.push_back(dataset_->catalog().Get(tid).scaling);
+    }
+  }
+
+  Gid gid() const override { return group_.gid; }
+
+  Result<bool> Next(GroupRow* row) override {
+    if (next_row_ >= dataset_->rows_per_series()) return false;
+    row->timestamp = dataset_->TimestampAt(next_row_);
+    row->values.resize(group_.tids.size());
+    row->present.resize(group_.tids.size());
+    for (size_t i = 0; i < group_.tids.size(); ++i) {
+      Tid tid = group_.tids[i];
+      bool present = dataset_->Present(tid, next_row_);
+      row->present[i] = present;
+      // Stored value = raw value * scaling constant (§3.3).
+      row->values[i] =
+          present ? static_cast<Value>(dataset_->RawValue(tid, next_row_) *
+                                       scalings_[i])
+                  : 0.0f;
+    }
+    ++next_row_;
+    return true;
+  }
+
+ private:
+  const SyntheticDataset* dataset_;
+  TimeSeriesGroup group_;
+  std::vector<double> scalings_;
+  int64_t next_row_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<ingest::GroupRowSource>>
+SyntheticDataset::MakeSources(
+    const std::vector<TimeSeriesGroup>& groups) const {
+  std::vector<std::unique_ptr<ingest::GroupRowSource>> sources;
+  sources.reserve(groups.size());
+  for (const TimeSeriesGroup& group : groups) {
+    sources.push_back(std::make_unique<DatasetSource>(this, group));
+  }
+  return sources;
+}
+
+Status SyntheticDataset::ForEachDataPoint(
+    const std::function<Status(const DataPoint&)>& fn, bool row_major) const {
+  if (row_major) {
+    for (int64_t row = 0; row < spec_.rows_per_series; ++row) {
+      Timestamp ts = TimestampAt(row);
+      for (Tid tid = 1; tid <= num_series(); ++tid) {
+        if (!Present(tid, row)) continue;
+        MODELARDB_RETURN_NOT_OK(fn(DataPoint{tid, ts, RawValue(tid, row)}));
+      }
+    }
+  } else {
+    for (Tid tid = 1; tid <= num_series(); ++tid) {
+      for (int64_t row = 0; row < spec_.rows_per_series; ++row) {
+        if (!Present(tid, row)) continue;
+        MODELARDB_RETURN_NOT_OK(
+            fn(DataPoint{tid, TimestampAt(row), RawValue(tid, row)}));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace modelardb

@@ -1,0 +1,116 @@
+// Synthetic stand-ins for the paper's proprietary data sets (§7.2).
+//
+// The evaluation uses two real-life energy data sets that are not publicly
+// available:
+//   EP — 508 days of energy production at SI = 60 s, dimensions
+//        Production: Entity -> Type and Measure: Concrete -> Category,
+//        many series, strongly correlated within (entity, category);
+//   EH — high-frequency (SI = 100 ms) series, dimensions Location:
+//        Entity -> Park -> Country and Measure: Concrete -> Category,
+//        fewer/longer series, only weakly correlated.
+// These generators reproduce the *statistical properties the evaluation
+// depends on* — dimensional schemas, correlation structure, gaps,
+// piecewise-smooth signals — at laptop scale, deterministically from a
+// seed. Values are pure functions of (tid, row), so ground truth for any
+// aggregate is computable without storing the data.
+
+#ifndef MODELARDB_WORKLOAD_DATASET_H_
+#define MODELARDB_WORKLOAD_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dims/dimensions.h"
+#include "ingest/pipeline.h"
+#include "partition/correlation.h"
+#include "partition/partitioner.h"
+
+namespace modelardb {
+namespace workload {
+
+enum class DatasetKind { kEp, kEh };
+
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kEp;
+  int entities = 8;            // EP: turbines; EH: entities across parks.
+  int parks = 2;               // EH only.
+  int64_t rows_per_series = 10000;
+  uint64_t seed = 42;
+  Timestamp start_time = 0;    // Default set per kind when 0.
+};
+
+class SyntheticDataset {
+ public:
+  // EP-like: `entities` turbines x 6 series each (4 ProductionMWh
+  // concretes incl. one needing a scaling constant, 1 temperature,
+  // 1 wind speed). SI = 60 s. Strong intra-cluster correlation, gaps.
+  static SyntheticDataset Ep(int entities, int64_t rows_per_series,
+                             uint64_t seed = 42);
+
+  // EH-like: `parks` parks x `entities_per_park` entities x 4 series.
+  // SI = 100 ms. Weak correlation, high-frequency noise.
+  static SyntheticDataset Eh(int parks, int entities_per_park,
+                             int64_t rows_per_series, uint64_t seed = 43);
+
+  const DatasetSpec& spec() const { return spec_; }
+  TimeSeriesCatalog* catalog() { return catalog_.get(); }
+  const TimeSeriesCatalog& catalog() const { return *catalog_; }
+
+  // The paper's best correlation hints for this data set (§7.3: manual
+  // hints for EP, the lowest-distance rule of thumb for EH).
+  PartitionHints BestHints() const;
+  // Distance-based hints (for the Fig 18 sweep).
+  PartitionHints DistanceHints(double threshold) const;
+
+  SamplingInterval si() const { return si_; }
+  int num_series() const { return catalog_->NumSeries(); }
+  int64_t rows_per_series() const { return spec_.rows_per_series; }
+  Timestamp start_time() const { return spec_.start_time; }
+
+  // Raw (user-facing) value of series `tid` at sampling instant `row`.
+  Value RawValue(Tid tid, int64_t row) const;
+  // Whether the series has a data point at `row` (false inside a gap).
+  bool Present(Tid tid, int64_t row) const;
+  Timestamp TimestampAt(int64_t row) const {
+    return spec_.start_time + row * si_;
+  }
+
+  // Total data points (excluding gaps).
+  int64_t CountDataPoints() const;
+
+  // Ingestion sources for ModelarDB++ (values pre-multiplied by each
+  // series' scaling constant, §3.3). One source per group.
+  std::vector<std::unique_ptr<ingest::GroupRowSource>> MakeSources(
+      const std::vector<TimeSeriesGroup>& groups) const;
+
+  // Iterates raw data points for the baseline stores. Series-major order
+  // (per-series ascending time, as the paper's one-file-per-series
+  // layout); `row_major` interleaves series per instant (arrival order).
+  Status ForEachDataPoint(
+      const std::function<Status(const DataPoint&)>& fn,
+      bool row_major = false) const;
+
+ private:
+  SyntheticDataset() = default;
+
+  // Identifier of the correlation cluster a series belongs to.
+  int64_t ClusterOf(Tid tid) const;
+  // Multiplicative gain applied to the raw signal of `tid` (compensated by
+  // the catalog's scaling constant so grouped series align).
+  double GainOf(Tid tid) const;
+
+  DatasetSpec spec_;
+  SamplingInterval si_ = 60000;
+  std::unique_ptr<TimeSeriesCatalog> catalog_;
+  std::vector<int64_t> cluster_of_;  // Indexed tid-1.
+  std::vector<double> gain_of_;      // Indexed tid-1.
+  double correlation_ = 1.0;   // Fraction of shared cluster signal.
+  double noise_scale_ = 0.1;   // High-frequency noise amplitude.
+  double gap_probability_ = 0.0;
+};
+
+}  // namespace workload
+}  // namespace modelardb
+
+#endif  // MODELARDB_WORKLOAD_DATASET_H_

@@ -1,0 +1,228 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace modelardb {
+namespace workload {
+namespace {
+
+const char* kAggregates[] = {"COUNT", "MIN", "MAX", "SUM", "AVG"};
+
+std::string AggCall(QueryTarget target, int i) {
+  std::string name = kAggregates[i % 5];
+  if (target == QueryTarget::kSegmentView) return name + "_S(*)";
+  return name + "(Value)";
+}
+
+const char* Table(QueryTarget target) {
+  return target == QueryTarget::kSegmentView ? "Segment" : "DataPoint";
+}
+
+std::string CubeCall(int i, const char* level) {
+  return std::string("CUBE_") + kAggregates[i % 5] + "_" + level + "(*)";
+}
+
+}  // namespace
+
+std::vector<AggSpec> MakeSAggSpecs(const SyntheticDataset& dataset, int count,
+                                   uint64_t seed) {
+  Random rng(seed);
+  std::vector<AggSpec> specs;
+  specs.reserve(count);
+  int num_series = dataset.num_series();
+  for (int i = 0; i < count; ++i) {
+    AggSpec spec;
+    spec.agg = i % 5;
+    if (i % 2 == 0) {
+      spec.tids = {1 + static_cast<Tid>(rng.NextBelow(num_series))};
+    } else {
+      for (int k = 0; k < 5; ++k) {
+        spec.tids.push_back(1 + static_cast<Tid>(rng.NextBelow(num_series)));
+      }
+      std::sort(spec.tids.begin(), spec.tids.end());
+      spec.tids.erase(std::unique(spec.tids.begin(), spec.tids.end()),
+                      spec.tids.end());
+      spec.group_by_tid = true;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<AggSpec> MakeLAggSpecs(const SyntheticDataset& dataset) {
+  (void)dataset;
+  std::vector<AggSpec> specs;
+  for (int i = 0; i < 3; ++i) specs.push_back(AggSpec{{}, false, i + 2});
+  for (int i = 0; i < 3; ++i) specs.push_back(AggSpec{{}, true, i + 2});
+  return specs;
+}
+
+std::vector<PrSpec> MakePRSpecs(const SyntheticDataset& dataset, int count,
+                                uint64_t seed) {
+  Random rng(seed);
+  std::vector<PrSpec> specs;
+  specs.reserve(count);
+  int64_t rows = dataset.rows_per_series();
+  for (int i = 0; i < count; ++i) {
+    Tid tid = 1 + static_cast<Tid>(rng.NextBelow(dataset.num_series()));
+    int64_t row = static_cast<int64_t>(rng.NextBelow(rows));
+    PrSpec spec;
+    switch (i % 3) {
+      case 0:  // Point query by Tid and TS.
+        spec.tid = tid;
+        spec.min_time = spec.max_time = dataset.TimestampAt(row);
+        break;
+      case 1: {  // Range query by Tid and TS.
+        int64_t span = 1 + static_cast<int64_t>(rng.NextBelow(500));
+        spec.tid = tid;
+        spec.min_time = dataset.TimestampAt(row);
+        spec.max_time = dataset.TimestampAt(std::min(rows - 1, row + span));
+        break;
+      }
+      default: {  // Range query by TS only.
+        int64_t span = 1 + static_cast<int64_t>(rng.NextBelow(50));
+        spec.tid = 0;
+        spec.min_time = dataset.TimestampAt(row);
+        spec.max_time = dataset.TimestampAt(std::min(rows - 1, row + span));
+        break;
+      }
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::vector<MAggSpec> MakeMAggSpecs(const SyntheticDataset& dataset,
+                                    bool drill_down) {
+  std::vector<MAggSpec> specs;
+  if (dataset.spec().kind == DatasetKind::kEp) {
+    // EP: WHERE Category = 'ProductionMWh' (dim 1 Measure, level 1);
+    // M-AGG-One groups by Category, M-AGG-Two by Concrete (and Tid).
+    for (int agg : {3, 4}) {
+      MAggSpec spec;
+      spec.where_dim = 1;
+      spec.where_level = 1;
+      spec.where_member = "ProductionMWh";
+      spec.group_dim = 1;
+      spec.group_level = drill_down ? 2 : 1;
+      spec.agg = agg;
+      specs.push_back(spec);
+      if (drill_down) {
+        spec.also_group_by_tid = true;
+        specs.push_back(spec);
+      }
+    }
+  } else {
+    // EH: WHERE Category = 'Energy'; One groups by Park (Location level
+    // 2), Two by Entity (Location level 3), Figs 27-28.
+    for (int agg : {3, 4}) {
+      MAggSpec spec;
+      spec.where_dim = 1;
+      spec.where_level = 1;
+      spec.where_member = "Energy";
+      spec.group_dim = 0;
+      spec.group_level = drill_down ? 3 : 2;
+      spec.agg = agg;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+std::string ToSql(const AggSpec& spec, QueryTarget target) {
+  std::string sql = "SELECT ";
+  if (spec.group_by_tid) sql += "Tid, ";
+  sql += AggCall(target, spec.agg);
+  sql += " FROM ";
+  sql += Table(target);
+  if (!spec.tids.empty()) {
+    if (spec.tids.size() == 1) {
+      sql += " WHERE Tid = " + std::to_string(spec.tids[0]);
+    } else {
+      sql += " WHERE Tid IN (";
+      for (size_t i = 0; i < spec.tids.size(); ++i) {
+        if (i > 0) sql += ", ";
+        sql += std::to_string(spec.tids[i]);
+      }
+      sql += ")";
+    }
+  }
+  if (spec.group_by_tid) sql += " GROUP BY Tid";
+  return sql;
+}
+
+std::string ToSql(const PrSpec& spec) {
+  std::string sql = "SELECT Tid, TS, Value FROM DataPoint WHERE ";
+  if (spec.tid != 0) sql += "Tid = " + std::to_string(spec.tid) + " AND ";
+  if (spec.min_time == spec.max_time) {
+    sql += "TS = " + std::to_string(spec.min_time);
+  } else {
+    sql += "TS BETWEEN " + std::to_string(spec.min_time) + " AND " +
+           std::to_string(spec.max_time);
+  }
+  return sql;
+}
+
+std::string ToSql(const MAggSpec& spec, const SyntheticDataset& dataset,
+                  QueryTarget target) {
+  const auto& dims = dataset.catalog().dimensions();
+  std::string where_col = dims[spec.where_dim].LevelName(spec.where_level);
+  std::string group_col = dims[spec.group_dim].LevelName(spec.group_level);
+  std::string sql = "SELECT " + group_col;
+  if (spec.also_group_by_tid) sql += ", Tid";
+  if (target == QueryTarget::kSegmentView) {
+    sql += ", " + CubeCall(spec.agg, "MONTH");
+  } else {
+    // The Data Point View cannot express CUBE_; a plain aggregate grouped
+    // by the dimension is the closest form (used for DPV-6 comparisons).
+    sql += ", " + AggCall(target, spec.agg);
+  }
+  sql += " FROM ";
+  sql += Table(target);
+  sql += " WHERE " + where_col + " = '" + spec.where_member + "'";
+  sql += " GROUP BY " + group_col;
+  if (spec.also_group_by_tid) sql += ", Tid";
+  return sql;
+}
+
+std::vector<std::string> MakeSAgg(const SyntheticDataset& dataset,
+                                  QueryTarget target, int count,
+                                  uint64_t seed) {
+  std::vector<std::string> queries;
+  for (const AggSpec& spec : MakeSAggSpecs(dataset, count, seed)) {
+    queries.push_back(ToSql(spec, target));
+  }
+  return queries;
+}
+
+std::vector<std::string> MakeLAgg(const SyntheticDataset& dataset,
+                                  QueryTarget target) {
+  std::vector<std::string> queries;
+  for (const AggSpec& spec : MakeLAggSpecs(dataset)) {
+    queries.push_back(ToSql(spec, target));
+  }
+  return queries;
+}
+
+std::vector<std::string> MakeMAgg(const SyntheticDataset& dataset,
+                                  bool drill_down) {
+  std::vector<std::string> queries;
+  for (const MAggSpec& spec : MakeMAggSpecs(dataset, drill_down)) {
+    queries.push_back(ToSql(spec, dataset, QueryTarget::kSegmentView));
+  }
+  return queries;
+}
+
+std::vector<std::string> MakePR(const SyntheticDataset& dataset, int count,
+                                uint64_t seed) {
+  std::vector<std::string> queries;
+  for (const PrSpec& spec : MakePRSpecs(dataset, count, seed)) {
+    queries.push_back(ToSql(spec));
+  }
+  return queries;
+}
+
+}  // namespace workload
+}  // namespace modelardb

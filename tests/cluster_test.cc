@@ -1,0 +1,188 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ingest/pipeline.h"
+#include "query/parser.h"
+#include "workload/dataset.h"
+
+namespace modelardb {
+namespace cluster {
+namespace {
+
+using workload::SyntheticDataset;
+
+TEST(ClusterAssignmentTest, GroupsBalanceAcrossWorkers) {
+  SyntheticDataset dataset = SyntheticDataset::Ep(8, 100);
+  auto groups = *Partitioner::Partition(dataset.catalog(),
+                                        dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  ClusterConfig config;
+  config.num_workers = 4;
+  auto cluster = *ClusterEngine::Create(dataset.catalog(), groups, &registry,
+                                        config);
+  // Count series per worker; capacity-based assignment must balance them.
+  std::vector<int> series_per_worker(4, 0);
+  for (const auto& group : groups) {
+    int worker = cluster->WorkerOf(group.gid);
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    series_per_worker[worker] += static_cast<int>(group.tids.size());
+  }
+  int min_load = *std::min_element(series_per_worker.begin(),
+                                   series_per_worker.end());
+  int max_load = *std::max_element(series_per_worker.begin(),
+                                   series_per_worker.end());
+  EXPECT_LE(max_load - min_load, 4);  // Largest group size in this set.
+}
+
+TEST(ClusterIngestTest, PipelineIngestsEverythingAndQueriesMatch) {
+  SyntheticDataset dataset = SyntheticDataset::Ep(4, 500);
+  auto groups = *Partitioner::Partition(dataset.catalog(),
+                                        dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  ClusterConfig config;
+  config.num_workers = 2;
+  auto cluster = *ClusterEngine::Create(dataset.catalog(), groups, &registry,
+                                        config);
+  auto report = *ingest::RunPipeline(cluster.get(),
+                                     dataset.MakeSources(groups), {});
+  EXPECT_EQ(report.data_points, dataset.CountDataPoints());
+
+  // Lossless bound: COUNT across the cluster equals the generated points.
+  auto result = *cluster->Execute("SELECT COUNT_S(*) FROM Segment");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(result.rows[0][0]), dataset.CountDataPoints());
+
+  // SUM per Tid matches the deterministic ground truth (raw units: the
+  // engine divides by each series' scaling constant).
+  auto sums = *cluster->Execute(
+      "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid");
+  ASSERT_EQ(sums.rows.size(), static_cast<size_t>(dataset.num_series()));
+  for (const auto& row : sums.rows) {
+    Tid tid = static_cast<Tid>(std::get<int64_t>(row[0]));
+    double expected = 0;
+    for (int64_t r = 0; r < dataset.rows_per_series(); ++r) {
+      if (dataset.Present(tid, r)) expected += dataset.RawValue(tid, r);
+    }
+    EXPECT_NEAR(std::get<double>(row[1]), expected,
+                std::abs(expected) * 1e-4 + 1e-3)
+        << "tid " << tid;
+  }
+}
+
+TEST(ClusterIngestTest, ParallelAndSequentialQueriesAgree) {
+  SyntheticDataset dataset = SyntheticDataset::Ep(4, 300);
+  auto groups = *Partitioner::Partition(dataset.catalog(),
+                                        dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  ClusterConfig config;
+  config.num_workers = 3;
+  auto cluster = *ClusterEngine::Create(dataset.catalog(), groups, &registry,
+                                        config);
+  ASSERT_TRUE(ingest::RunPipeline(cluster.get(), dataset.MakeSources(groups),
+                                  {})
+                  .ok());
+  auto parallel = *cluster->Execute(
+      "SELECT Tid, SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid");
+  ClusterConfig seq_config = config;
+  // Same cluster; just run the query path sequentially via per-worker
+  // partials and compare.
+  auto ast = *query::ParseQuery(
+      "SELECT Tid, SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid");
+  auto compiled = *cluster->query_engine().Compile(ast);
+  std::vector<query::PartialResult> partials;
+  for (int w = 0; w < cluster->num_workers(); ++w) {
+    partials.push_back(*cluster->ExecuteOnWorker(compiled, w));
+  }
+  auto sequential =
+      *cluster->query_engine().MergeFinalize(compiled, std::move(partials));
+  ASSERT_EQ(parallel.rows.size(), sequential.rows.size());
+  for (size_t i = 0; i < parallel.rows.size(); ++i) {
+    for (size_t c = 0; c < parallel.rows[i].size(); ++c) {
+      EXPECT_EQ(query::CellToString(parallel.rows[i][c]),
+                query::CellToString(sequential.rows[i][c]));
+    }
+  }
+}
+
+TEST(ClusterIngestTest, ErrorBoundHoldsAcrossClusterIngestion) {
+  SyntheticDataset dataset = SyntheticDataset::Eh(2, 2, 1000);
+  auto groups = *Partitioner::Partition(dataset.catalog(),
+                                        dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.error_bound = ErrorBound::Relative(5.0);
+  auto cluster = *ClusterEngine::Create(dataset.catalog(), groups, &registry,
+                                        config);
+  ASSERT_TRUE(ingest::RunPipeline(cluster.get(), dataset.MakeSources(groups),
+                                  {})
+                  .ok());
+  // Reconstruct every point through the Data Point View and verify the
+  // 5% bound against the generator's ground truth.
+  auto points = *cluster->Execute("SELECT Tid, TS, Value FROM DataPoint");
+  ErrorBound bound = ErrorBound::Relative(5.0);
+  ASSERT_EQ(static_cast<int64_t>(points.rows.size()),
+            dataset.CountDataPoints());
+  for (const auto& row : points.rows) {
+    Tid tid = static_cast<Tid>(std::get<int64_t>(row[0]));
+    Timestamp ts = std::get<int64_t>(row[1]);
+    int64_t r = (ts - dataset.start_time()) / dataset.si();
+    float raw = dataset.RawValue(tid, r);
+    EXPECT_TRUE(bound.Within(std::get<double>(row[2]), raw))
+        << "tid " << tid << " row " << r << " got "
+        << std::get<double>(row[2]) << " want " << raw;
+  }
+}
+
+TEST(ClusterIngestTest, UnknownGidRejected) {
+  SyntheticDataset dataset = SyntheticDataset::Ep(1, 10);
+  auto groups = *Partitioner::Partition(dataset.catalog(),
+                                        dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  auto cluster = *ClusterEngine::Create(dataset.catalog(), groups, &registry,
+                                        ClusterConfig{});
+  GroupRow row(0, {1.0f});
+  EXPECT_EQ(cluster->Ingest(999, row).code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterIngestTest, PersistentStoresSurviveReopen) {
+  std::string root = (std::filesystem::temp_directory_path() /
+                      ("mdb_cluster_" + std::to_string(::getpid())))
+                         .string();
+  SyntheticDataset dataset = SyntheticDataset::Ep(2, 200);
+  auto groups = *Partitioner::Partition(dataset.catalog(),
+                                        dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  int64_t expected_count = 0;
+  {
+    ClusterConfig config;
+    config.num_workers = 2;
+    config.storage_root = root;
+    auto cluster = *ClusterEngine::Create(dataset.catalog(), groups,
+                                          &registry, config);
+    ASSERT_TRUE(ingest::RunPipeline(cluster.get(),
+                                    dataset.MakeSources(groups), {})
+                    .ok());
+    auto result = *cluster->Execute("SELECT COUNT_S(*) FROM Segment");
+    expected_count = std::get<int64_t>(result.rows[0][0]);
+    EXPECT_GT(cluster->DiskBytes(), 0);
+  }
+  {
+    ClusterConfig config;
+    config.num_workers = 2;
+    config.storage_root = root;
+    auto cluster = *ClusterEngine::Create(dataset.catalog(), groups,
+                                          &registry, config);
+    auto result = *cluster->Execute("SELECT COUNT_S(*) FROM Segment");
+    EXPECT_EQ(std::get<int64_t>(result.rows[0][0]), expected_count);
+  }
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace modelardb

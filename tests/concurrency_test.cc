@@ -1,0 +1,150 @@
+// Concurrency: the online-analytics path (Fig 13's O-* scenarios) runs
+// queries while ingestion threads append segments. These tests drive the
+// store and the cluster engine from multiple threads and check that
+// results are always consistent snapshots.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "ingest/pipeline.h"
+#include "storage/segment_store.h"
+#include "workload/dataset.h"
+
+namespace modelardb {
+namespace {
+
+TEST(StoreConcurrencyTest, ConcurrentPutAndScan) {
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> scans{0};
+  Status scan_status;
+
+  std::thread reader([&] {
+    while (!done.load()) {
+      int64_t count = 0;
+      Status s = store->Scan(SegmentFilter{}, [&count](const Segment& seg) {
+        // Every observed segment must be internally consistent.
+        if (seg.Length() < 1 || seg.si != 100) {
+          return Status::Internal("inconsistent segment");
+        }
+        ++count;
+        return Status::OK();
+      });
+      if (!s.ok()) {
+        scan_status = s;
+        return;
+      }
+      scans.fetch_add(1);
+    }
+  });
+
+  for (int w = 0; w < 4; ++w) {
+    // Writers on distinct groups, as the pipeline guarantees.
+    std::thread writer([&store, w] {
+      for (int i = 0; i < 500; ++i) {
+        Segment s;
+        s.gid = w + 1;
+        s.start_time = i * 1000;
+        s.end_time = i * 1000 + 900;
+        s.si = 100;
+        s.mid = kMidPmcMean;
+        s.parameters = {0, 0, 0x20, 0x41};
+        ASSERT_TRUE(store->Put(s).ok());
+      }
+    });
+    writer.join();
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_TRUE(scan_status.ok()) << scan_status;
+  EXPECT_GT(scans.load(), 0);
+  EXPECT_EQ(store->NumSegments(), 4 * 500);
+}
+
+TEST(ClusterConcurrencyTest, QueriesDuringIngestionSeeConsistentCounts) {
+  workload::SyntheticDataset dataset = workload::SyntheticDataset::Ep(4, 2000);
+  auto groups =
+      *Partitioner::Partition(dataset.catalog(), dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  cluster::ClusterConfig config;
+  config.num_workers = 2;
+  auto cluster = *cluster::ClusterEngine::Create(dataset.catalog(), groups,
+                                                 &registry, config);
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> queries{0};
+  int64_t previous_count = 0;
+  Status query_status;
+  std::thread query_thread([&] {
+    while (!done.load()) {
+      auto result = cluster->Execute("SELECT COUNT_S(*) FROM Segment");
+      if (!result.ok()) {
+        query_status = result.status();
+        return;
+      }
+      int64_t count = std::get<int64_t>(result->rows[0][0]);
+      // Counts must be monotonically non-decreasing during ingestion.
+      if (count < previous_count) {
+        query_status = Status::Internal("count went backwards");
+        return;
+      }
+      previous_count = count;
+      queries.fetch_add(1);
+    }
+  });
+
+  auto report =
+      *ingest::RunPipeline(cluster.get(), dataset.MakeSources(groups), {});
+  done.store(true);
+  query_thread.join();
+  ASSERT_TRUE(query_status.ok()) << query_status;
+  EXPECT_GT(queries.load(), 0);
+
+  auto final_count = *cluster->Execute("SELECT COUNT_S(*) FROM Segment");
+  EXPECT_EQ(std::get<int64_t>(final_count.rows[0][0]), report.data_points);
+}
+
+TEST(ClusterConcurrencyTest, ParallelQueriesAreIndependent) {
+  workload::SyntheticDataset dataset = workload::SyntheticDataset::Ep(2, 1000);
+  auto groups =
+      *Partitioner::Partition(dataset.catalog(), dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+  cluster::ClusterConfig config;
+  config.num_workers = 2;
+  auto cluster = *cluster::ClusterEngine::Create(dataset.catalog(), groups,
+                                                 &registry, config);
+  ASSERT_TRUE(
+      ingest::RunPipeline(cluster.get(), dataset.MakeSources(groups), {})
+          .ok());
+
+  auto reference = *cluster->Execute(
+      "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid");
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        auto result = cluster->Execute(
+            "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid");
+        if (!result.ok() || result->rows.size() != reference.rows.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t r = 0; r < reference.rows.size(); ++r) {
+          if (std::get<double>(result->rows[r][1]) !=
+              std::get<double>(reference.rows[r][1])) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace modelardb

@@ -1,0 +1,202 @@
+#include "core/group_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace modelardb {
+namespace {
+
+constexpr SamplingInterval kSi = 100;
+
+GroupCoordinatorConfig Config(const ModelRegistry* registry, int num_series,
+                              double pct) {
+  GroupCoordinatorConfig config;
+  config.generator.gid = 1;
+  config.generator.si = kSi;
+  config.generator.num_series = num_series;
+  config.generator.error_bound = ErrorBound::Relative(pct);
+  config.generator.length_limit = 50;
+  config.generator.registry = registry;
+  return config;
+}
+
+// Reconstructs (tid -> ts -> value) from segments for bound checking.
+std::map<Tid, std::map<Timestamp, Value>> Reconstruct(
+    const ModelRegistry& registry, const std::vector<Segment>& segments,
+    const std::vector<Tid>& tids) {
+  std::map<Tid, std::map<Timestamp, Value>> out;
+  int group_size = static_cast<int>(tids.size());
+  for (const Segment& segment : segments) {
+    int represented = segment.RepresentedSeries(group_size);
+    auto decoder = *registry.CreateDecoder(segment.mid, segment.parameters,
+                                           represented,
+                                           static_cast<int>(segment.Length()));
+    int col = 0;
+    for (int pos = 0; pos < group_size; ++pos) {
+      if (segment.SeriesInGap(pos)) continue;
+      for (int r = 0; r < segment.Length(); ++r) {
+        Timestamp ts = segment.start_time + r * segment.si;
+        bool inserted =
+            out[tids[pos]].emplace(ts, decoder->ValueAt(r, col)).second;
+        EXPECT_TRUE(inserted) << "duplicate coverage tid=" << tids[pos]
+                              << " ts=" << ts;
+      }
+      ++col;
+    }
+  }
+  return out;
+}
+
+TEST(GroupCoordinatorTest, CorrelatedGroupStaysTogether) {
+  ModelRegistry registry = ModelRegistry::Default();
+  GroupCoordinator coordinator(Config(&registry, 3, 5.0), {1, 2, 3});
+  Random rng(1);
+  std::vector<Segment> segments;
+  double base = 100.0;
+  for (int i = 0; i < 1000; ++i) {
+    base += rng.Uniform(-0.5, 0.5);
+    GroupRow row(i * kSi,
+                 {static_cast<Value>(base), static_cast<Value>(base + 0.1),
+                  static_cast<Value>(base - 0.1)});
+    ASSERT_TRUE(coordinator.Ingest(row, &segments).ok());
+  }
+  EXPECT_EQ(coordinator.NumSubgroups(), 1);
+  EXPECT_EQ(coordinator.coordinator_stats().splits, 0);
+}
+
+TEST(GroupCoordinatorTest, DecorrelationTriggersSplit) {
+  ModelRegistry registry = ModelRegistry::Default();
+  GroupCoordinator coordinator(Config(&registry, 2, 5.0), {1, 2});
+  Random rng(2);
+  std::vector<Segment> segments;
+  // Phase 1: correlated around 100.
+  for (int i = 0; i < 500; ++i) {
+    Value v = static_cast<Value>(100 + rng.Uniform(-0.5, 0.5));
+    GroupRow row(i * kSi, {v, v + 0.2f});
+    ASSERT_TRUE(coordinator.Ingest(row, &segments).ok());
+  }
+  // Phase 2: series 2 drops to ~0 (turbine turned off).
+  for (int i = 500; i < 1500; ++i) {
+    Value v1 = static_cast<Value>(100 + rng.Uniform(-0.5, 0.5));
+    Value v2 = static_cast<Value>(0.5 + rng.Uniform(-0.05, 0.05));
+    GroupRow row(i * kSi, {v1, v2});
+    ASSERT_TRUE(coordinator.Ingest(row, &segments).ok());
+  }
+  EXPECT_GE(coordinator.coordinator_stats().splits, 1);
+  EXPECT_EQ(coordinator.NumSubgroups(), 2);
+}
+
+TEST(GroupCoordinatorTest, RecorrelationTriggersJoin) {
+  ModelRegistry registry = ModelRegistry::Default();
+  GroupCoordinator coordinator(Config(&registry, 2, 5.0), {1, 2});
+  Random rng(3);
+  std::vector<Segment> segments;
+  auto feed = [&](int from, int to, double base2) {
+    for (int i = from; i < to; ++i) {
+      Value v1 = static_cast<Value>(100 + rng.Uniform(-0.5, 0.5));
+      Value v2 = static_cast<Value>(base2 + rng.Uniform(-0.5, 0.5));
+      ASSERT_TRUE(
+          coordinator.Ingest(GroupRow(i * kSi, {v1, v2}), &segments).ok());
+    }
+  };
+  feed(0, 500, 100.0);     // Correlated.
+  feed(500, 1500, 1.0);    // Decorrelated: split expected.
+  ASSERT_GE(coordinator.coordinator_stats().splits, 1);
+  feed(1500, 4000, 100.0); // Correlated again: join expected.
+  EXPECT_GE(coordinator.coordinator_stats().joins, 1);
+  EXPECT_EQ(coordinator.NumSubgroups(), 1);
+}
+
+TEST(GroupCoordinatorTest, SplittingPreservesBoundAndCoverage) {
+  ModelRegistry registry = ModelRegistry::Default();
+  double pct = 5.0;
+  GroupCoordinator coordinator(Config(&registry, 4, pct), {1, 2, 3, 4});
+  Random rng(4);
+  std::vector<Segment> segments;
+  std::map<Tid, std::map<Timestamp, Value>> original;
+  ErrorBound bound = ErrorBound::Relative(pct);
+  for (int i = 0; i < 3000; ++i) {
+    GroupRow row;
+    row.timestamp = i * kSi;
+    for (int c = 0; c < 4; ++c) {
+      // Two series decorrelate in the middle third.
+      double base = (c >= 2 && i >= 1000 && i < 2000) ? 5.0 : 200.0;
+      Value v = static_cast<Value>(base + rng.Uniform(-1.0, 1.0));
+      row.values.push_back(v);
+      row.present.push_back(true);
+      original[c + 1][row.timestamp] = v;
+    }
+    ASSERT_TRUE(coordinator.Ingest(row, &segments).ok());
+  }
+  ASSERT_TRUE(coordinator.Flush(&segments).ok());
+  auto reconstructed = Reconstruct(registry, segments, {1, 2, 3, 4});
+  for (const auto& [tid, points] : original) {
+    ASSERT_EQ(reconstructed[tid].size(), points.size()) << "tid " << tid;
+    for (const auto& [ts, v] : points) {
+      ASSERT_TRUE(bound.Within(reconstructed[tid][ts], v))
+          << "tid " << tid << " ts " << ts;
+    }
+  }
+}
+
+TEST(GroupCoordinatorTest, SplitDisabledKeepsOneSubgroup) {
+  ModelRegistry registry = ModelRegistry::Default();
+  GroupCoordinatorConfig config = Config(&registry, 2, 5.0);
+  config.enable_splitting = false;
+  GroupCoordinator coordinator(config, {1, 2});
+  Random rng(5);
+  std::vector<Segment> segments;
+  for (int i = 0; i < 2000; ++i) {
+    Value v1 = static_cast<Value>(100 + rng.Uniform(-0.5, 0.5));
+    Value v2 = static_cast<Value>(i < 500 ? v1 : 1.0 + rng.Uniform(-0.05, 0.05));
+    ASSERT_TRUE(
+        coordinator.Ingest(GroupRow(i * kSi, {v1, v2}), &segments).ok());
+  }
+  EXPECT_EQ(coordinator.NumSubgroups(), 1);
+  EXPECT_EQ(coordinator.coordinator_stats().splits, 0);
+}
+
+TEST(GroupCoordinatorTest, GapsWithinSubgroupsStillWork) {
+  ModelRegistry registry = ModelRegistry::Default();
+  GroupCoordinator coordinator(Config(&registry, 2, 0.0), {1, 2});
+  std::vector<Segment> segments;
+  for (int i = 0; i < 100; ++i) {
+    GroupRow row;
+    row.timestamp = i * kSi;
+    row.values = {10.0f, 20.0f};
+    row.present = {true, !(i >= 40 && i < 60)};
+    ASSERT_TRUE(coordinator.Ingest(row, &segments).ok());
+  }
+  ASSERT_TRUE(coordinator.Flush(&segments).ok());
+  auto reconstructed = Reconstruct(registry, segments, {1, 2});
+  EXPECT_EQ(reconstructed[1].size(), 100u);
+  EXPECT_EQ(reconstructed[2].size(), 80u);
+}
+
+TEST(GroupCoordinatorTest, StatsAggregateAcrossSplits) {
+  ModelRegistry registry = ModelRegistry::Default();
+  GroupCoordinator coordinator(Config(&registry, 2, 5.0), {1, 2});
+  Random rng(6);
+  std::vector<Segment> segments;
+  int rows = 0;
+  for (int i = 0; i < 2000; ++i, ++rows) {
+    Value v1 = static_cast<Value>(100 + rng.Uniform(-0.5, 0.5));
+    Value v2 =
+        static_cast<Value>(i < 300 ? v1 + 0.1 : 2.0 + rng.Uniform(-0.1, 0.1));
+    ASSERT_TRUE(
+        coordinator.Ingest(GroupRow(i * kSi, {v1, v2}), &segments).ok());
+  }
+  ASSERT_TRUE(coordinator.Flush(&segments).ok());
+  IngestStats stats = coordinator.stats();
+  EXPECT_EQ(stats.rows_ingested, rows);
+  EXPECT_EQ(stats.values_ingested, rows * 2);
+  int64_t represented = 0;
+  for (const auto& [mid, n] : stats.values_per_model) represented += n;
+  EXPECT_EQ(represented, rows * 2);
+}
+
+}  // namespace
+}  // namespace modelardb

@@ -1,0 +1,168 @@
+#include "ingest/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/cluster.h"
+#include "ingest/pipeline.h"
+
+namespace modelardb {
+namespace ingest {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mdb_csv_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name, const std::string& text) {
+    std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, ParsesEpochAndDateLines) {
+  DataPoint p = *ParseCsvPoint("1000,2.5");
+  EXPECT_EQ(p.timestamp, 1000);
+  EXPECT_FLOAT_EQ(p.value, 2.5f);
+  DataPoint q = *ParseCsvPoint("2016-04-12 06:30:00, -1.25");
+  EXPECT_EQ(q.timestamp, FromCivil({2016, 4, 12, 6, 30, 0, 0}));
+  EXPECT_FLOAT_EQ(q.value, -1.25f);
+  EXPECT_FALSE(ParseCsvPoint("no comma").ok());
+  EXPECT_FALSE(ParseCsvPoint("1000,notanumber").ok());
+}
+
+TEST_F(CsvTest, ReaderSkipsHeaderAndComments) {
+  std::string path = WriteFile("a.csv",
+                               "time,value\n"
+                               "# a comment\n"
+                               "1000,1.5\n"
+                               "\n"
+                               "2000,2.5\n");
+  auto reader = *CsvSeriesReader::Open(path);
+  auto p1 = *reader->Next();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->timestamp, 1000);
+  auto p2 = *reader->Next();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->timestamp, 2000);
+  EXPECT_FALSE((*reader->Next()).has_value());
+}
+
+TEST_F(CsvTest, ReaderRejectsOutOfOrder) {
+  std::string path = WriteFile("b.csv", "2000,1\n1000,2\n");
+  auto reader = *CsvSeriesReader::Open(path);
+  ASSERT_TRUE((*reader->Next()).has_value());
+  EXPECT_FALSE(reader->Next().ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  EXPECT_EQ(CsvSeriesReader::Open((dir_ / "nope.csv").string())
+                .status()
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, GroupSourceAlignsSeriesAndMarksGaps) {
+  std::string a = WriteFile("a.csv", "1000,1\n2000,2\n3000,3\n");
+  std::string b = WriteFile("b.csv", "1000,10\n3000,30\n");  // Gap at 2000.
+  TimeSeriesCatalog catalog(std::vector<Dimension>{});
+  TimeSeriesMeta ma{1, 1000, 1.0, 1, a, {}};
+  TimeSeriesMeta mb{2, 1000, 2.0, 1, b, {}};
+  ASSERT_TRUE(catalog.AddSeries(ma).ok());
+  ASSERT_TRUE(catalog.AddSeries(mb).ok());
+  TimeSeriesGroup group{1, {1, 2}, 1000};
+  auto source = *CsvGroupSource::Open(catalog, group);
+  GroupRow row;
+  ASSERT_TRUE(*source->Next(&row));
+  EXPECT_EQ(row.timestamp, 1000);
+  EXPECT_EQ(row.present, (std::vector<bool>{true, true}));
+  EXPECT_FLOAT_EQ(row.values[0], 1.0f);
+  EXPECT_FLOAT_EQ(row.values[1], 20.0f);  // Scaling constant applied.
+  ASSERT_TRUE(*source->Next(&row));
+  EXPECT_EQ(row.timestamp, 2000);
+  EXPECT_EQ(row.present, (std::vector<bool>{true, false}));
+  ASSERT_TRUE(*source->Next(&row));
+  EXPECT_EQ(row.timestamp, 3000);
+  EXPECT_EQ(row.present, (std::vector<bool>{true, true}));
+  EXPECT_FALSE(*source->Next(&row));
+}
+
+TEST_F(CsvTest, DeploymentParsesDimensionsSeriesAndHints) {
+  std::string a = WriteFile("t1.csv", "1000,1\n");
+  std::string b = WriteFile("t2.csv", "1000,2\n");
+  auto deployment = *LoadDeployment(
+      "# wind farm\n"
+      "modelardb.dimension = Location Park Turbine\n"
+      "modelardb.dimension = Measure Category\n"
+      "modelardb.series = " + a + " 1000 Aalborg/T1 Temperature\n"
+      "modelardb.series = " + b + " 1000 Aalborg/T2 Temperature\n"
+      "modelardb.correlation = Measure 1 Temperature\n"
+      "modelardb.scaling.series = " + b + " 2.0\n");
+  EXPECT_EQ(deployment.catalog->NumSeries(), 2);
+  EXPECT_EQ(deployment.catalog->dimensions().size(), 2u);
+  EXPECT_EQ(deployment.catalog->Member(1, 0, 2), "T1");
+  ASSERT_EQ(deployment.hints.clauses.size(), 1u);
+  ASSERT_EQ(deployment.hints.scaling_rules.size(), 1u);
+  EXPECT_DOUBLE_EQ(deployment.hints.scaling_rules[0].factor, 2.0);
+}
+
+TEST_F(CsvTest, DeploymentRejectsBadInput) {
+  EXPECT_FALSE(LoadDeployment("modelardb.dimension = OnlyName\n").ok());
+  EXPECT_FALSE(LoadDeployment("modelardb.series = file.csv\n").ok());
+  EXPECT_FALSE(LoadDeployment("what = ever\n").ok());
+  EXPECT_FALSE(LoadDeployment("no equals sign\n").ok());
+  EXPECT_EQ(LoadDeploymentFile((dir_ / "nope.conf").string()).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, EndToEndCsvIngestAndQuery) {
+  // Two correlated series from CSV through partitioning, a cluster and SQL.
+  std::string csv_a;
+  std::string csv_b;
+  for (int i = 0; i < 500; ++i) {
+    csv_a += std::to_string(i * 1000) + "," + std::to_string(10.0 + i % 7) +
+             "\n";
+    csv_b += std::to_string(i * 1000) + "," + std::to_string(10.2 + i % 7) +
+             "\n";
+  }
+  std::string a = WriteFile("s1.csv", csv_a);
+  std::string b = WriteFile("s2.csv", csv_b);
+  auto deployment = *LoadDeployment(
+      "modelardb.dimension = Measure Category\n"
+      "modelardb.series = " + a + " 1000 Temperature\n"
+      "modelardb.series = " + b + " 1000 Temperature\n"
+      "modelardb.correlation = Measure 1 Temperature\n");
+  auto groups =
+      *Partitioner::Partition(deployment.catalog.get(), deployment.hints);
+  ASSERT_EQ(groups.size(), 1u);
+  ModelRegistry registry = ModelRegistry::Default();
+  cluster::ClusterConfig config;
+  config.error_bound = ErrorBound::Relative(5.0);
+  auto engine = *cluster::ClusterEngine::Create(deployment.catalog.get(),
+                                                groups, &registry, config);
+  auto sources = *MakeCsvSources(*deployment.catalog, groups);
+  auto report = *RunPipeline(engine.get(), std::move(sources), {});
+  EXPECT_EQ(report.data_points, 1000);
+  auto result = *engine->Execute("SELECT Tid, COUNT_S(*) FROM Segment "
+                                 "GROUP BY Tid");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(result.rows[0][1]), 500);
+  EXPECT_EQ(std::get<int64_t>(result.rows[1][1]), 500);
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace modelardb

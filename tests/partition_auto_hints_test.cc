@@ -1,0 +1,124 @@
+#include "partition/auto_hints.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/dataset.h"
+
+namespace modelardb {
+namespace {
+
+TEST(InferScalingTest, RecoversExactRatio) {
+  // tid 2 reports one quarter of tid 1's values.
+  auto sample = [](Tid tid, int64_t i) -> Value {
+    double base = 100.0 + std::sin(i * 0.1) * 10.0;
+    return static_cast<Value>(tid == 1 ? base : base * 0.25);
+  };
+  EXPECT_NEAR(InferScalingConstant(sample, 1, 2, 256), 4.0, 1e-3);
+}
+
+TEST(InferScalingTest, NearUnityRatioSnapsToOne) {
+  auto sample = [](Tid tid, int64_t i) -> Value {
+    return static_cast<Value>(100.0 + std::sin(i * 0.1) + tid * 0.01);
+  };
+  EXPECT_DOUBLE_EQ(InferScalingConstant(sample, 1, 2, 256), 1.0);
+}
+
+TEST(InferScalingTest, UnstableRatioFallsBackToOne) {
+  // Uncorrelated series: ratios are all over the place.
+  auto sample = [](Tid tid, int64_t i) -> Value {
+    if (tid == 1) return static_cast<Value>(100.0 + std::sin(i * 0.1));
+    return static_cast<Value>(50.0 * std::cos(i * 0.37) + (i % 13));
+  };
+  EXPECT_DOUBLE_EQ(InferScalingConstant(sample, 1, 2, 256), 1.0);
+}
+
+TEST(InferScalingTest, MostlyZeroSampleFallsBackToOne) {
+  auto sample = [](Tid, int64_t) -> Value { return 0.0f; };
+  EXPECT_DOUBLE_EQ(InferScalingConstant(sample, 1, 2, 256), 1.0);
+}
+
+TEST(InferPartitioningTest, MetadataOnlyUsesRuleOfThumb) {
+  workload::SyntheticDataset eh = workload::SyntheticDataset::Eh(2, 3, 100);
+  auto inferred = *InferPartitioning(eh.catalog(), nullptr);
+  // Must equal the explicit lowest-distance partitioning.
+  workload::SyntheticDataset eh2 = workload::SyntheticDataset::Eh(2, 3, 100);
+  auto explicit_groups =
+      *Partitioner::Partition(eh2.catalog(), eh2.BestHints());
+  ASSERT_EQ(inferred.size(), explicit_groups.size());
+  for (size_t i = 0; i < inferred.size(); ++i) {
+    EXPECT_EQ(inferred[i].tids, explicit_groups[i].tids);
+  }
+}
+
+TEST(InferPartitioningTest, SampleValidationSplitsFakeCorrelation) {
+  // Catalog in which the rule of thumb groups three series, but sampled
+  // data shows the third is unrelated.
+  TimeSeriesCatalog catalog(
+      {Dimension("Measure", {"Category"})});
+  for (Tid tid = 1; tid <= 3; ++tid) {
+    TimeSeriesMeta meta;
+    meta.tid = tid;
+    meta.si = 1000;
+    meta.source = "s" + std::to_string(tid);
+    meta.members = {{"Temperature"}};
+    ASSERT_TRUE(catalog.AddSeries(meta).ok());
+  }
+  auto sample = [](Tid tid, int64_t i) -> Value {
+    double base = 100.0 + std::sin(i * 0.05) * 5.0;
+    if (tid == 1) return static_cast<Value>(base);
+    if (tid == 2) return static_cast<Value>(base + 0.5);
+    return static_cast<Value>(1000.0 * std::cos(i * 0.31));  // Unrelated.
+  };
+  auto groups = *InferPartitioning(&catalog, sample);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].tids, (std::vector<Tid>{1, 2}));
+  EXPECT_EQ(groups[1].tids, (std::vector<Tid>{3}));
+  EXPECT_EQ(catalog.Get(1).gid, 1);
+  EXPECT_EQ(catalog.Get(3).gid, 2);
+}
+
+TEST(InferPartitioningTest, InfersScalingForMagnitudeShiftedMember) {
+  TimeSeriesCatalog catalog({Dimension("Measure", {"Category"})});
+  for (Tid tid = 1; tid <= 2; ++tid) {
+    TimeSeriesMeta meta;
+    meta.tid = tid;
+    meta.si = 1000;
+    meta.source = "s" + std::to_string(tid);
+    meta.members = {{"Power"}};
+    ASSERT_TRUE(catalog.AddSeries(meta).ok());
+  }
+  auto sample = [](Tid tid, int64_t i) -> Value {
+    double base = 200.0 + std::sin(i * 0.05) * 20.0;
+    return static_cast<Value>(tid == 1 ? base : base * 0.25);
+  };
+  auto groups = *InferPartitioning(&catalog, sample);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].tids, (std::vector<Tid>{1, 2}));
+  EXPECT_NEAR(catalog.Get(2).scaling, 4.0, 1e-3);
+}
+
+TEST(InferPartitioningTest, EpDatasetRecoversProductionClusters) {
+  // End to end on the EP generator: inference alone (no hand-written
+  // hints) should recover the per-entity production groups including the
+  // 4x scaling of ReactivePower.
+  workload::SyntheticDataset ep = workload::SyntheticDataset::Ep(3, 3000);
+  auto sample = [&ep](Tid tid, int64_t i) -> Value {
+    return ep.RawValue(tid, i);
+  };
+  auto groups = *InferPartitioning(ep.catalog(), sample);
+  int grouped_of_four = 0;
+  for (const auto& group : groups) {
+    if (group.tids.size() == 4) ++grouped_of_four;
+    EXPECT_LE(group.tids.size(), 4u);
+  }
+  EXPECT_EQ(grouped_of_four, 3);  // One production cluster per entity.
+  // ReactivePower members (tids 2, 8, 14) got their scaling inferred.
+  for (Tid tid : {2, 8, 14}) {
+    EXPECT_NEAR(ep.catalog()->Get(tid).scaling, 4.0, 0.2) << tid;
+  }
+}
+
+}  // namespace
+}  // namespace modelardb

@@ -1,0 +1,126 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace modelardb {
+namespace query {
+namespace {
+
+TEST(ParserTest, SimpleSegmentAggregate) {
+  auto q = *ParseQuery("SELECT Tid, SUM_S(*) FROM Segment "
+                       "WHERE Tid IN (1, 2, 3) GROUP BY Tid");
+  EXPECT_EQ(q.view, View::kSegment);
+  ASSERT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kColumn);
+  EXPECT_EQ(q.select[0].column, "Tid");
+  EXPECT_EQ(q.select[1].kind, SelectItem::Kind::kAggregate);
+  EXPECT_EQ(q.select[1].aggregate, AggregateFunction::kSum);
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].kind, Predicate::Kind::kTidIn);
+  EXPECT_EQ(q.where[0].tids, (std::vector<Tid>{1, 2, 3}));
+  EXPECT_EQ(q.group_by, (std::vector<std::string>{"Tid"}));
+}
+
+TEST(ParserTest, CubeAggregate) {
+  auto q = *ParseQuery(
+      "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid = 1 GROUP BY Tid");
+  ASSERT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.select[1].kind, SelectItem::Kind::kCubeAggregate);
+  EXPECT_EQ(q.select[1].aggregate, AggregateFunction::kSum);
+  EXPECT_EQ(q.select[1].cube_level, TimeLevel::kHour);
+}
+
+TEST(ParserTest, AllCubeLevelsAndFunctions) {
+  for (const char* name :
+       {"CUBE_COUNT_SECOND", "CUBE_MIN_MINUTE", "CUBE_MAX_HOUR",
+        "CUBE_SUM_DAY", "CUBE_AVG_MONTH", "CUBE_SUM_YEAR"}) {
+    auto q = ParseQuery(std::string("SELECT ") + name + "(*) FROM Segment");
+    ASSERT_TRUE(q.ok()) << name;
+  }
+  EXPECT_FALSE(ParseQuery("SELECT CUBE_SUM_FORTNIGHT(*) FROM Segment").ok());
+  EXPECT_FALSE(ParseQuery("SELECT CUBE_MEDIAN_HOUR(*) FROM Segment").ok());
+}
+
+TEST(ParserTest, DataPointViewPlainAggregates) {
+  auto q = *ParseQuery("SELECT AVG(Value) FROM DataPoint WHERE Tid = 2");
+  EXPECT_EQ(q.view, View::kDataPoint);
+  EXPECT_EQ(q.select[0].aggregate, AggregateFunction::kAvg);
+}
+
+TEST(ParserTest, TimeRangePredicates) {
+  auto q = *ParseQuery(
+      "SELECT * FROM DataPoint WHERE TS >= 1000 AND TS <= 2000");
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].min_time, 1000);
+  EXPECT_EQ(q.where[1].max_time, 2000);
+}
+
+TEST(ParserTest, BetweenAndDateLiterals) {
+  auto q = *ParseQuery(
+      "SELECT * FROM DataPoint WHERE TS BETWEEN '2016-04-12' AND "
+      "'2016-04-12 06:30:00'");
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].min_time, FromCivil({2016, 4, 12, 0, 0, 0, 0}));
+  EXPECT_EQ(q.where[0].max_time, FromCivil({2016, 4, 12, 6, 30, 0, 0}));
+}
+
+TEST(ParserTest, StrictInequalitiesAdjustByOneMilli) {
+  auto q = *ParseQuery("SELECT * FROM DataPoint WHERE TS > 100 AND TS < 200");
+  EXPECT_EQ(q.where[0].min_time, 101);
+  EXPECT_EQ(q.where[1].max_time, 199);
+}
+
+TEST(ParserTest, DimensionPredicateAndGroupBy) {
+  auto q = *ParseQuery(
+      "SELECT Category, SUM_S(*) FROM Segment "
+      "WHERE Category = 'Temperature' GROUP BY Category");
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].kind, Predicate::Kind::kMemberEquals);
+  EXPECT_EQ(q.where[0].column, "Category");
+  EXPECT_EQ(q.where[0].member, "Temperature");
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto q = *ParseQuery(
+      "SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid "
+      "ORDER BY Tid DESC LIMIT 5");
+  ASSERT_TRUE(q.order_by.has_value());
+  EXPECT_EQ(q.order_by->column, "Tid");
+  EXPECT_TRUE(q.order_by->descending);
+  EXPECT_EQ(*q.limit, 5);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseQuery("select tid, sum_s(*) from segment group by tid").ok());
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM Segment").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM Nowhere").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM Segment WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM_S(*) FROM Segment trailing").ok());
+  EXPECT_FALSE(ParseQuery("SELECT Tid, SUM_S(*) FROM Segment").ok())
+      << "non-grouped column with aggregate";
+  EXPECT_FALSE(ParseQuery("SELECT *, SUM_S(*) FROM Segment").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM Segment GROUP BY Tid").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT CUBE_SUM_HOUR(*) FROM DataPoint").ok())
+      << "CUBE_ requires the Segment view";
+  EXPECT_FALSE(ParseQuery("SELECT * FROM Segment WHERE Tid = 'x'").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM Segment WHERE Park = 3").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM DataPoint WHERE TS >= 'bogus'").ok());
+}
+
+TEST(ParseTimeLiteralTest, Forms) {
+  EXPECT_EQ(*ParseTimeLiteral("12345"), 12345);
+  EXPECT_EQ(*ParseTimeLiteral("2016-04-12"),
+            FromCivil({2016, 4, 12, 0, 0, 0, 0}));
+  EXPECT_EQ(*ParseTimeLiteral("2016-04-12 06:30:20"),
+            FromCivil({2016, 4, 12, 6, 30, 20, 0}));
+  EXPECT_FALSE(ParseTimeLiteral("noon").ok());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace modelardb

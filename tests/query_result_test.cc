@@ -1,0 +1,59 @@
+#include "query/result.h"
+
+#include <gtest/gtest.h>
+
+namespace modelardb {
+namespace query {
+namespace {
+
+TEST(CellToStringTest, AllVariants) {
+  EXPECT_EQ(CellToString(Cell{int64_t{42}}), "42");
+  EXPECT_EQ(CellToString(Cell{int64_t{-7}}), "-7");
+  EXPECT_EQ(CellToString(Cell{3.5}), "3.5");
+  EXPECT_EQ(CellToString(Cell{std::string("Aalborg")}), "Aalborg");
+}
+
+TEST(CellLessTest, WithinAndAcrossTypes) {
+  EXPECT_TRUE(CellLess(Cell{int64_t{1}}, Cell{int64_t{2}}));
+  EXPECT_FALSE(CellLess(Cell{int64_t{2}}, Cell{int64_t{1}}));
+  EXPECT_TRUE(CellLess(Cell{1.5}, Cell{2.5}));
+  EXPECT_TRUE(CellLess(Cell{std::string("a")}, Cell{std::string("b")}));
+  // Cross-type ordering is by variant index (int < double < string).
+  EXPECT_TRUE(CellLess(Cell{int64_t{9}}, Cell{1.0}));
+  EXPECT_TRUE(CellLess(Cell{9.0}, Cell{std::string("a")}));
+}
+
+TEST(QueryResultTest, ToStringAlignsColumns) {
+  QueryResult result;
+  result.columns = {"Tid", "SUM_S(*)"};
+  result.rows = {{int64_t{1}, 599.375}, {int64_t{22}, 2996.9}};
+  std::string table = result.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+  EXPECT_NE(table.find("| Tid |"), std::string::npos);
+  EXPECT_NE(table.find("599.375"), std::string::npos);
+  EXPECT_NE(table.find("2996.9"), std::string::npos);
+  // Every line has the same width (alignment).
+  size_t first_newline = table.find('\n');
+  size_t line = 0;
+  size_t start = 0;
+  while (start < table.size()) {
+    size_t end = table.find('\n', start);
+    if (end == std::string::npos) break;
+    EXPECT_EQ(end - start, first_newline) << "line " << line;
+    start = end + 1;
+    ++line;
+  }
+}
+
+TEST(QueryResultTest, EmptyResultStillRendersHeader) {
+  QueryResult result;
+  result.columns = {"plan"};
+  std::string table = result.ToString();
+  EXPECT_NE(table.find("plan"), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace modelardb

@@ -1,0 +1,115 @@
+// Failure injection: corrupt and truncated store files must surface as
+// Corruption/OutOfRange statuses, never as crashes or silent bad data.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/models/gorilla.h"
+#include "core/models/pmc_mean.h"
+#include "core/models/swing.h"
+#include "storage/segment_store.h"
+
+namespace modelardb {
+namespace {
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mdb_corrupt_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string LogPath() const { return (dir_ / "segments.log").string(); }
+
+  void WriteValidStore(int segments) {
+    SegmentStoreOptions options;
+    options.directory = dir_.string();
+    auto store = *SegmentStore::Open(options);
+    for (int i = 0; i < segments; ++i) {
+      Segment s;
+      s.gid = 1;
+      s.start_time = i * 1000;
+      s.end_time = i * 1000 + 900;
+      s.si = 100;
+      s.mid = kMidPmcMean;
+      s.parameters = {0, 0, 0x20, 0x41};
+      ASSERT_TRUE(store->Put(s).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  }
+
+  Status Reopen() {
+    SegmentStoreOptions options;
+    options.directory = dir_.string();
+    return SegmentStore::Open(options).status();
+  }
+
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST_F(CorruptionTest, GarbledMagicIsCorruption) {
+  WriteValidStore(3);
+  {
+    std::fstream f(LogPath(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f.write("XXXX", 4);
+  }
+  Status s = Reopen();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s;
+}
+
+TEST_F(CorruptionTest, TruncatedBlockIsDetected) {
+  WriteValidStore(3);
+  auto size = std::filesystem::file_size(LogPath());
+  std::filesystem::resize_file(LogPath(), size - 7);
+  Status s = Reopen();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(CorruptionTest, FlippedLengthFieldIsDetected) {
+  WriteValidStore(3);
+  {
+    std::fstream f(LogPath(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);  // The block length field after the magic.
+    uint32_t huge = 0x7fffffff;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  Status s = Reopen();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(CorruptionTest, EmptyFileIsFine) {
+  std::ofstream(LogPath()).close();
+  EXPECT_TRUE(Reopen().ok());
+}
+
+TEST(DecoderCorruptionTest, TruncatedParametersAreErrors) {
+  // Every bundled decoder must reject parameter blobs that are too short.
+  std::vector<uint8_t> empty;
+  EXPECT_FALSE(PmcMeanModel::Decode(empty, 1, 10).ok());
+  EXPECT_FALSE(SwingModel::Decode(empty, 1, 10).ok());
+  std::vector<uint8_t> short_swing(8, 0);
+  EXPECT_FALSE(SwingModel::Decode(short_swing, 1, 10).ok());
+  // Gorilla reads past-the-end bits as zeros; a grossly short stream still
+  // decodes structurally, so the registry relies on the verified segment
+  // length. Sanity: decoding zero bytes for one value must not crash.
+  auto r = GorillaModel::Decode(empty, 1, 1);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DecoderCorruptionTest, RegistryRejectsUnknownMid) {
+  ModelRegistry registry = ModelRegistry::Default();
+  EXPECT_EQ(registry.CreateDecoder(424242, {}, 1, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace modelardb

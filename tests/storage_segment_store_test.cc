@@ -1,0 +1,209 @@
+#include "storage/segment_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace modelardb {
+namespace {
+
+Segment MakeSegment(Gid gid, Timestamp start, int length,
+                    SamplingInterval si = 100, uint64_t gaps = 0) {
+  Segment s;
+  s.gid = gid;
+  s.start_time = start;
+  s.end_time = start + static_cast<Timestamp>(length - 1) * si;
+  s.si = si;
+  s.gap_mask = gaps;
+  s.mid = kMidPmcMean;
+  s.parameters = {0, 0, 0x20, 0x41};  // 10.0f little-endian.
+  return s;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mdb_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(SegmentSerializationTest, RoundTrip) {
+  Segment s = MakeSegment(3, 5000, 42, 250, /*gaps=*/0b101);
+  s.error_bound_pct = 5.0f;
+  BufferWriter writer;
+  s.SerializeTo(&writer);
+  BufferReader reader(writer.bytes());
+  Segment back = *Segment::Deserialize(&reader);
+  EXPECT_EQ(back, s);
+}
+
+TEST(SegmentSerializationTest, StartTimeRecomputedFromSize) {
+  // The schema stores Size instead of StartTime (§3.3).
+  Segment s = MakeSegment(1, 1000, 10, 100);
+  BufferWriter writer;
+  s.SerializeTo(&writer);
+  BufferReader reader(writer.bytes());
+  Segment back = *Segment::Deserialize(&reader);
+  EXPECT_EQ(back.start_time, back.end_time - (back.Length() - 1) * back.si);
+  EXPECT_EQ(back.start_time, 1000);
+}
+
+TEST(SegmentTest, LengthAndGapHelpers) {
+  Segment s = MakeSegment(1, 0, 5, 100, 0b010);
+  EXPECT_EQ(s.Length(), 5);
+  EXPECT_EQ(s.RepresentedSeries(3), 2);
+  EXPECT_FALSE(s.SeriesInGap(0));
+  EXPECT_TRUE(s.SeriesInGap(1));
+  EXPECT_FALSE(s.SeriesInGap(2));
+}
+
+TEST(SegmentStoreTest, InMemoryPutAndScan) {
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10)).ok());
+  ASSERT_TRUE(store->Put(MakeSegment(1, 1000, 10)).ok());
+  ASSERT_TRUE(store->Put(MakeSegment(2, 0, 10)).ok());
+  EXPECT_EQ(store->NumSegments(), 3);
+  EXPECT_EQ(store->DiskBytes(), 0);
+
+  int count = 0;
+  SegmentFilter all;
+  ASSERT_TRUE(store
+                  ->Scan(all,
+                         [&count](const Segment&) {
+                           ++count;
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SegmentStoreTest, GidPushdown) {
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10)).ok());
+  ASSERT_TRUE(store->Put(MakeSegment(2, 0, 10)).ok());
+  ASSERT_TRUE(store->Put(MakeSegment(3, 0, 10)).ok());
+  SegmentFilter filter;
+  filter.gids = {2};
+  int count = 0;
+  ASSERT_TRUE(store
+                  ->Scan(filter,
+                         [&](const Segment& s) {
+                           EXPECT_EQ(s.gid, 2);
+                           ++count;
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(store->Gids(), (std::vector<Gid>{1, 2, 3}));
+}
+
+TEST(SegmentStoreTest, TimeRangePushdown) {
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  // Segments [0,900], [1000,1900], [2000,2900].
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store->Put(MakeSegment(1, i * 1000, 10)).ok());
+  }
+  SegmentFilter filter;
+  filter.min_time = 950;
+  filter.max_time = 1500;
+  std::vector<Timestamp> starts;
+  ASSERT_TRUE(store
+                  ->Scan(filter,
+                         [&](const Segment& s) {
+                           starts.push_back(s.start_time);
+                           return Status::OK();
+                         })
+                  .ok());
+  // Only the middle segment overlaps [950, 1500].
+  EXPECT_EQ(starts, (std::vector<Timestamp>{1000}));
+}
+
+TEST(SegmentStoreTest, OverlapBoundariesAreInclusive) {
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  ASSERT_TRUE(store->Put(MakeSegment(1, 1000, 10, 100)).ok());  // [1000,1900]
+  auto hits = [&](Timestamp lo, Timestamp hi) {
+    return store->GetSegments(1, lo, hi).size();
+  };
+  EXPECT_EQ(hits(1900, 5000), 1u);  // Touching the end.
+  EXPECT_EQ(hits(0, 1000), 1u);     // Touching the start.
+  EXPECT_EQ(hits(1901, 5000), 0u);
+  EXPECT_EQ(hits(0, 999), 0u);
+}
+
+TEST(SegmentStoreTest, DuplicateKeyViaGapsMask) {
+  // Dynamic splitting can produce two segments with the same (Gid, EndTime)
+  // but different Gaps; both must be stored (§3.3).
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10, 100, 0b01)).ok());
+  ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10, 100, 0b10)).ok());
+  EXPECT_EQ(store->GetSegments(1, 0, 10000).size(), 2u);
+}
+
+TEST(SegmentStoreTest, PersistsAndReplays) {
+  TempDir dir;
+  {
+    SegmentStoreOptions options;
+    options.directory = dir.str();
+    options.bulk_write_size = 2;  // Force bulk writes.
+    auto store = *SegmentStore::Open(options);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store->Put(MakeSegment(1, i * 1000, 10)).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+    EXPECT_GT(store->DiskBytes(), 0);
+  }
+  SegmentStoreOptions options;
+  options.directory = dir.str();
+  auto reopened = *SegmentStore::Open(options);
+  EXPECT_EQ(reopened->NumSegments(), 5);
+  EXPECT_EQ(reopened->GetSegments(1, 0, 1000000).size(), 5u);
+}
+
+TEST(SegmentStoreTest, DestructorFlushesBuffered) {
+  TempDir dir;
+  {
+    SegmentStoreOptions options;
+    options.directory = dir.str();
+    auto store = *SegmentStore::Open(options);
+    ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10)).ok());
+    // No explicit flush: the destructor must persist.
+  }
+  SegmentStoreOptions options;
+  options.directory = dir.str();
+  auto reopened = *SegmentStore::Open(options);
+  EXPECT_EQ(reopened->NumSegments(), 1);
+}
+
+TEST(SegmentStoreTest, OutOfOrderPutsAreSorted) {
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  ASSERT_TRUE(store->Put(MakeSegment(1, 2000, 10)).ok());
+  ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10)).ok());
+  auto segments = store->GetSegments(1, 0, 1000000);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_LT(segments[0].end_time, segments[1].end_time);
+}
+
+TEST(SegmentStoreTest, ScanAbortsOnCallbackError) {
+  auto store = *SegmentStore::Open(SegmentStoreOptions{});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store->Put(MakeSegment(1, i * 1000, 10)).ok());
+  }
+  int seen = 0;
+  Status s = store->Scan(SegmentFilter{}, [&](const Segment&) {
+    ++seen;
+    return Status::Internal("stop");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(seen, 1);
+}
+
+}  // namespace
+}  // namespace modelardb

@@ -1,0 +1,103 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace modelardb {
+namespace {
+
+TEST(BitWriterTest, SingleBits) {
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteBit(false);
+  w.WriteBit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  std::vector<uint8_t> bytes = w.Finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriterTest, MultiBitFieldsCrossByteBoundaries) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.WriteBits(0b1111111111, 10);  // Crosses into the second byte.
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(3), 0b101u);
+  EXPECT_EQ(r.ReadBits(10), 0b1111111111u);
+}
+
+TEST(BitWriterTest, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.WriteBits(0xff, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitWriterTest, SixtyFourBitField) {
+  BitWriter w;
+  uint64_t v = 0xdeadbeefcafebabeull;
+  w.WriteBits(v, 64);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(64), v);
+}
+
+TEST(BitWriterTest, ValueMaskedToWidth) {
+  BitWriter w;
+  w.WriteBits(0xff, 4);  // Only the low 4 bits should be written.
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(4), 0xfu);
+}
+
+TEST(BitReaderTest, ReadPastEndYieldsZeros) {
+  BitWriter w;
+  w.WriteBits(0b1, 1);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(1), 1u);
+  // The writer padded to a byte; past that, zeros.
+  EXPECT_EQ(r.ReadBits(7), 0u);
+  EXPECT_EQ(r.ReadBits(16), 0u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitRoundTripTest, RandomizedFields) {
+  Random rng(7);
+  std::vector<std::pair<uint64_t, int>> fields;
+  BitWriter w;
+  for (int i = 0; i < 1000; ++i) {
+    int width = 1 + static_cast<int>(rng.NextBelow(64));
+    uint64_t value = rng.NextU64();
+    if (width < 64) value &= (uint64_t{1} << width) - 1;
+    fields.emplace_back(value, width);
+    w.WriteBits(value, width);
+  }
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  for (const auto& [value, width] : fields) {
+    EXPECT_EQ(r.ReadBits(width), value);
+  }
+}
+
+TEST(LeadingTrailingZerosTest, KnownValues) {
+  EXPECT_EQ(CountLeadingZeros64(0), 64);
+  EXPECT_EQ(CountTrailingZeros64(0), 64);
+  EXPECT_EQ(CountLeadingZeros64(1), 63);
+  EXPECT_EQ(CountTrailingZeros64(1), 0);
+  EXPECT_EQ(CountLeadingZeros64(uint64_t{1} << 63), 0);
+  EXPECT_EQ(CountTrailingZeros64(uint64_t{1} << 63), 63);
+}
+
+TEST(FloatBitsTest, RoundTrips) {
+  for (float f : {0.0f, -0.0f, 1.5f, -3.25e7f, 1e-20f}) {
+    EXPECT_EQ(BitsToFloat(FloatToBits(f)), f);
+  }
+  for (double d : {0.0, 1.0 / 3.0, -123456.789}) {
+    EXPECT_EQ(BitsToDouble(DoubleToBits(d)), d);
+  }
+}
+
+}  // namespace
+}  // namespace modelardb

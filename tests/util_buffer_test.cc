@@ -1,0 +1,132 @@
+#include "util/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace modelardb {
+namespace {
+
+TEST(ZigZagTest, RoundTripsAndOrdersSmallMagnitudes) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{12345}, int64_t{-98765},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(BufferTest, FixedWidthRoundTrip) {
+  BufferWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0xbeef);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefull);
+  w.WriteI64(-42);
+  w.WriteFloat(3.5f);
+  w.WriteDouble(-2.25);
+  std::vector<uint8_t> bytes = w.Finish();
+  BufferReader r(bytes);
+  EXPECT_EQ(*r.ReadU8(), 0xab);
+  EXPECT_EQ(*r.ReadU16(), 0xbeef);
+  EXPECT_EQ(*r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789abcdefull);
+  EXPECT_EQ(*r.ReadI64(), -42);
+  EXPECT_EQ(*r.ReadFloat(), 3.5f);
+  EXPECT_EQ(*r.ReadDouble(), -2.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BufferTest, VarintBoundaries) {
+  BufferWriter w;
+  std::vector<uint64_t> values = {0,    1,    127,        128,
+                                  300,  16383, 16384,      (1ull << 35) - 1,
+                                  ~0ull};
+  for (uint64_t v : values) w.WriteVarint(v);
+  BufferReader r(w.bytes());
+  for (uint64_t v : values) {
+    Result<uint64_t> got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(BufferTest, SignedVarintRoundTrip) {
+  BufferWriter w;
+  std::vector<int64_t> values = {0, -1, 1, -64, 64, -1000000, 1000000,
+                                 std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) w.WriteSignedVarint(v);
+  BufferReader r(w.bytes());
+  for (int64_t v : values) {
+    EXPECT_EQ(*r.ReadSignedVarint(), v);
+  }
+}
+
+TEST(BufferTest, SmallVarintsUseOneByte) {
+  BufferWriter w;
+  w.WriteVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.WriteVarint(128);
+  EXPECT_EQ(w.size(), 3u);  // Second varint took two bytes.
+}
+
+TEST(BufferTest, BytesAndStrings) {
+  BufferWriter w;
+  w.WriteString("hello");
+  w.WriteBytes(std::vector<uint8_t>{1, 2, 3});
+  w.WriteString("");
+  BufferReader r(w.bytes());
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadBytes(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(*r.ReadString(), "");
+}
+
+TEST(BufferTest, ReadPastEndIsOutOfRange) {
+  BufferWriter w;
+  w.WriteU8(1);
+  BufferReader r(w.bytes());
+  EXPECT_TRUE(r.ReadU8().ok());
+  EXPECT_EQ(r.ReadU32().status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BufferTest, TruncatedVarintDetected) {
+  std::vector<uint8_t> bytes = {0x80};  // Continuation bit but no next byte.
+  BufferReader r(bytes);
+  EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BufferTest, OverlongVarintDetected) {
+  std::vector<uint8_t> bytes(11, 0x80);  // 11 continuation bytes > 64 bits.
+  BufferReader r(bytes);
+  EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BufferTest, RandomizedMixedRoundTrip) {
+  Random rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    BufferWriter w;
+    std::vector<uint64_t> u;
+    std::vector<int64_t> s;
+    for (int i = 0; i < 100; ++i) {
+      uint64_t uv = rng.NextU64() >> rng.NextBelow(64);
+      int64_t sv = static_cast<int64_t>(rng.NextU64());
+      u.push_back(uv);
+      s.push_back(sv);
+      w.WriteVarint(uv);
+      w.WriteSignedVarint(sv);
+    }
+    BufferReader r(w.bytes());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(*r.ReadVarint(), u[i]);
+      EXPECT_EQ(*r.ReadSignedVarint(), s[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace modelardb

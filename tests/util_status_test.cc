@@ -1,0 +1,87 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace modelardb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  MODELARDB_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  MODELARDB_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return half + 1;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  Result<int> ok = UsesAssignOrReturn(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3);
+  EXPECT_EQ(UsesAssignOrReturn(3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace modelardb

@@ -1,0 +1,63 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace modelardb {
+namespace {
+
+TEST(SplitStringTest, BasicAndEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(TrimStringTest, Whitespace) {
+  EXPECT_EQ(TrimString("  a b  "), "a b");
+  EXPECT_EQ(TrimString("\t\nx\r "), "x");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(CaseTest, UpperLowerAndEquals) {
+  EXPECT_EQ(ToUpper("Hello_42"), "HELLO_42");
+  EXPECT_EQ(ToLower("Hello_42"), "hello_42");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("CUBE_SUM_HOUR", "CUBE_"));
+  EXPECT_FALSE(StartsWith("SUM", "SUM_S_"));
+  EXPECT_TRUE(EndsWith("MAX_S", "_S"));
+  EXPECT_FALSE(EndsWith("S", "_S"));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(JoinStringsTest, Basics) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace modelardb

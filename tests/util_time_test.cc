@@ -1,0 +1,150 @@
+#include "util/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace modelardb {
+namespace {
+
+TEST(CivilTimeTest, EpochIsJanuaryFirst1970) {
+  CivilTime c = ToCivil(0);
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+  EXPECT_EQ(c.hour, 0);
+  EXPECT_EQ(c.minute, 0);
+  EXPECT_EQ(c.second, 0);
+  EXPECT_EQ(c.millis, 0);
+}
+
+TEST(CivilTimeTest, RoundTripsKnownDate) {
+  CivilTime c{2016, 4, 12, 6, 30, 20, 500};
+  Timestamp ts = FromCivil(c);
+  CivilTime back = ToCivil(ts);
+  EXPECT_EQ(back.year, 2016);
+  EXPECT_EQ(back.month, 4);
+  EXPECT_EQ(back.day, 12);
+  EXPECT_EQ(back.hour, 6);
+  EXPECT_EQ(back.minute, 30);
+  EXPECT_EQ(back.second, 20);
+  EXPECT_EQ(back.millis, 500);
+}
+
+TEST(CivilTimeTest, LeapYearFebruary) {
+  Timestamp feb29 = FromCivil({2016, 2, 29, 12, 0, 0, 0});
+  CivilTime c = ToCivil(feb29);
+  EXPECT_EQ(c.month, 2);
+  EXPECT_EQ(c.day, 29);
+  // The next day is March 1.
+  CivilTime next = ToCivil(feb29 + kMillisPerDay);
+  EXPECT_EQ(next.month, 3);
+  EXPECT_EQ(next.day, 1);
+}
+
+TEST(CivilTimeTest, PreEpochDates) {
+  Timestamp ts = FromCivil({1969, 12, 31, 23, 0, 0, 0});
+  EXPECT_LT(ts, 0);
+  CivilTime c = ToCivil(ts);
+  EXPECT_EQ(c.year, 1969);
+  EXPECT_EQ(c.hour, 23);
+}
+
+TEST(FloorCeilTest, HourBoundaries) {
+  Timestamp t = FromCivil({2016, 4, 12, 6, 30, 20, 500});
+  EXPECT_EQ(FloorToLevel(t, TimeLevel::kHour),
+            FromCivil({2016, 4, 12, 6, 0, 0, 0}));
+  EXPECT_EQ(CeilToLevel(t, TimeLevel::kHour),
+            FromCivil({2016, 4, 12, 7, 0, 0, 0}));
+}
+
+TEST(FloorCeilTest, CeilOfExactBoundaryIsNextBoundary) {
+  Timestamp boundary = FromCivil({2016, 4, 12, 6, 0, 0, 0});
+  EXPECT_EQ(CeilToLevel(boundary, TimeLevel::kHour),
+            FromCivil({2016, 4, 12, 7, 0, 0, 0}));
+}
+
+TEST(FloorCeilTest, MonthBoundariesAcrossYearEnd) {
+  Timestamp t = FromCivil({2016, 12, 15, 0, 0, 0, 0});
+  EXPECT_EQ(FloorToLevel(t, TimeLevel::kMonth),
+            FromCivil({2016, 12, 1, 0, 0, 0, 0}));
+  EXPECT_EQ(CeilToLevel(t, TimeLevel::kMonth),
+            FromCivil({2017, 1, 1, 0, 0, 0, 0}));
+}
+
+TEST(FloorCeilTest, YearLevel) {
+  Timestamp t = FromCivil({2016, 6, 15, 10, 0, 0, 0});
+  EXPECT_EQ(FloorToLevel(t, TimeLevel::kYear),
+            FromCivil({2016, 1, 1, 0, 0, 0, 0}));
+  EXPECT_EQ(UpdateForLevel(FloorToLevel(t, TimeLevel::kYear), TimeLevel::kYear),
+            FromCivil({2017, 1, 1, 0, 0, 0, 0}));
+}
+
+TEST(TimeBucketTest, HourBucketsAreConsecutive) {
+  Timestamp t = FromCivil({2016, 4, 12, 6, 59, 59, 999});
+  Timestamp next = t + 1;
+  EXPECT_EQ(TimeBucket(next, TimeLevel::kHour),
+            TimeBucket(t, TimeLevel::kHour) + 1);
+}
+
+TEST(TimeBucketTest, MonthBucketDistinguishesYears) {
+  Timestamp jan2016 = FromCivil({2016, 1, 10, 0, 0, 0, 0});
+  Timestamp jan2017 = FromCivil({2017, 1, 10, 0, 0, 0, 0});
+  EXPECT_EQ(TimeBucket(jan2017, TimeLevel::kMonth) -
+                TimeBucket(jan2016, TimeLevel::kMonth),
+            12);
+}
+
+TEST(ExtractTest, DateParts) {
+  Timestamp t = FromCivil({2016, 4, 12, 6, 30, 20, 500});
+  EXPECT_EQ(ExtractYear(t), 2016);
+  EXPECT_EQ(ExtractMonth(t), 4);
+  EXPECT_EQ(ExtractDay(t), 12);
+  EXPECT_EQ(ExtractHour(t), 6);
+  EXPECT_EQ(ExtractMinute(t), 30);
+}
+
+TEST(ParseTimeLevelTest, NamesAndErrors) {
+  EXPECT_EQ(*ParseTimeLevel("HOUR"), TimeLevel::kHour);
+  EXPECT_EQ(*ParseTimeLevel("day"), TimeLevel::kDay);
+  EXPECT_EQ(*ParseTimeLevel("Month"), TimeLevel::kMonth);
+  EXPECT_FALSE(ParseTimeLevel("FORTNIGHT").ok());
+  for (TimeLevel level :
+       {TimeLevel::kSecond, TimeLevel::kMinute, TimeLevel::kHour,
+        TimeLevel::kDay, TimeLevel::kMonth, TimeLevel::kYear}) {
+    EXPECT_EQ(*ParseTimeLevel(TimeLevelName(level)), level);
+  }
+}
+
+TEST(FormatTest, FormatsIso) {
+  Timestamp t = FromCivil({2016, 4, 12, 6, 30, 20, 5});
+  EXPECT_EQ(FormatTimestamp(t), "2016-04-12 06:30:20.005");
+}
+
+// Property sweep: floor <= t < ceil and both are level boundaries.
+class LevelSweepTest : public ::testing::TestWithParam<TimeLevel> {};
+
+TEST_P(LevelSweepTest, FloorCeilInvariants) {
+  TimeLevel level = GetParam();
+  Timestamp base = FromCivil({2015, 11, 27, 21, 47, 33, 123});
+  for (int i = 0; i < 500; ++i) {
+    Timestamp t = base + static_cast<Timestamp>(i) * 7919 * 1000;
+    Timestamp floor = FloorToLevel(t, level);
+    Timestamp ceil = CeilToLevel(t, level);
+    EXPECT_LE(floor, t);
+    EXPECT_GT(ceil, t);
+    EXPECT_EQ(FloorToLevel(floor, level), floor);
+    EXPECT_EQ(FloorToLevel(ceil, level), ceil);
+    EXPECT_EQ(UpdateForLevel(floor, level), ceil);
+    EXPECT_EQ(TimeBucket(t, level), TimeBucket(floor, level));
+    EXPECT_EQ(TimeBucket(ceil, level), TimeBucket(floor, level) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, LevelSweepTest,
+                         ::testing::Values(TimeLevel::kSecond,
+                                           TimeLevel::kMinute,
+                                           TimeLevel::kHour, TimeLevel::kDay,
+                                           TimeLevel::kMonth,
+                                           TimeLevel::kYear));
+
+}  // namespace
+}  // namespace modelardb
