@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for modelardb_dims.
+# This may be replaced when dependencies are built.

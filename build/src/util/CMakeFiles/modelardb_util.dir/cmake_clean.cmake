@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_util.dir/bits.cc.o"
+  "CMakeFiles/modelardb_util.dir/bits.cc.o.d"
+  "CMakeFiles/modelardb_util.dir/logging.cc.o"
+  "CMakeFiles/modelardb_util.dir/logging.cc.o.d"
+  "CMakeFiles/modelardb_util.dir/status.cc.o"
+  "CMakeFiles/modelardb_util.dir/status.cc.o.d"
+  "CMakeFiles/modelardb_util.dir/strings.cc.o"
+  "CMakeFiles/modelardb_util.dir/strings.cc.o.d"
+  "CMakeFiles/modelardb_util.dir/time_util.cc.o"
+  "CMakeFiles/modelardb_util.dir/time_util.cc.o.d"
+  "libmodelardb_util.a"
+  "libmodelardb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[CustomModelIntegrationTest.FullStackWithPersistentReopen]=]  /root/repo/build/tests/integration_custom_model_test [==[--gtest_filter=CustomModelIntegrationTest.FullStackWithPersistentReopen]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CustomModelIntegrationTest.FullStackWithPersistentReopen]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_custom_model_test_TESTS CustomModelIntegrationTest.FullStackWithPersistentReopen)
