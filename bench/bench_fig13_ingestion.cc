@@ -37,6 +37,7 @@ void PrintRates(const std::string& name, int64_t points, double cpu_seconds,
 int main() {
   using namespace modelardb;
   bench::PrintHeader("Figure 13", "Ingestion rate, EP");
+  bench::JsonReport json("fig13_ingestion");
   bench::TempDir dir("fig13");
 
   auto ep = bench::MakeEp();
@@ -63,6 +64,7 @@ int main() {
         "v1 ingest");
     PrintRates("ModelarDBv1 (MMC)", v1.report.data_points,
                v1.report.seconds, v1.engine->DiskBytes(), "(B-1)");
+    json.Add("v1_b1_points_per_second", v1.report.points_per_second);
   }
   double v2_b1_disk_seconds = 1;
   {
@@ -72,6 +74,7 @@ int main() {
         "v2 ingest");
     PrintRates("ModelarDBv2 (MMGC)", v2.report.data_points,
                v2.report.seconds, v2.engine->DiskBytes(), "(B-1)");
+    json.Add("v2_b1_points_per_second", v2.report.points_per_second);
     v2_b1_disk_seconds = std::max(
         v2.report.seconds, v2.engine->DiskBytes() / kDiskBytesPerSecond);
   }
@@ -115,6 +118,7 @@ int main() {
                 "(B-2 bulk, makespan)");
     std::printf("%-26s %12.2fx\n", "  speedup vs B-1 (disk)",
                 v2_b1_disk_seconds / disk_seconds);
+    json.Add("v2_b2_points_per_second", total / makespan);
   }
 
   // O-2: online analytics — S-AGG queries execute on another thread while
@@ -154,6 +158,11 @@ int main() {
                engine->DiskBytes(), "(O-2 online analytics)");
     std::printf("%-26s %13lld\n", "  queries during ingest",
                 static_cast<long long>(queries_executed.load()));
+    json.Add("o2_points_per_second", report.points_per_second);
+    json.Add("o2_queries_per_second",
+             report.seconds > 0 ? queries_executed.load() / report.seconds
+                                : 0.0);
+    json.Add("o2_queries_during_ingest", queries_executed.load());
   }
 
   bench::PrintNote("paper (millions of points/s): Cassandra 0.08, ORC 0.04, "

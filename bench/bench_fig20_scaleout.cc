@@ -20,6 +20,7 @@
 int main() {
   using namespace modelardb;
   bench::PrintHeader("Figure 20", "Scale-out, L-AGG (relative increase)");
+  bench::JsonReport json("fig20_scaleout");
 
   const int64_t rows = static_cast<int64_t>(3000 * bench::Scale());
   std::printf("%-8s %18s %18s\n", "workers", "Segment View",
@@ -141,8 +142,89 @@ int main() {
     }
     std::printf("%-8d %18.2f %18.2f\n", workers, sv / sv_base,
                 dpv / dpv_base);
+    json.Add("sv_relative_w" + std::to_string(workers), sv / sv_base);
+    json.Add("dpv_relative_w" + std::to_string(workers), dpv / dpv_base);
   }
   bench::PrintNote("paper: linear relative increase to 32 nodes for both "
                    "views (no shuffling: each series lives on one node)");
+
+  // Intra-worker core scaling: the same L-AGG partials on ONE worker's
+  // store, split into per-Gid morsels on the shared pool versus executed
+  // sequentially (parallelism = 1). This is the dimension Fig 20 cannot
+  // show (it scales across workers); the morsel engine adds it.
+  {
+    workload::SyntheticDataset ds = workload::SyntheticDataset::Ep(8, rows);
+    auto groups = bench::CheckOk(
+        Partitioner::Partition(ds.catalog(), ds.BestHints()), "partition");
+    ModelRegistry registry = ModelRegistry::Default();
+    auto store = std::move(*SegmentStore::Open(SegmentStoreOptions{}));
+    for (const TimeSeriesGroup& group : groups) {
+      SegmentGeneratorConfig config;
+      config.gid = group.gid;
+      config.si = ds.si();
+      config.num_series = static_cast<int>(group.tids.size());
+      config.registry = &registry;
+      SegmentGenerator generator(config, group.tids);
+      std::vector<Segment> segments;
+      for (int64_t r = 0; r < rows; ++r) {
+        GroupRow row;
+        row.timestamp = ds.TimestampAt(r);
+        for (Tid tid : group.tids) {
+          row.values.push_back(
+              ds.RawValue(tid, r) *
+              static_cast<Value>(ds.catalog()->Get(tid).scaling));
+          row.present.push_back(ds.Present(tid, r));
+        }
+        bench::CheckOk(generator.Ingest(row, &segments), "ingest");
+      }
+      bench::CheckOk(generator.Flush(&segments), "flush");
+      bench::CheckOk(store->PutBatch(segments), "put");
+    }
+
+    query::QueryEngine engine(ds.catalog(), groups, &registry);
+    query::StoreSegmentSource source(store.get());
+    std::vector<Gid> morsels = store->Gids();
+    auto time_partials = [&](ThreadPool* pool,
+                             workload::QueryTarget target) {
+      std::vector<std::string> sqls;
+      for (const auto& spec : workload::MakeLAggSpecs(ds)) {
+        sqls.push_back(workload::ToSql(spec, target));
+      }
+      Stopwatch stopwatch;
+      for (const std::string& sql : sqls) {
+        auto ast = bench::CheckOk(query::ParseQuery(sql), "parse");
+        auto compiled = bench::CheckOk(engine.Compile(ast), "compile");
+        bench::CheckOk(
+            engine.ExecutePartialParallel(compiled, source, morsels, pool),
+            "partial");
+      }
+      return stopwatch.ElapsedSeconds();
+    };
+
+    int threads = ThreadPool::DefaultParallelism();
+    std::printf("\nintra-worker morsel scaling (1 worker, %d threads, "
+                "%zu Gid morsels)\n", threads, morsels.size());
+    std::printf("%-24s %14s %14s %10s\n", "view", "seq s", "pool s",
+                "speedup");
+    for (auto target : {workload::QueryTarget::kSegmentView,
+                        workload::QueryTarget::kDataPointView}) {
+      const char* name = target == workload::QueryTarget::kSegmentView
+                             ? "Segment View"
+                             : "Data Point View";
+      time_partials(nullptr, target);  // Warm-up (decoders, page cache).
+      double seq = time_partials(nullptr, target);
+      double pooled = time_partials(ThreadPool::Shared(), target);
+      std::printf("%-24s %14.4f %14.4f %9.2fx\n", name, seq, pooled,
+                  seq / pooled);
+      std::string key = target == workload::QueryTarget::kSegmentView
+                            ? "intra_sv" : "intra_dpv";
+      json.Add(key + "_sequential_seconds", seq);
+      json.Add(key + "_pool_seconds", pooled);
+      json.Add(key + "_speedup", seq / pooled);
+    }
+    json.Add("intra_morsels", static_cast<int64_t>(morsels.size()));
+    bench::PrintNote("morsel target: speedup -> min(threads, morsels) on "
+                     "multi-core machines; ~1.0x on one core");
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -25,6 +26,7 @@
 #include "storage/row_store.h"
 #include "storage/tsm_store.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 #include "workload/baseline_query.h"
 #include "workload/dataset.h"
 #include "workload/queries.h"
@@ -236,6 +238,59 @@ inline Result<double> RunSqlSet(const cluster::ClusterEngine& engine,
 }
 
 // --- Output helpers ---------------------------------------------------------
+
+// Machine-readable results alongside the human-readable tables: each bench
+// writes BENCH_<tag>.json (into MODELARDB_BENCH_JSON_DIR, default the
+// current directory; set it to "off" to disable) so the perf trajectory —
+// points/sec, queries/sec, thread counts — can be tracked across commits.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& tag) : tag_(tag) {
+    Add("bench", tag);
+    Add("scale", Scale());
+    Add("hardware_threads",
+        static_cast<int64_t>(ThreadPool::DefaultParallelism()));
+  }
+
+  void Add(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    entries_.emplace_back(key, buffer);
+  }
+  void Add(const std::string& key, int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    std::string escaped = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    entries_.emplace_back(key, escaped);
+  }
+
+  ~JsonReport() {
+    const char* dir = std::getenv("MODELARDB_BENCH_JSON_DIR");
+    std::string directory = dir != nullptr ? dir : ".";
+    if (directory == "off") return;
+    std::string path = directory + "/BENCH_" + tag_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return;  // Best effort: benches still print tables.
+    std::fputs("{\n", out);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fputs("}\n", out);
+    std::fclose(out);
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 inline void PrintHeader(const char* figure, const char* title) {
   std::printf("==================================================\n");

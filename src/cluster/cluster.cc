@@ -1,7 +1,6 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "query/parser.h"
 #include "util/strings.h"
@@ -19,6 +18,14 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Create(
   engine->config_ = config;
   engine->catalog_ = catalog;
   engine->registry_ = registry;
+  if (config.parallelism == 1) {
+    engine->pool_ = nullptr;  // Fully sequential.
+  } else if (config.parallelism > 1) {
+    engine->owned_pool_ = std::make_unique<ThreadPool>(config.parallelism);
+    engine->pool_ = engine->owned_pool_.get();
+  } else {
+    engine->pool_ = ThreadPool::Shared();
+  }
 
   for (int i = 0; i < config.num_workers; ++i) {
     SegmentStoreOptions store_options;
@@ -87,23 +94,42 @@ Status ClusterEngine::Ingest(Gid gid, const GroupRow& row) {
 }
 
 Status ClusterEngine::FlushAll() {
-  for (auto& worker : workers_) {
-    for (const auto& [gid, coordinator] : worker->coordinators()) {
-      std::vector<Segment> segments;
-      MODELARDB_RETURN_NOT_OK(coordinator->Flush(&segments));
-      if (!segments.empty()) {
-        MODELARDB_RETURN_NOT_OK(worker->store()->PutBatch(segments));
-      }
-    }
-    MODELARDB_RETURN_NOT_OK(worker->store()->Flush());
+  // One task per worker: each group's coordinator and each store is
+  // touched by exactly one task (the one-writer-per-group invariant).
+  std::vector<Status> statuses(workers_.size());
+  TaskGroup group(pool_);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    group.Submit([this, &statuses, i] {
+      Worker* worker = workers_[i].get();
+      auto flush_worker = [&]() -> Status {
+        for (const auto& [gid, coordinator] : worker->coordinators()) {
+          std::vector<Segment> segments;
+          MODELARDB_RETURN_NOT_OK(coordinator->Flush(&segments));
+          if (!segments.empty()) {
+            MODELARDB_RETURN_NOT_OK(worker->store()->PutBatch(segments));
+          }
+        }
+        return worker->store()->Flush();
+      };
+      statuses[i] = flush_worker();
+    });
+  }
+  group.Wait();
+  for (const Status& status : statuses) {
+    MODELARDB_RETURN_NOT_OK(status);
   }
   return Status::OK();
 }
 
 Result<query::PartialResult> ClusterEngine::ExecuteOnWorker(
     const query::CompiledQuery& compiled, int worker) const {
-  query::StoreSegmentSource source(workers_[worker]->store());
-  return query_engine_->ExecutePartial(compiled, source);
+  const SegmentStore* store = workers_[worker]->store();
+  query::StoreSegmentSource source(store);
+  // Morsel per Gid; an empty filter means "all groups on this worker".
+  std::vector<Gid> morsel_gids =
+      compiled.filter.gids.empty() ? store->Gids() : compiled.filter.gids;
+  return query_engine_->ExecutePartialParallel(compiled, source, morsel_gids,
+                                               pool_);
 }
 
 Result<query::QueryResult> ClusterEngine::Execute(
@@ -119,31 +145,26 @@ Result<query::QueryResult> ClusterEngine::Execute(
   }
   MODELARDB_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
                              query_engine_->Compile(ast));
+  // Fan out one task per worker onto the shared pool; each worker task
+  // fans out per-Gid morsels onto the same pool (TaskGroup::Wait helps run
+  // them, so the nesting cannot deadlock). Partials are merged in worker
+  // order, keeping results byte-identical to sequential execution.
   std::vector<query::PartialResult> partials(workers_.size());
-  if (config_.parallel_queries && workers_.size() > 1) {
-    std::vector<Status> statuses(workers_.size());
-    std::vector<std::thread> threads;
-    threads.reserve(workers_.size());
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      threads.emplace_back([this, &compiled, &partials, &statuses, i] {
-        auto result = ExecuteOnWorker(compiled, static_cast<int>(i));
-        if (result.ok()) {
-          partials[i] = std::move(*result);
-        } else {
-          statuses[i] = result.status();
-        }
-      });
-    }
-    for (auto& thread : threads) thread.join();
-    for (const Status& status : statuses) {
-      MODELARDB_RETURN_NOT_OK(status);
-    }
-  } else {
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      MODELARDB_ASSIGN_OR_RETURN(partials[i],
-                                 ExecuteOnWorker(compiled,
-                                                 static_cast<int>(i)));
-    }
+  std::vector<Status> statuses(workers_.size());
+  TaskGroup group(pool_);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    group.Submit([this, &compiled, &partials, &statuses, i] {
+      auto result = ExecuteOnWorker(compiled, static_cast<int>(i));
+      if (result.ok()) {
+        partials[i] = std::move(*result);
+      } else {
+        statuses[i] = result.status();
+      }
+    });
+  }
+  group.Wait();
+  for (const Status& status : statuses) {
+    MODELARDB_RETURN_NOT_OK(status);
   }
   return query_engine_->MergeFinalize(compiled, std::move(partials));
 }

@@ -22,6 +22,7 @@
 #include "core/group_coordinator.h"
 #include "query/engine.h"
 #include "storage/segment_store.h"
+#include "util/thread_pool.h"
 
 namespace modelardb {
 namespace cluster {
@@ -36,9 +37,14 @@ struct ClusterConfig {
   bool enable_splitting = true;
   double split_fraction = 10.0;
   size_t bulk_write_size = 50000;
-  // Run worker partials on std::threads (true) or sequentially (false;
-  // used by the scale-out harness to measure per-worker makespan).
-  bool parallel_queries = true;
+  // Degree of intra-process parallelism for queries, flushes and (through
+  // the pipeline) ingestion:
+  //   0  — the process-wide pool sized to the hardware (the default);
+  //   1  — fully sequential (no pool; harnesses measuring makespan);
+  //   N  — an engine-owned pool of N threads (core-scaling benchmarks).
+  // Results are byte-identical at every setting: per-Gid morsel partials
+  // are merged in a deterministic order.
+  int parallelism = 0;
 };
 
 // One worker node: its assigned groups' coordinators plus its store.
@@ -94,11 +100,15 @@ class ClusterEngine {
   Result<query::QueryResult> Execute(const std::string& sql) const;
   Result<query::QueryResult> Execute(const query::Query& ast) const;
 
-  // Per-worker partial execution (exposed for the scale-out harness).
+  // Per-worker partial execution (exposed for the scale-out harness):
+  // splits the worker's store into per-Gid morsels on the pool.
   Result<query::PartialResult> ExecuteOnWorker(
       const query::CompiledQuery& compiled, int worker) const;
 
   const query::QueryEngine& query_engine() const { return *query_engine_; }
+
+  // The pool queries/flushes/ingestion run on; null when parallelism == 1.
+  ThreadPool* pool() const { return pool_; }
 
   // Total bytes across worker stores.
   int64_t DiskBytes() const;
@@ -114,6 +124,8 @@ class ClusterEngine {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::map<Gid, int> worker_of_;
   std::unique_ptr<query::QueryEngine> query_engine_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // parallelism > 1 only.
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace cluster

@@ -1,9 +1,9 @@
 #include "ingest/pipeline.h"
 
 #include <atomic>
-#include <thread>
 
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace modelardb {
 namespace ingest {
@@ -54,26 +54,26 @@ Result<IngestReport> RunPipeline(
   std::atomic<int64_t> points{0};
   Stopwatch stopwatch;
 
-  if (options.thread_per_worker && cluster->num_workers() > 1) {
-    std::vector<Status> statuses(partitions.size());
-    std::vector<std::thread> threads;
-    for (size_t i = 0; i < partitions.size(); ++i) {
-      if (partitions[i].empty()) continue;
-      threads.emplace_back([&, i] {
-        statuses[i] = RunPartition(cluster, partitions[i], options, &rows,
-                                   &points);
-      });
-    }
-    for (auto& thread : threads) thread.join();
-    for (const Status& status : statuses) {
-      MODELARDB_RETURN_NOT_OK(status);
-    }
-  } else {
-    for (const auto& partition : partitions) {
-      if (partition.empty()) continue;
-      MODELARDB_RETURN_NOT_OK(
-          RunPartition(cluster, partition, options, &rows, &points));
-    }
+  // One ingestion task per worker on the cluster's shared pool (one
+  // writer per group). A null pool or the sequential knobs degrade to
+  // running the partitions inline, in worker order.
+  ThreadPool* pool =
+      (options.thread_per_worker && options.parallelism != 1 &&
+       cluster->num_workers() > 1)
+          ? cluster->pool()
+          : nullptr;
+  std::vector<Status> statuses(partitions.size());
+  TaskGroup group(pool);
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].empty()) continue;
+    group.Submit([&, i] {
+      statuses[i] = RunPartition(cluster, partitions[i], options, &rows,
+                                 &points);
+    });
+  }
+  group.Wait();
+  for (const Status& status : statuses) {
+    MODELARDB_RETURN_NOT_OK(status);
   }
   MODELARDB_RETURN_NOT_OK(cluster->FlushAll());
 

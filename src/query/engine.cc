@@ -474,6 +474,39 @@ Result<PartialResult> QueryEngine::ExecutePartial(
   return DataPointViewPartial(compiled, source);
 }
 
+Result<PartialResult> QueryEngine::ExecutePartialParallel(
+    const CompiledQuery& compiled, const SegmentSource& source,
+    const std::vector<Gid>& morsel_gids, ThreadPool* pool) const {
+  if (morsel_gids.empty()) return PartialResult{};
+  // Even sequentially (null pool), execute morsel-by-morsel and merge in
+  // Gid order so aggregates sum in the same order at every pool size.
+  const size_t n = morsel_gids.size();
+  std::vector<PartialResult> partials(n);
+  std::vector<Status> statuses(n);
+  TaskGroup group(pool);
+  for (size_t i = 0; i < n; ++i) {
+    group.Submit([this, &compiled, &source, &morsel_gids, &partials,
+                  &statuses, i] {
+      GidRestrictedSource morsel(&source, morsel_gids[i]);
+      auto result = ExecutePartial(compiled, morsel);
+      if (result.ok()) {
+        partials[i] = std::move(*result);
+      } else {
+        statuses[i] = result.status();
+      }
+    });
+  }
+  group.Wait();
+  for (const Status& status : statuses) {
+    MODELARDB_RETURN_NOT_OK(status);
+  }
+  PartialResult merged = std::move(partials[0]);
+  for (size_t i = 1; i < n; ++i) {
+    merged.Merge(std::move(partials[i]));
+  }
+  return merged;
+}
+
 Result<QueryResult> QueryEngine::MergeFinalize(
     const CompiledQuery& compiled, std::vector<PartialResult> partials) const {
   PartialResult merged;

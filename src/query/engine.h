@@ -31,6 +31,7 @@
 #include "query/ast.h"
 #include "query/result.h"
 #include "storage/segment_store.h"
+#include "util/thread_pool.h"
 
 namespace modelardb {
 namespace query {
@@ -55,8 +56,28 @@ class StoreSegmentSource : public SegmentSource {
     return store_->Scan(filter, fn);
   }
 
+  const SegmentStore* store() const { return store_; }
+
  private:
   const SegmentStore* store_;
+};
+
+// Restricts a source to a single group: one morsel of a parallel scan.
+class GidRestrictedSource : public SegmentSource {
+ public:
+  GidRestrictedSource(const SegmentSource* base, Gid gid)
+      : base_(base), gid_(gid) {}
+  Status ScanSegments(
+      const SegmentFilter& filter,
+      const std::function<Status(const Segment&)>& fn) const override {
+    SegmentFilter restricted = filter;
+    restricted.gids = {gid_};
+    return base_->ScanSegments(restricted, fn);
+  }
+
+ private:
+  const SegmentSource* base_;
+  Gid gid_;
 };
 
 // Group-by key parts after name resolution.
@@ -132,6 +153,15 @@ class QueryEngine {
   Result<CompiledQuery> Compile(const Query& ast) const;
   Result<PartialResult> ExecutePartial(const CompiledQuery& compiled,
                                        const SegmentSource& source) const;
+  // Morsel-driven ExecutePartial: splits the scan into per-Gid morsels
+  // (`morsel_gids`, ascending), runs each as an independent task on `pool`
+  // (inline when `pool` is null) into a task-local PartialResult, and
+  // merges the partials in Gid order. The merge order is deterministic, so
+  // the result — including the floating-point reduction tree — is
+  // byte-identical for every pool size including none.
+  Result<PartialResult> ExecutePartialParallel(
+      const CompiledQuery& compiled, const SegmentSource& source,
+      const std::vector<Gid>& morsel_gids, ThreadPool* pool) const;
   Result<QueryResult> MergeFinalize(const CompiledQuery& compiled,
                                     std::vector<PartialResult> partials) const;
 

@@ -62,13 +62,17 @@ Status SegmentStore::ReplayLog() {
     for (uint64_t i = 0; i < count; ++i) {
       MODELARDB_ASSIGN_OR_RETURN(Segment segment,
                                  Segment::Deserialize(&block));
-      index_[segment.gid].push_back(std::move(segment));
-      ++num_segments_;
+      GroupSlot& slot = index_[segment.gid];
+      if (!slot.segments) {
+        slot.segments = std::make_shared<std::vector<Segment>>();
+      }
+      slot.segments->push_back(std::move(segment));
+      num_segments_.fetch_add(1, std::memory_order_relaxed);
     }
     MODELARDB_RETURN_NOT_OK(reader.Skip(length));
   }
-  for (auto& [gid, segments] : index_) {
-    std::sort(segments.begin(), segments.end(),
+  for (auto& [gid, slot] : index_) {
+    std::sort(slot.segments->begin(), slot.segments->end(),
               [](const Segment& a, const Segment& b) {
                 return std::tie(a.end_time, a.gap_mask) <
                        std::tie(b.end_time, b.gap_mask);
@@ -83,7 +87,16 @@ Status SegmentStore::Put(const Segment& segment) {
 }
 
 Status SegmentStore::PutLocked(const Segment& segment) {
-  auto& segments = index_[segment.gid];
+  GroupSlot& slot = index_[segment.gid];
+  if (!slot.segments) {
+    slot.segments = std::make_shared<std::vector<Segment>>();
+  } else if (slot.snapshotted) {
+    // A running scan may still iterate this vector: leave it intact and
+    // mutate a private copy (copy-on-write).
+    slot.segments = std::make_shared<std::vector<Segment>>(*slot.segments);
+    slot.snapshotted = false;
+  }
+  auto& segments = *slot.segments;
   // Common case: appends arrive in end_time order per group.
   if (!segments.empty() &&
       std::tie(segments.back().end_time, segments.back().gap_mask) >
@@ -98,7 +111,7 @@ Status SegmentStore::PutLocked(const Segment& segment) {
   } else {
     segments.push_back(segment);
   }
-  ++num_segments_;
+  num_segments_.fetch_add(1, std::memory_order_relaxed);
   if (!log_path_.empty()) {
     write_buffer_.push_back(segment);
     if (write_buffer_.size() >= options_.bulk_write_size) {
@@ -131,7 +144,8 @@ Status SegmentStore::WriteBlock(const std::vector<Segment>& segments) {
   out.write(reinterpret_cast<const char*>(payload.bytes().data()),
             static_cast<std::streamsize>(payload.size()));
   if (!out.good()) return Status::IOError("write failed: " + log_path_);
-  disk_bytes_ += static_cast<int64_t>(header.size() + payload.size());
+  disk_bytes_.fetch_add(static_cast<int64_t>(header.size() + payload.size()),
+                        std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -147,10 +161,31 @@ Status SegmentStore::FlushLocked() {
   return Status::OK();
 }
 
+std::vector<SegmentStore::Snapshot> SegmentStore::SnapshotsFor(
+    const SegmentFilter& filter) const {
+  std::vector<Snapshot> snapshots;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto grab = [&](GroupSlot& slot) {
+    if (!slot.segments || slot.segments->empty()) return;
+    slot.snapshotted = true;
+    snapshots.push_back(slot.segments);
+  };
+  if (filter.gids.empty()) {
+    snapshots.reserve(index_.size());
+    for (auto& [gid, slot] : index_) grab(slot);
+  } else {
+    snapshots.reserve(filter.gids.size());
+    for (Gid gid : filter.gids) {
+      auto it = index_.find(gid);
+      if (it != index_.end()) grab(it->second);
+    }
+  }
+  return snapshots;
+}
+
 Status SegmentStore::Scan(
     const SegmentFilter& filter,
     const std::function<Status(const Segment&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   auto scan_group = [&](const std::vector<Segment>& segments) -> Status {
     // Clustering on end_time: binary search to the first candidate.
     auto it = std::lower_bound(
@@ -168,32 +203,25 @@ Status SegmentStore::Scan(
     }
     return Status::OK();
   };
-  if (filter.gids.empty()) {
-    for (const auto& [gid, segments] : index_) {
-      MODELARDB_RETURN_NOT_OK(scan_group(segments));
-    }
-  } else {
-    for (Gid gid : filter.gids) {
-      auto it = index_.find(gid);
-      if (it != index_.end()) {
-        MODELARDB_RETURN_NOT_OK(scan_group(it->second));
-      }
-    }
+  // The lock is only held inside SnapshotsFor; the iterate callbacks below
+  // run lock-free on the immutable snapshot vectors.
+  for (const Snapshot& snapshot : SnapshotsFor(filter)) {
+    MODELARDB_RETURN_NOT_OK(scan_group(*snapshot));
   }
   return Status::OK();
 }
 
-std::vector<Segment> SegmentStore::GetSegments(Gid gid, Timestamp min_time,
-                                               Timestamp max_time) const {
+Result<std::vector<Segment>> SegmentStore::GetSegments(
+    Gid gid, Timestamp min_time, Timestamp max_time) const {
   std::vector<Segment> out;
   SegmentFilter filter;
   filter.gids = {gid};
   filter.min_time = min_time;
   filter.max_time = max_time;
-  Scan(filter, [&out](const Segment& segment) {
+  MODELARDB_RETURN_NOT_OK(Scan(filter, [&out](const Segment& segment) {
     out.push_back(segment);
     return Status::OK();
-  }).ok();
+  }));
   return out;
 }
 
@@ -201,7 +229,7 @@ std::vector<Gid> SegmentStore::Gids() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Gid> out;
   out.reserve(index_.size());
-  for (const auto& [gid, segments] : index_) out.push_back(gid);
+  for (const auto& [gid, slot] : index_) out.push_back(gid);
   return out;
 }
 

@@ -16,6 +16,7 @@
 #ifndef MODELARDB_STORAGE_SEGMENT_STORE_H_
 #define MODELARDB_STORAGE_SEGMENT_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <map>
@@ -47,9 +48,13 @@ struct SegmentFilter {
   }
 };
 
-// Thread-safety: Put/Flush/Scan may be called concurrently (a coarse lock
-// serializes index access), which is what the online-analytics ingestion
-// scenario of Fig 13 requires.
+// Thread-safety: Put/Flush/Scan may be called concurrently. Scans are
+// snapshot-based: the lock is held only while grabbing copy-on-write
+// references to the matching per-group segment vectors; iterate/aggregate
+// callbacks then run lock-free on that immutable snapshot, so concurrent
+// PutBatch from ingestion never blocks a running query (the online
+// analytics scenario of Fig 13). Writers copy a group's vector before
+// mutating it iff a live snapshot may still reference it.
 class SegmentStore {
  public:
   // Opens (and replays) the store at options.directory, or an in-memory
@@ -75,33 +80,49 @@ class SegmentStore {
               const std::function<Status(const Segment&)>& fn) const;
 
   // Segments of one group overlapping [min_time, max_time].
-  std::vector<Segment> GetSegments(Gid gid, Timestamp min_time,
-                                   Timestamp max_time) const;
+  Result<std::vector<Segment>> GetSegments(Gid gid, Timestamp min_time,
+                                           Timestamp max_time) const;
 
-  int64_t NumSegments() const { return num_segments_; }
+  int64_t NumSegments() const {
+    return num_segments_.load(std::memory_order_relaxed);
+  }
 
   // Exact bytes written to disk (0 for in-memory stores). This is the
   // paper's `du` measurement.
-  int64_t DiskBytes() const { return disk_bytes_; }
+  int64_t DiskBytes() const {
+    return disk_bytes_.load(std::memory_order_relaxed);
+  }
 
   std::vector<Gid> Gids() const;
 
  private:
+  // One group's segments with copy-on-write snapshot tracking. `segments`
+  // is immutable from the moment a snapshot references it (`snapshotted`);
+  // the next write under the store lock replaces it with a copy.
+  struct GroupSlot {
+    std::shared_ptr<std::vector<Segment>> segments;
+    bool snapshotted = false;
+  };
+  using Snapshot = std::shared_ptr<const std::vector<Segment>>;
+
   explicit SegmentStore(SegmentStoreOptions options);
 
   Status ReplayLog();
   Status WriteBlock(const std::vector<Segment>& segments);
   Status PutLocked(const Segment& segment);
   Status FlushLocked();
+  // Grabs (and marks) the snapshots `filter` selects, in ascending Gid
+  // order for the empty-gids case and in `filter.gids` order otherwise.
+  std::vector<Snapshot> SnapshotsFor(const SegmentFilter& filter) const;
 
   SegmentStoreOptions options_;
   std::string log_path_;
   mutable std::mutex mutex_;
   // Index: per group, segments ordered by end_time (the clustering key).
-  std::map<Gid, std::vector<Segment>> index_;
+  mutable std::map<Gid, GroupSlot> index_;
   std::vector<Segment> write_buffer_;
-  int64_t num_segments_ = 0;
-  int64_t disk_bytes_ = 0;
+  std::atomic<int64_t> num_segments_{0};
+  std::atomic<int64_t> disk_bytes_{0};
 };
 
 }  // namespace modelardb

@@ -1,0 +1,146 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace modelardb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (const std::exception& e) {
+      MODELARDB_LOG(kError) << "uncaught exception in pool task: "
+                            << e.what();
+    } catch (...) {
+      MODELARDB_LOG(kError) << "uncaught exception in pool task";
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      queue_.push_back(std::move(fn));
+      cv_.notify_one();
+      return;
+    }
+  }
+  fn();  // Destructor already draining: degrade to inline execution.
+}
+
+int ThreadPool::DefaultParallelism() {
+  if (const char* env = std::getenv("MODELARDB_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Intentionally leaked: worker threads must not be joined during static
+  // destruction (tasks submitted from other statics could deadlock).
+  static ThreadPool* shared = new ThreadPool(DefaultParallelism());
+  return shared;
+}
+
+bool TaskGroup::State::RunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (pending.empty()) return false;
+    task = std::move(pending.front());
+    pending.pop_front();
+    ++running;
+  }
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    --running;
+    if (running == 0 && pending.empty()) cv.notify_all();
+  }
+  return true;
+}
+
+void TaskGroup::State::Drain() {
+  // Help: execute the group's own backlog on this thread, then wait for
+  // whatever pool workers picked up.
+  while (RunOne()) {
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [this] { return running == 0 && pending.empty(); });
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    // Sequential mode: same exception capture as pooled execution.
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (!state_->error) state_->error = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->pending.push_back(std::move(fn));
+  }
+  pool_->Submit([state = state_] { state->RunOne(); });
+}
+
+void TaskGroup::Wait() {
+  state_->Drain();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    error = state_->error;
+    state_->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace modelardb

@@ -1,0 +1,99 @@
+// A shared, fixed-size thread pool plus structured task groups.
+//
+// One sized-to-hardware pool (ThreadPool::Shared()) serves the whole
+// process: cluster query fan-out, per-worker morsel execution, ingestion
+// partitions and flushes all submit to it, so the process never
+// oversubscribes the machine the way per-query std::thread spawning did.
+//
+// TaskGroup provides the structured fork/join used on the query path.
+// Wait() *helps*: it runs the group's not-yet-started tasks on the calling
+// thread, so nested groups (a pooled worker task fanning out per-Gid
+// morsels onto the same pool) cannot deadlock even on a one-thread pool.
+
+#ifndef MODELARDB_UTIL_THREAD_POOL_H_
+#define MODELARDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace modelardb {
+
+class ThreadPool {
+ public:
+  // `num_threads` < 1 is clamped to 1.
+  explicit ThreadPool(int num_threads);
+  // Completes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `fn`. Fire-and-forget: exceptions escaping `fn` are caught and
+  // logged (use TaskGroup for propagation). Runs inline after shutdown
+  // began (destructor already draining).
+  void Submit(std::function<void()> fn);
+
+  // Process-wide pool sized to the hardware (std::thread::hardware_
+  // concurrency, overridable with MODELARDB_THREADS). Never destroyed, so
+  // it is safe to submit from static-destruction contexts.
+  static ThreadPool* Shared();
+
+  // The size Shared() has / would have.
+  static int DefaultParallelism();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// A fork/join scope over a pool. Submit N tasks, then Wait(): the waiting
+// thread runs pending tasks itself until the group drains, and the first
+// exception thrown by any task is rethrown from Wait(). A null pool runs
+// every task inline at Submit(), which callers use as "parallelism = 1".
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  // Implicitly waits; exceptions at this point are swallowed (call Wait()
+  // explicitly to observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> fn);
+  void Wait();
+
+ private:
+  // Shared with pool runners so a runner scheduled after Wait() returned
+  // finds an empty, still-alive queue instead of a dangling group.
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> pending;
+    int running = 0;
+    std::exception_ptr error;
+
+    bool RunOne();
+    void Drain();
+  };
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_THREAD_POOL_H_

@@ -107,6 +107,83 @@ TEST(ClusterConcurrencyTest, QueriesDuringIngestionSeeConsistentCounts) {
   EXPECT_EQ(std::get<int64_t>(final_count.rows[0][0]), report.data_points);
 }
 
+// Full Fig 13 online-analytics stress: aggregate queries (Algorithms 5/6:
+// SUM/MIN/MAX/COUNT and CUBE_ time rollups) hammer a pool-parallel cluster
+// while the pipeline ingests. Queries must never fail or block on the
+// store mutex (snapshot scans), and once ingestion settles, the parallel
+// cluster's results must be byte-identical to a parallelism=1 cluster
+// over the same data.
+TEST(ClusterConcurrencyTest, StressIngestionWithParallelAggregates) {
+  const std::vector<std::string> kQueries = {
+      "SELECT SUM_S(*), MIN_S(*), MAX_S(*), COUNT_S(*) FROM Segment",
+      "SELECT Tid, SUM_S(*), MIN_S(*), MAX_S(*), COUNT_S(*) FROM Segment "
+      "GROUP BY Tid",
+      "SELECT CUBE_SUM_HOUR(*), CUBE_COUNT_HOUR(*) FROM Segment",
+      "SELECT Tid, CUBE_SUM_DAY(*) FROM Segment GROUP BY Tid",
+      "SELECT Entity, SUM_S(*) FROM Segment GROUP BY Entity",
+  };
+
+  workload::SyntheticDataset dataset = workload::SyntheticDataset::Ep(4, 2500);
+  auto groups =
+      *Partitioner::Partition(dataset.catalog(), dataset.BestHints());
+  ModelRegistry registry = ModelRegistry::Default();
+
+  cluster::ClusterConfig parallel_config;
+  parallel_config.num_workers = 2;
+  parallel_config.parallelism = 0;  // Shared hardware-sized pool.
+  auto parallel = *cluster::ClusterEngine::Create(dataset.catalog(), groups,
+                                                  &registry, parallel_config);
+
+  // Aggregate queries run from several threads while ingestion proceeds.
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> executed{0};
+  std::vector<Status> thread_status(3);
+  std::vector<std::thread> query_threads;
+  for (int t = 0; t < 3; ++t) {
+    query_threads.emplace_back([&, t] {
+      size_t i = t;
+      while (!done.load()) {
+        auto result = parallel->Execute(kQueries[i++ % kQueries.size()]);
+        if (!result.ok()) {
+          thread_status[t] = result.status();
+          return;
+        }
+        executed.fetch_add(1);
+      }
+    });
+  }
+  ASSERT_TRUE(
+      ingest::RunPipeline(parallel.get(), dataset.MakeSources(groups), {})
+          .ok());
+  done.store(true);
+  for (auto& thread : query_threads) thread.join();
+  for (const Status& status : thread_status) {
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  EXPECT_GT(executed.load(), 0);
+
+  // A fully sequential twin cluster over the same (deterministic) data.
+  cluster::ClusterConfig sequential_config = parallel_config;
+  sequential_config.parallelism = 1;
+  auto sequential = *cluster::ClusterEngine::Create(
+      dataset.catalog(), groups, &registry, sequential_config);
+  ingest::PipelineOptions sequential_options;
+  sequential_options.parallelism = 1;
+  ASSERT_TRUE(ingest::RunPipeline(sequential.get(),
+                                  dataset.MakeSources(groups),
+                                  sequential_options)
+                  .ok());
+
+  for (const std::string& sql : kQueries) {
+    auto from_pool = *parallel->Execute(sql);
+    auto from_sequential = *sequential->Execute(sql);
+    ASSERT_EQ(from_pool.columns, from_sequential.columns) << sql;
+    // Byte-identical rows: Cell operator== compares doubles exactly, so
+    // this asserts the identical floating-point reduction tree.
+    ASSERT_EQ(from_pool.rows, from_sequential.rows) << sql;
+  }
+}
+
 TEST(ClusterConcurrencyTest, ParallelQueriesAreIndependent) {
   workload::SyntheticDataset dataset = workload::SyntheticDataset::Ep(2, 1000);
   auto groups =

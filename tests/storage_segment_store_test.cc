@@ -130,7 +130,7 @@ TEST(SegmentStoreTest, OverlapBoundariesAreInclusive) {
   auto store = *SegmentStore::Open(SegmentStoreOptions{});
   ASSERT_TRUE(store->Put(MakeSegment(1, 1000, 10, 100)).ok());  // [1000,1900]
   auto hits = [&](Timestamp lo, Timestamp hi) {
-    return store->GetSegments(1, lo, hi).size();
+    return store->GetSegments(1, lo, hi)->size();
   };
   EXPECT_EQ(hits(1900, 5000), 1u);  // Touching the end.
   EXPECT_EQ(hits(0, 1000), 1u);     // Touching the start.
@@ -144,7 +144,7 @@ TEST(SegmentStoreTest, DuplicateKeyViaGapsMask) {
   auto store = *SegmentStore::Open(SegmentStoreOptions{});
   ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10, 100, 0b01)).ok());
   ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10, 100, 0b10)).ok());
-  EXPECT_EQ(store->GetSegments(1, 0, 10000).size(), 2u);
+  EXPECT_EQ(store->GetSegments(1, 0, 10000)->size(), 2u);
 }
 
 TEST(SegmentStoreTest, PersistsAndReplays) {
@@ -164,7 +164,7 @@ TEST(SegmentStoreTest, PersistsAndReplays) {
   options.directory = dir.str();
   auto reopened = *SegmentStore::Open(options);
   EXPECT_EQ(reopened->NumSegments(), 5);
-  EXPECT_EQ(reopened->GetSegments(1, 0, 1000000).size(), 5u);
+  EXPECT_EQ(reopened->GetSegments(1, 0, 1000000)->size(), 5u);
 }
 
 TEST(SegmentStoreTest, DestructorFlushesBuffered) {
@@ -186,7 +186,7 @@ TEST(SegmentStoreTest, OutOfOrderPutsAreSorted) {
   auto store = *SegmentStore::Open(SegmentStoreOptions{});
   ASSERT_TRUE(store->Put(MakeSegment(1, 2000, 10)).ok());
   ASSERT_TRUE(store->Put(MakeSegment(1, 0, 10)).ok());
-  auto segments = store->GetSegments(1, 0, 1000000);
+  auto segments = *store->GetSegments(1, 0, 1000000);
   ASSERT_EQ(segments.size(), 2u);
   EXPECT_LT(segments[0].end_time, segments[1].end_time);
 }

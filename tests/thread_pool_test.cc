@@ -1,0 +1,104 @@
+// ThreadPool / TaskGroup: submission, exception propagation, shutdown
+// draining and reentrancy (nested groups on the same pool must not
+// deadlock, because TaskGroup::Wait helps run pending tasks).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace modelardb {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 1000; ++i) {
+    group.Submit([&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, NullPoolRunsInline) {
+  std::atomic<int> counter{0};
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 10; ++i) {
+    group.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 10);  // Already done: Submit ran inline.
+  group.Wait();
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("task failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 7);  // The other tasks still ran.
+  // The group is reusable after the error was consumed.
+  group.Submit([&completed] { completed.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    TaskGroup group(&pool);
+    for (int i = 0; i < 100; ++i) {
+      group.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No explicit Wait: the group destructor waits, then the pool
+    // destructor joins with an empty queue.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedGroupsOnOneThreadDoNotDeadlock) {
+  // A pooled task fans out subtasks onto the same (single-threaded!) pool
+  // and waits for them — exactly what a worker partial does with its
+  // per-Gid morsels. Wait() must help, or this would hang.
+  ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Submit([&pool, &inner_total] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.Submit([&inner_total] { inner_total.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsProcessWideAndSizedToHardware) {
+  ThreadPool* shared = ThreadPool::Shared();
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared, ThreadPool::Shared());
+  EXPECT_EQ(shared->num_threads(), ThreadPool::DefaultParallelism());
+  std::atomic<int> counter{0};
+  TaskGroup group(shared);
+  for (int i = 0; i < 64; ++i) {
+    group.Submit([&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace modelardb
