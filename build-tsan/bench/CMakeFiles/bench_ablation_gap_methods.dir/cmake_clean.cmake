@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gap_methods.dir/bench_ablation_gap_methods.cc.o"
+  "CMakeFiles/bench_ablation_gap_methods.dir/bench_ablation_gap_methods.cc.o.d"
+  "bench_ablation_gap_methods"
+  "bench_ablation_gap_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gap_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multi_vs_single.dir/bench_ablation_multi_vs_single.cc.o"
+  "CMakeFiles/bench_ablation_multi_vs_single.dir/bench_ablation_multi_vs_single.cc.o.d"
+  "bench_ablation_multi_vs_single"
+  "bench_ablation_multi_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multi_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

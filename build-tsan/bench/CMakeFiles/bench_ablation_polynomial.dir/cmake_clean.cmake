@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_polynomial.dir/bench_ablation_polynomial.cc.o"
+  "CMakeFiles/bench_ablation_polynomial.dir/bench_ablation_polynomial.cc.o.d"
+  "bench_ablation_polynomial"
+  "bench_ablation_polynomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_polynomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

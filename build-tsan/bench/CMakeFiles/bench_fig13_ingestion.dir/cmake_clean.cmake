@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ingestion.dir/bench_fig13_ingestion.cc.o"
+  "CMakeFiles/bench_fig13_ingestion.dir/bench_fig13_ingestion.cc.o.d"
+  "bench_fig13_ingestion"
+  "bench_fig13_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_lagg_ep.dir/bench_fig19_lagg_ep.cc.o"
+  "CMakeFiles/bench_fig19_lagg_ep.dir/bench_fig19_lagg_ep.cc.o.d"
+  "bench_fig19_lagg_ep"
+  "bench_fig19_lagg_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_lagg_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

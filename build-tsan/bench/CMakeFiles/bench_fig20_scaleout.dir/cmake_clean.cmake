@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_scaleout.dir/bench_fig20_scaleout.cc.o"
+  "CMakeFiles/bench_fig20_scaleout.dir/bench_fig20_scaleout.cc.o.d"
+  "bench_fig20_scaleout"
+  "bench_fig20_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

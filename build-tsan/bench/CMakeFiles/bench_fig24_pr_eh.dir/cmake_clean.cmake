@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_pr_eh.dir/bench_fig24_pr_eh.cc.o"
+  "CMakeFiles/bench_fig24_pr_eh.dir/bench_fig24_pr_eh.cc.o.d"
+  "bench_fig24_pr_eh"
+  "bench_fig24_pr_eh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_pr_eh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

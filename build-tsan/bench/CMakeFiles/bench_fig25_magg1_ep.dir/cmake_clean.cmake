@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_magg1_ep.dir/bench_fig25_magg1_ep.cc.o"
+  "CMakeFiles/bench_fig25_magg1_ep.dir/bench_fig25_magg1_ep.cc.o.d"
+  "bench_fig25_magg1_ep"
+  "bench_fig25_magg1_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_magg1_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig26_magg2_ep.
+# This may be replaced when dependencies are built.

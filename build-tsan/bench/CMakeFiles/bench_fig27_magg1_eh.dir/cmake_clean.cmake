@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_magg1_eh.dir/bench_fig27_magg1_eh.cc.o"
+  "CMakeFiles/bench_fig27_magg1_eh.dir/bench_fig27_magg1_eh.cc.o.d"
+  "bench_fig27_magg1_eh"
+  "bench_fig27_magg1_eh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_magg1_eh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

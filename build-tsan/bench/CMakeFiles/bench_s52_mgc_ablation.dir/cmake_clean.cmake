@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s52_mgc_ablation.dir/bench_s52_mgc_ablation.cc.o"
+  "CMakeFiles/bench_s52_mgc_ablation.dir/bench_s52_mgc_ablation.cc.o.d"
+  "bench_s52_mgc_ablation"
+  "bench_s52_mgc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s52_mgc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_environment.dir/bench_table1_environment.cc.o"
+  "CMakeFiles/bench_table1_environment.dir/bench_table1_environment.cc.o.d"
+  "bench_table1_environment"
+  "bench_table1_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_based_analytics.dir/model_based_analytics.cpp.o"
+  "CMakeFiles/model_based_analytics.dir/model_based_analytics.cpp.o.d"
+  "model_based_analytics"
+  "model_based_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_based_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_outage.dir/sensor_outage.cpp.o"
+  "CMakeFiles/sensor_outage.dir/sensor_outage.cpp.o.d"
+  "sensor_outage"
+  "sensor_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

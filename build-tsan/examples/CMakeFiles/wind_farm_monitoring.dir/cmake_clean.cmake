@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wind_farm_monitoring.dir/wind_farm_monitoring.cpp.o"
+  "CMakeFiles/wind_farm_monitoring.dir/wind_farm_monitoring.cpp.o.d"
+  "wind_farm_monitoring"
+  "wind_farm_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wind_farm_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_cluster.dir/cluster.cc.o"
+  "CMakeFiles/modelardb_cluster.dir/cluster.cc.o.d"
+  "libmodelardb_cluster.a"
+  "libmodelardb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

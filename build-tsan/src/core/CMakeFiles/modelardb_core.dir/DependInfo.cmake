@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/group_coordinator.cc" "src/core/CMakeFiles/modelardb_core.dir/group_coordinator.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/group_coordinator.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/modelardb_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/model.cc.o.d"
+  "/root/repo/src/core/models/gorilla.cc" "src/core/CMakeFiles/modelardb_core.dir/models/gorilla.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/models/gorilla.cc.o.d"
+  "/root/repo/src/core/models/per_series.cc" "src/core/CMakeFiles/modelardb_core.dir/models/per_series.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/models/per_series.cc.o.d"
+  "/root/repo/src/core/models/pmc_mean.cc" "src/core/CMakeFiles/modelardb_core.dir/models/pmc_mean.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/models/pmc_mean.cc.o.d"
+  "/root/repo/src/core/models/polynomial.cc" "src/core/CMakeFiles/modelardb_core.dir/models/polynomial.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/models/polynomial.cc.o.d"
+  "/root/repo/src/core/models/raw_fallback.cc" "src/core/CMakeFiles/modelardb_core.dir/models/raw_fallback.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/models/raw_fallback.cc.o.d"
+  "/root/repo/src/core/models/swing.cc" "src/core/CMakeFiles/modelardb_core.dir/models/swing.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/models/swing.cc.o.d"
+  "/root/repo/src/core/segment.cc" "src/core/CMakeFiles/modelardb_core.dir/segment.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/segment.cc.o.d"
+  "/root/repo/src/core/segment_generator.cc" "src/core/CMakeFiles/modelardb_core.dir/segment_generator.cc.o" "gcc" "src/core/CMakeFiles/modelardb_core.dir/segment_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/modelardb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_core.dir/group_coordinator.cc.o"
+  "CMakeFiles/modelardb_core.dir/group_coordinator.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/model.cc.o"
+  "CMakeFiles/modelardb_core.dir/model.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/models/gorilla.cc.o"
+  "CMakeFiles/modelardb_core.dir/models/gorilla.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/models/per_series.cc.o"
+  "CMakeFiles/modelardb_core.dir/models/per_series.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/models/pmc_mean.cc.o"
+  "CMakeFiles/modelardb_core.dir/models/pmc_mean.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/models/polynomial.cc.o"
+  "CMakeFiles/modelardb_core.dir/models/polynomial.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/models/raw_fallback.cc.o"
+  "CMakeFiles/modelardb_core.dir/models/raw_fallback.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/models/swing.cc.o"
+  "CMakeFiles/modelardb_core.dir/models/swing.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/segment.cc.o"
+  "CMakeFiles/modelardb_core.dir/segment.cc.o.d"
+  "CMakeFiles/modelardb_core.dir/segment_generator.cc.o"
+  "CMakeFiles/modelardb_core.dir/segment_generator.cc.o.d"
+  "libmodelardb_core.a"
+  "libmodelardb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_dims.dir/dimensions.cc.o"
+  "CMakeFiles/modelardb_dims.dir/dimensions.cc.o.d"
+  "libmodelardb_dims.a"
+  "libmodelardb_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

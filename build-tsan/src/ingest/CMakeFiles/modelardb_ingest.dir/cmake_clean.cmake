@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_ingest.dir/csv.cc.o"
+  "CMakeFiles/modelardb_ingest.dir/csv.cc.o.d"
+  "CMakeFiles/modelardb_ingest.dir/pipeline.cc.o"
+  "CMakeFiles/modelardb_ingest.dir/pipeline.cc.o.d"
+  "libmodelardb_ingest.a"
+  "libmodelardb_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

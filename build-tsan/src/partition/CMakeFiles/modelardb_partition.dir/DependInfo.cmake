@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/auto_hints.cc" "src/partition/CMakeFiles/modelardb_partition.dir/auto_hints.cc.o" "gcc" "src/partition/CMakeFiles/modelardb_partition.dir/auto_hints.cc.o.d"
+  "/root/repo/src/partition/correlation.cc" "src/partition/CMakeFiles/modelardb_partition.dir/correlation.cc.o" "gcc" "src/partition/CMakeFiles/modelardb_partition.dir/correlation.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/modelardb_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/modelardb_partition.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/dims/CMakeFiles/modelardb_dims.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/modelardb_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/modelardb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

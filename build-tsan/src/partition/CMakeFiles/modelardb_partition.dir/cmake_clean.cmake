@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_partition.dir/auto_hints.cc.o"
+  "CMakeFiles/modelardb_partition.dir/auto_hints.cc.o.d"
+  "CMakeFiles/modelardb_partition.dir/correlation.cc.o"
+  "CMakeFiles/modelardb_partition.dir/correlation.cc.o.d"
+  "CMakeFiles/modelardb_partition.dir/partitioner.cc.o"
+  "CMakeFiles/modelardb_partition.dir/partitioner.cc.o.d"
+  "libmodelardb_partition.a"
+  "libmodelardb_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_query.dir/engine.cc.o"
+  "CMakeFiles/modelardb_query.dir/engine.cc.o.d"
+  "CMakeFiles/modelardb_query.dir/parser.cc.o"
+  "CMakeFiles/modelardb_query.dir/parser.cc.o.d"
+  "CMakeFiles/modelardb_query.dir/result.cc.o"
+  "CMakeFiles/modelardb_query.dir/result.cc.o.d"
+  "CMakeFiles/modelardb_query.dir/similarity.cc.o"
+  "CMakeFiles/modelardb_query.dir/similarity.cc.o.d"
+  "libmodelardb_query.a"
+  "libmodelardb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/columnar_store.cc" "src/storage/CMakeFiles/modelardb_storage.dir/columnar_store.cc.o" "gcc" "src/storage/CMakeFiles/modelardb_storage.dir/columnar_store.cc.o.d"
+  "/root/repo/src/storage/row_store.cc" "src/storage/CMakeFiles/modelardb_storage.dir/row_store.cc.o" "gcc" "src/storage/CMakeFiles/modelardb_storage.dir/row_store.cc.o.d"
+  "/root/repo/src/storage/segment_store.cc" "src/storage/CMakeFiles/modelardb_storage.dir/segment_store.cc.o" "gcc" "src/storage/CMakeFiles/modelardb_storage.dir/segment_store.cc.o.d"
+  "/root/repo/src/storage/tsm_store.cc" "src/storage/CMakeFiles/modelardb_storage.dir/tsm_store.cc.o" "gcc" "src/storage/CMakeFiles/modelardb_storage.dir/tsm_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/modelardb_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/modelardb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_storage.dir/columnar_store.cc.o"
+  "CMakeFiles/modelardb_storage.dir/columnar_store.cc.o.d"
+  "CMakeFiles/modelardb_storage.dir/row_store.cc.o"
+  "CMakeFiles/modelardb_storage.dir/row_store.cc.o.d"
+  "CMakeFiles/modelardb_storage.dir/segment_store.cc.o"
+  "CMakeFiles/modelardb_storage.dir/segment_store.cc.o.d"
+  "CMakeFiles/modelardb_storage.dir/tsm_store.cc.o"
+  "CMakeFiles/modelardb_storage.dir/tsm_store.cc.o.d"
+  "libmodelardb_storage.a"
+  "libmodelardb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

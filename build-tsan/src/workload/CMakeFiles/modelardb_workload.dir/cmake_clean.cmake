@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_workload.dir/baseline_query.cc.o"
+  "CMakeFiles/modelardb_workload.dir/baseline_query.cc.o.d"
+  "CMakeFiles/modelardb_workload.dir/dataset.cc.o"
+  "CMakeFiles/modelardb_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/modelardb_workload.dir/queries.cc.o"
+  "CMakeFiles/modelardb_workload.dir/queries.cc.o.d"
+  "libmodelardb_workload.a"
+  "libmodelardb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

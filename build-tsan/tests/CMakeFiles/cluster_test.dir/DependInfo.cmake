@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/workload/CMakeFiles/modelardb_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ingest/CMakeFiles/modelardb_ingest.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/modelardb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/query/CMakeFiles/modelardb_query.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/partition/CMakeFiles/modelardb_partition.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dims/CMakeFiles/modelardb_dims.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/modelardb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/modelardb_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/modelardb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_absolute_bound_test.dir/core_absolute_bound_test.cc.o"
+  "CMakeFiles/core_absolute_bound_test.dir/core_absolute_bound_test.cc.o.d"
+  "core_absolute_bound_test"
+  "core_absolute_bound_test.pdb"
+  "core_absolute_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_absolute_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

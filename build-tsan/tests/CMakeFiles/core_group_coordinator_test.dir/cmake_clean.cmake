@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_group_coordinator_test.dir/core_group_coordinator_test.cc.o"
+  "CMakeFiles/core_group_coordinator_test.dir/core_group_coordinator_test.cc.o.d"
+  "core_group_coordinator_test"
+  "core_group_coordinator_test.pdb"
+  "core_group_coordinator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_group_coordinator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_segment_generator_test.dir/core_segment_generator_test.cc.o"
+  "CMakeFiles/core_segment_generator_test.dir/core_segment_generator_test.cc.o.d"
+  "core_segment_generator_test"
+  "core_segment_generator_test.pdb"
+  "core_segment_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_segment_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

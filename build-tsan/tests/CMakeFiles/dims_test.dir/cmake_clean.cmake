@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dims_test.dir/dims_test.cc.o"
+  "CMakeFiles/dims_test.dir/dims_test.cc.o.d"
+  "dims_test"
+  "dims_test.pdb"
+  "dims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_csv_test.dir/ingest_csv_test.cc.o"
+  "CMakeFiles/ingest_csv_test.dir/ingest_csv_test.cc.o.d"
+  "ingest_csv_test"
+  "ingest_csv_test.pdb"
+  "ingest_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

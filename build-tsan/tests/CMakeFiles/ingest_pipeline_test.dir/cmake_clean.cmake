@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_pipeline_test.dir/ingest_pipeline_test.cc.o"
+  "CMakeFiles/ingest_pipeline_test.dir/ingest_pipeline_test.cc.o.d"
+  "ingest_pipeline_test"
+  "ingest_pipeline_test.pdb"
+  "ingest_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

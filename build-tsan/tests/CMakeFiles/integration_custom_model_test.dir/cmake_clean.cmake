@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_custom_model_test.dir/integration_custom_model_test.cc.o"
+  "CMakeFiles/integration_custom_model_test.dir/integration_custom_model_test.cc.o.d"
+  "integration_custom_model_test"
+  "integration_custom_model_test.pdb"
+  "integration_custom_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_custom_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

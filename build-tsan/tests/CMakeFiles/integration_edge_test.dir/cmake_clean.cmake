@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_edge_test.dir/integration_edge_test.cc.o"
+  "CMakeFiles/integration_edge_test.dir/integration_edge_test.cc.o.d"
+  "integration_edge_test"
+  "integration_edge_test.pdb"
+  "integration_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_auto_hints_test.dir/partition_auto_hints_test.cc.o"
+  "CMakeFiles/partition_auto_hints_test.dir/partition_auto_hints_test.cc.o.d"
+  "partition_auto_hints_test"
+  "partition_auto_hints_test.pdb"
+  "partition_auto_hints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_auto_hints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_explain_test.dir/query_explain_test.cc.o"
+  "CMakeFiles/query_explain_test.dir/query_explain_test.cc.o.d"
+  "query_explain_test"
+  "query_explain_test.pdb"
+  "query_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_result_test.dir/query_result_test.cc.o"
+  "CMakeFiles/query_result_test.dir/query_result_test.cc.o.d"
+  "query_result_test"
+  "query_result_test.pdb"
+  "query_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_rollup_test.dir/query_rollup_test.cc.o"
+  "CMakeFiles/query_rollup_test.dir/query_rollup_test.cc.o.d"
+  "query_rollup_test"
+  "query_rollup_test.pdb"
+  "query_rollup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_rollup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

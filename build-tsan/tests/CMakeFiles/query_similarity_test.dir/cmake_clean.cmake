@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_similarity_test.dir/query_similarity_test.cc.o"
+  "CMakeFiles/query_similarity_test.dir/query_similarity_test.cc.o.d"
+  "query_similarity_test"
+  "query_similarity_test.pdb"
+  "query_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_value_predicate_test.dir/query_value_predicate_test.cc.o"
+  "CMakeFiles/query_value_predicate_test.dir/query_value_predicate_test.cc.o.d"
+  "query_value_predicate_test"
+  "query_value_predicate_test.pdb"
+  "query_value_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_value_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_baselines_test.dir/storage_baselines_test.cc.o"
+  "CMakeFiles/storage_baselines_test.dir/storage_baselines_test.cc.o.d"
+  "storage_baselines_test"
+  "storage_baselines_test.pdb"
+  "storage_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_corruption_test.dir/storage_corruption_test.cc.o"
+  "CMakeFiles/storage_corruption_test.dir/storage_corruption_test.cc.o.d"
+  "storage_corruption_test"
+  "storage_corruption_test.pdb"
+  "storage_corruption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_segment_store_test.dir/storage_segment_store_test.cc.o"
+  "CMakeFiles/storage_segment_store_test.dir/storage_segment_store_test.cc.o.d"
+  "storage_segment_store_test"
+  "storage_segment_store_test.pdb"
+  "storage_segment_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_segment_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_buffer_test.dir/util_buffer_test.cc.o"
+  "CMakeFiles/util_buffer_test.dir/util_buffer_test.cc.o.d"
+  "util_buffer_test"
+  "util_buffer_test.pdb"
+  "util_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

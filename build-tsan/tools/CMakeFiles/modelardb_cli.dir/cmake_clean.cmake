@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelardb_cli.dir/modelardb_cli.cc.o"
+  "CMakeFiles/modelardb_cli.dir/modelardb_cli.cc.o.d"
+  "modelardb_cli"
+  "modelardb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelardb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -209,7 +209,8 @@ bench/CMakeFiles/bench_ablation_gap_methods.dir/bench_ablation_gap_methods.cc.o:
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/cluster/cluster.h \
@@ -255,8 +256,7 @@ bench/CMakeFiles/bench_ablation_gap_methods.dir/bench_ablation_gap_methods.cc.o:
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/types.h \
  /root/repo/src/util/time_util.h /root/repo/src/util/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/optional /usr/include/c++/12/variant \
  /root/repo/src/core/segment.h /root/repo/src/util/buffer.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/query/engine.h /usr/include/c++/12/set \
@@ -265,8 +265,17 @@ bench/CMakeFiles/bench_ablation_gap_methods.dir/bench_ablation_gap_methods.cc.o:
  /root/repo/src/partition/partitioner.h \
  /root/repo/src/partition/correlation.h /root/repo/src/query/ast.h \
  /root/repo/src/query/result.h /root/repo/src/storage/segment_store.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/ingest/pipeline.h /root/repo/src/storage/columnar_store.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/ingest/pipeline.h \
+ /root/repo/src/storage/columnar_store.h \
  /root/repo/src/storage/data_point_store.h \
  /root/repo/src/storage/row_store.h /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \

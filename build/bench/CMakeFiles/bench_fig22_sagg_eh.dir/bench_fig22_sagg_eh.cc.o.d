@@ -264,8 +264,17 @@ bench/CMakeFiles/bench_fig22_sagg_eh.dir/bench_fig22_sagg_eh.cc.o: \
  /root/repo/src/partition/partitioner.h \
  /root/repo/src/partition/correlation.h /root/repo/src/query/ast.h \
  /root/repo/src/query/result.h /root/repo/src/storage/segment_store.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/ingest/pipeline.h /root/repo/src/storage/columnar_store.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/ingest/pipeline.h \
+ /root/repo/src/storage/columnar_store.h \
  /root/repo/src/storage/data_point_store.h \
  /root/repo/src/storage/row_store.h /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
