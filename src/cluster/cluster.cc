@@ -27,21 +27,11 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Create(
     engine->pool_ = ThreadPool::Shared();
   }
 
-  for (int i = 0; i < config.num_workers; ++i) {
-    SegmentStoreOptions store_options;
-    if (!config.storage_root.empty()) {
-      store_options.directory =
-          config.storage_root + "/worker" + std::to_string(i);
-    }
-    store_options.bulk_write_size = config.bulk_write_size;
-    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentStore> store,
-                               SegmentStore::Open(store_options));
-    engine->workers_.push_back(
-        std::make_unique<Worker>(i, std::move(store)));
-  }
-
-  // Capacity-based assignment (§3.1): largest groups first, each to the
-  // worker with the most available capacity (fewest assigned series).
+  // Capacity-based assignment (§3.1) happens before the stores open:
+  // largest groups first, each to the worker with the most available
+  // capacity (fewest assigned series). The assignment is needed up front
+  // so each worker's store knows its groups' sizes — the summary index
+  // materializes gap-aware per-segment aggregates at Put/replay time.
   std::vector<const TimeSeriesGroup*> by_size;
   by_size.reserve(groups.size());
   for (const TimeSeriesGroup& group : groups) by_size.push_back(&group);
@@ -50,6 +40,7 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Create(
                      return a->tids.size() > b->tids.size();
                    });
   std::vector<size_t> load(config.num_workers, 0);
+  std::vector<std::map<Gid, int>> worker_group_sizes(config.num_workers);
   for (const TimeSeriesGroup* group : by_size) {
     int target = 0;
     for (int i = 1; i < config.num_workers; ++i) {
@@ -57,6 +48,28 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Create(
     }
     load[target] += group->tids.size();
     engine->worker_of_[group->gid] = target;
+    worker_group_sizes[target][group->gid] =
+        static_cast<int>(group->tids.size());
+  }
+
+  for (int i = 0; i < config.num_workers; ++i) {
+    SegmentStoreOptions store_options;
+    if (!config.storage_root.empty()) {
+      store_options.directory =
+          config.storage_root + "/worker" + std::to_string(i);
+    }
+    store_options.bulk_write_size = config.bulk_write_size;
+    store_options.index_block_size = config.index_block_size;
+    store_options.registry = registry;
+    store_options.group_sizes = std::move(worker_group_sizes[i]);
+    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentStore> store,
+                               SegmentStore::Open(store_options));
+    engine->workers_.push_back(
+        std::make_unique<Worker>(i, std::move(store)));
+  }
+
+  for (const TimeSeriesGroup* group : by_size) {
+    int target = engine->worker_of_[group->gid];
 
     GroupCoordinatorConfig coordinator_config;
     coordinator_config.generator.gid = group->gid;
@@ -128,6 +141,24 @@ Result<query::PartialResult> ClusterEngine::ExecuteOnWorker(
   // Morsel per Gid; an empty filter means "all groups on this worker".
   std::vector<Gid> morsel_gids =
       compiled.filter.gids.empty() ? store->Gids() : compiled.filter.gids;
+  // Submit heavy morsels first: weight each Gid by the summary index's
+  // surviving-segment estimate so large groups start earliest and the
+  // pool's tail stays short. The merge happens in ascending Gid order
+  // regardless, so scheduling cannot change results.
+  std::vector<std::pair<int64_t, Gid>> weighted;
+  weighted.reserve(morsel_gids.size());
+  for (Gid gid : morsel_gids) {
+    weighted.emplace_back(
+        store->EstimateSurvivingSegments(gid, compiled.filter), gid);
+  }
+  std::stable_sort(weighted.begin(), weighted.end(),
+                   [](const std::pair<int64_t, Gid>& a,
+                      const std::pair<int64_t, Gid>& b) {
+                     return a.first > b.first;
+                   });
+  for (size_t i = 0; i < weighted.size(); ++i) {
+    morsel_gids[i] = weighted[i].second;
+  }
   return query_engine_->ExecutePartialParallel(compiled, source, morsel_gids,
                                                pool_);
 }
@@ -140,6 +171,22 @@ Result<query::QueryResult> ClusterEngine::Execute(
     result.columns = {"plan"};
     for (const std::string& line : SplitString(text, '\n')) {
       if (!line.empty()) result.rows.push_back({line});
+    }
+    // EXPLAIN also runs the scan on every worker and reports the merged
+    // summary-index pruning counters for this query.
+    query::Query stripped = ast;
+    stripped.explain = false;
+    MODELARDB_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
+                               query_engine_->Compile(stripped));
+    ScanStats scan;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      MODELARDB_ASSIGN_OR_RETURN(
+          query::PartialResult partial,
+          ExecuteOnWorker(compiled, static_cast<int>(i)));
+      scan.Merge(partial.scan);
+    }
+    for (const std::string& line : query::ScanStatsLines(scan)) {
+      result.rows.push_back({line});
     }
     return result;
   }

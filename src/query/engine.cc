@@ -71,6 +71,21 @@ StatsRelation RelateStats(const CompiledQuery& compiled,
   return StatsRelation::kOverlapping;
 }
 
+// True when some selected aggregate reads the sum lane (SUM/AVG). Those
+// need the exact per-segment reduction tree; COUNT/MIN/MAX are order-free
+// and can consume whole-block pre-folded aggregates bit-identically.
+bool NeedsExactSumFold(const Query& ast) {
+  for (const SelectItem& item : ast.select) {
+    if ((item.kind == SelectItem::Kind::kAggregate ||
+         item.kind == SelectItem::Kind::kCubeAggregate) &&
+        (item.aggregate == AggregateFunction::kSum ||
+         item.aggregate == AggregateFunction::kAvg)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 void PartialResult::Merge(PartialResult&& other) {
@@ -86,6 +101,17 @@ void PartialResult::Merge(PartialResult&& other) {
   }
   rows.insert(rows.end(), std::make_move_iterator(other.rows.begin()),
               std::make_move_iterator(other.rows.end()));
+  scan.Merge(other.scan);
+}
+
+std::vector<std::string> ScanStatsLines(const ScanStats& stats) {
+  return {
+      "blocks skipped: " + std::to_string(stats.blocks_skipped),
+      "blocks summarized: " + std::to_string(stats.blocks_summarized),
+      "blocks scanned: " + std::to_string(stats.blocks_scanned),
+      "segments scanned: " + std::to_string(stats.segments_scanned),
+      "segments decoded: " + std::to_string(stats.segments_decoded),
+  };
 }
 
 QueryEngine::QueryEngine(const TimeSeriesCatalog* catalog,
@@ -266,6 +292,125 @@ std::vector<Cell> QueryEngine::KeyFor(const CompiledQuery& compiled,
   return key;
 }
 
+BlockAction QueryEngine::ConsumeCoveredBlock(const CompiledQuery& compiled,
+                                             const BlockView& view,
+                                             size_t num_aggs, bool needs_sum,
+                                             PartialResult* partial) const {
+  const SegmentBlock& block = *view.block;
+  const TimeSeriesGroup& group = groups_[view.gid - 1];
+  const size_t group_size = group.tids.size();
+  if (block.counts.size() != group_size) return BlockAction::kFallback;
+
+  // Resolve the selected group positions once per block, applying the
+  // value zone map. The zone map bounds every segment's statistics, so a
+  // contained/disjoint decision here implies the same RelateStats verdict
+  // for each segment the exhaustive path would have reached.
+  struct Sel {
+    int pos;
+    Tid tid;
+    double scaling;
+  };
+  std::vector<Sel> selected;
+  selected.reserve(group_size);
+  for (size_t pos = 0; pos < group_size; ++pos) {
+    // A position no segment of the block represents contributes nothing;
+    // dropping it here also keeps its group-by key uncreated, exactly as
+    // the exhaustive path leaves it.
+    if (block.counts[pos] == 0) continue;
+    Tid tid = group.tids[pos];
+    if (!compiled.selected_tids.empty() &&
+        compiled.selected_tids.count(tid) == 0) {
+      continue;
+    }
+    double scaling = catalog_->Get(tid).scaling;
+    if (compiled.has_value_predicate) {
+      // Division by a non-positive scaling flips/degenerates the bounds;
+      // let the per-segment path reason about it.
+      if (!(scaling > 0.0)) return BlockAction::kFallback;
+      double lo = block.min_value / scaling;
+      double hi = block.max_value / scaling;
+      if (hi < compiled.min_value || lo > compiled.max_value) {
+        continue;  // Every segment is kDisjoint for this series.
+      }
+      if (!(lo >= compiled.min_value && hi <= compiled.max_value)) {
+        return BlockAction::kFallback;  // Straddles: decide per segment.
+      }
+    }
+    selected.push_back(Sel{static_cast<int>(pos), tid, scaling});
+  }
+  if (selected.empty()) return BlockAction::kSkipped;
+
+  if (!needs_sum) {
+    // COUNT/MIN/MAX only: the block's pre-folded aggregates are order-free
+    // exact folds, so consuming them matches the per-segment fold bit for
+    // bit. (The sum lane is also folded in but never finalized.)
+    for (const Sel& s : selected) {
+      AggregateSummary summary;
+      summary.sum = block.sums[s.pos];
+      summary.min = block.mins[s.pos];
+      summary.max = block.maxs[s.pos];
+      summary.count = block.counts[s.pos];
+      auto& states = partial->groups[KeyFor(compiled, s.tid)];
+      if (states.empty()) states.resize(num_aggs);
+      for (auto& state : states) UpdateState(&state, summary, s.scaling);
+    }
+    return BlockAction::kSummarized;
+  }
+
+  // SUM/AVG selected: fold the per-segment materialized summaries in
+  // segment order — exactly the values and order the decoding path
+  // produces, preserving the floating-point reduction tree. The group-by
+  // states are resolved once per block (std::map references are stable),
+  // not once per segment; the segment-major, position-minor fold order is
+  // unchanged, which matters when several positions share one key.
+  std::vector<std::vector<AggState>*> states_of(selected.size());
+  for (size_t k = 0; k < selected.size(); ++k) {
+    auto& states = partial->groups[KeyFor(compiled, selected[k].tid)];
+    if (states.empty()) states.resize(num_aggs);
+    states_of[k] = &states;
+  }
+  for (uint32_t i = 0; i < block.size(); ++i) {
+    const Segment& segment = view.segments[i];
+    const SegmentSummary& summary = view.summaries[i];
+    if (segment.gap_mask == 0) {
+      // Gap-free segment (the common case): decoder columns equal group
+      // positions, no matching scan needed.
+      for (size_t k = 0; k < selected.size(); ++k) {
+        const Sel& s = selected[k];
+        AggregateSummary agg;
+        agg.sum = summary.sum(s.pos);
+        agg.min = summary.min(s.pos);
+        agg.max = summary.max(s.pos);
+        agg.count = segment.Length();
+        for (auto& state : *states_of[k]) UpdateState(&state, agg, s.scaling);
+      }
+      continue;
+    }
+    int column = 0;
+    size_t next = 0;
+    for (size_t pos = 0; pos < group_size && next < selected.size(); ++pos) {
+      if (segment.SeriesInGap(static_cast<int>(pos))) continue;
+      int col = column++;
+      while (next < selected.size() &&
+             selected[next].pos < static_cast<int>(pos)) {
+        ++next;
+      }
+      if (next >= selected.size() ||
+          selected[next].pos != static_cast<int>(pos)) {
+        continue;
+      }
+      const Sel& s = selected[next];
+      AggregateSummary agg;
+      agg.sum = summary.sum(col);
+      agg.min = summary.min(col);
+      agg.max = summary.max(col);
+      agg.count = segment.Length();
+      for (auto& state : *states_of[next]) UpdateState(&state, agg, s.scaling);
+    }
+  }
+  return BlockAction::kSummarized;
+}
+
 Result<PartialResult> QueryEngine::SegmentViewPartial(
     const CompiledQuery& compiled, const SegmentSource& source) const {
   PartialResult partial;
@@ -277,9 +422,19 @@ Result<PartialResult> QueryEngine::SegmentViewPartial(
       ++num_aggs;
     }
   }
+  const bool needs_sum = NeedsExactSumFold(compiled.ast);
 
-  Status scan_status = source.ScanSegments(
-      compiled.filter, [&](const Segment& segment) -> Status {
+  IndexedScanCallbacks callbacks;
+  if (has_agg && !compiled.cube_level.has_value()) {
+    // Rollups bucket by calendar interval inside segments, so they always
+    // decode; plain aggregates answer covered blocks from summaries.
+    callbacks.on_covered_block = [&](const BlockView& view) {
+      return ConsumeCoveredBlock(compiled, view, num_aggs, needs_sum,
+                                 &partial);
+    };
+  }
+  callbacks.on_segment = [&](const Segment& segment,
+                             const SegmentSummary* seg_summary) -> Status {
         std::vector<SelectedSeries> series = SelectSeries(compiled, segment);
         if (series.empty()) return Status::OK();
         if (!has_agg) {
@@ -319,14 +474,24 @@ Result<PartialResult> QueryEngine::SegmentViewPartial(
         if (!RowRange(segment, compiled.filter, &from_row, &to_row)) {
           return Status::OK();
         }
-        int represented =
-            segment.RepresentedSeries(static_cast<int>(
-                groups_[segment.gid - 1].tids.size()));
-        auto decoder_result = registry_->CreateDecoder(
-            segment.mid, segment.parameters, represented,
-            static_cast<int>(segment.Length()));
-        if (!decoder_result.ok()) return decoder_result.status();
-        const SegmentDecoder& decoder = **decoder_result;
+        const bool full_range =
+            from_row == 0 &&
+            to_row == static_cast<int64_t>(segment.Length()) - 1;
+        // Decoders are created lazily: fully covered segments with
+        // materialized summaries never need one.
+        std::unique_ptr<SegmentDecoder> decoder;
+        auto ensure_decoder = [&]() -> Status {
+          if (decoder != nullptr) return Status::OK();
+          int represented = segment.RepresentedSeries(
+              static_cast<int>(groups_[segment.gid - 1].tids.size()));
+          auto decoder_result = registry_->CreateDecoder(
+              segment.mid, segment.parameters, represented,
+              static_cast<int>(segment.Length()));
+          if (!decoder_result.ok()) return decoder_result.status();
+          decoder = std::move(*decoder_result);
+          ++partial.scan.segments_decoded;
+          return Status::OK();
+        };
 
         for (const SelectedSeries& s : series) {
           StatsRelation relation = RelateStats(compiled, segment, s.scaling);
@@ -336,10 +501,11 @@ Result<PartialResult> QueryEngine::SegmentViewPartial(
             // The segment straddles the value range: reconstruct and
             // filter point-wise (the statistics only prune whole
             // segments).
+            MODELARDB_RETURN_NOT_OK(ensure_decoder());
             for (int64_t row = from_row; row <= to_row; ++row) {
               double value =
                   static_cast<double>(
-                      decoder.ValueAt(static_cast<int>(row), s.column)) /
+                      decoder->ValueAt(static_cast<int>(row), s.column)) /
                   s.scaling;
               if (value < compiled.min_value || value > compiled.max_value) {
                 continue;
@@ -356,14 +522,26 @@ Result<PartialResult> QueryEngine::SegmentViewPartial(
             continue;
           }
           if (!compiled.cube_level.has_value()) {
-            AggregateSummary summary = decoder.AggregateRange(
-                static_cast<int>(from_row), static_cast<int>(to_row),
-                s.column);
+            AggregateSummary summary;
+            if (full_range && seg_summary != nullptr && seg_summary->valid()) {
+              // Materialized full-range aggregates: bit-identical to the
+              // AggregateRange call below by construction.
+              summary.count = segment.Length();
+              summary.sum = seg_summary->sum(s.column);
+              summary.min = seg_summary->min(s.column);
+              summary.max = seg_summary->max(s.column);
+            } else {
+              MODELARDB_RETURN_NOT_OK(ensure_decoder());
+              summary = decoder->AggregateRange(static_cast<int>(from_row),
+                                                static_cast<int>(to_row),
+                                                s.column);
+            }
             auto& states = partial.groups[base_key];
             if (states.empty()) states.resize(num_aggs);
             for (auto& state : states) UpdateState(&state, summary, s.scaling);
           } else {
             // Algorithm 6: per calendar interval of the requested level.
+            MODELARDB_RETURN_NOT_OK(ensure_decoder());
             TimeLevel level = *compiled.cube_level;
             int64_t row = from_row;
             while (row <= to_row) {
@@ -372,7 +550,7 @@ Result<PartialResult> QueryEngine::SegmentViewPartial(
               Timestamp last_ts = std::min(
                   segment.start_time + to_row * segment.si, boundary - 1);
               int64_t row2 = (last_ts - segment.start_time) / segment.si;
-              AggregateSummary summary = decoder.AggregateRange(
+              AggregateSummary summary = decoder->AggregateRange(
                   static_cast<int>(row), static_cast<int>(row2), s.column);
               std::vector<Cell> key = base_key;
               key.emplace_back(TimeBucket(ts0, level));
@@ -386,8 +564,9 @@ Result<PartialResult> QueryEngine::SegmentViewPartial(
           }
         }
         return Status::OK();
-      });
-  MODELARDB_RETURN_NOT_OK(scan_status);
+  };
+  MODELARDB_RETURN_NOT_OK(
+      source.ScanIndexed(compiled.filter, callbacks, &partial.scan));
   return partial;
 }
 
@@ -399,22 +578,42 @@ Result<PartialResult> QueryEngine::DataPointViewPartial(
   for (const SelectItem& item : compiled.ast.select) {
     if (item.kind == SelectItem::Kind::kAggregate) ++num_aggs;
   }
+  const bool needs_sum = NeedsExactSumFold(compiled.ast);
 
-  Status scan_status = source.ScanSegments(
-      compiled.filter, [&](const Segment& segment) -> Status {
+  IndexedScanCallbacks callbacks;
+  if (has_agg && !needs_sum) {
+    // The Data Point View folds per point, so SUM/AVG depend on the
+    // per-point summation order and always decode; COUNT/MIN/MAX folds
+    // are order-free and match the summaries bit for bit.
+    callbacks.on_covered_block = [&](const BlockView& view) {
+      return ConsumeCoveredBlock(compiled, view, num_aggs,
+                                 /*needs_sum=*/false, &partial);
+    };
+  }
+  callbacks.on_segment = [&](const Segment& segment,
+                             const SegmentSummary* seg_summary) -> Status {
         std::vector<SelectedSeries> series = SelectSeries(compiled, segment);
         if (series.empty()) return Status::OK();
         int64_t from_row, to_row;
         if (!RowRange(segment, compiled.filter, &from_row, &to_row)) {
           return Status::OK();
         }
-        int represented = segment.RepresentedSeries(
-            static_cast<int>(groups_[segment.gid - 1].tids.size()));
-        auto decoder_result = registry_->CreateDecoder(
-            segment.mid, segment.parameters, represented,
-            static_cast<int>(segment.Length()));
-        if (!decoder_result.ok()) return decoder_result.status();
-        const SegmentDecoder& decoder = **decoder_result;
+        const bool full_range =
+            from_row == 0 &&
+            to_row == static_cast<int64_t>(segment.Length()) - 1;
+        std::unique_ptr<SegmentDecoder> decoder;
+        auto ensure_decoder = [&]() -> Status {
+          if (decoder != nullptr) return Status::OK();
+          int represented = segment.RepresentedSeries(
+              static_cast<int>(groups_[segment.gid - 1].tids.size()));
+          auto decoder_result = registry_->CreateDecoder(
+              segment.mid, segment.parameters, represented,
+              static_cast<int>(segment.Length()));
+          if (!decoder_result.ok()) return decoder_result.status();
+          decoder = std::move(*decoder_result);
+          ++partial.scan.segments_decoded;
+          return Status::OK();
+        };
 
         for (const SelectedSeries& s : series) {
           StatsRelation relation = RelateStats(compiled, segment, s.scaling);
@@ -422,11 +621,28 @@ Result<PartialResult> QueryEngine::DataPointViewPartial(
           bool must_filter = relation == StatsRelation::kOverlapping;
           std::vector<Cell> base_key;
           if (has_agg) base_key = KeyFor(compiled, s.tid);
+          if (has_agg && !needs_sum && !must_filter && full_range &&
+              seg_summary != nullptr && seg_summary->valid()) {
+            // COUNT/MIN/MAX over the whole segment: the materialized
+            // aggregates fold to the same states as the per-point loop
+            // (min/max are order-free; division by a positive scaling is
+            // monotone, so min/max commute with it bitwise).
+            AggregateSummary summary;
+            summary.count = segment.Length();
+            summary.sum = seg_summary->sum(s.column);
+            summary.min = seg_summary->min(s.column);
+            summary.max = seg_summary->max(s.column);
+            auto& states = partial.groups[base_key];
+            if (states.empty()) states.resize(num_aggs);
+            for (auto& state : states) UpdateState(&state, summary, s.scaling);
+            continue;
+          }
+          MODELARDB_RETURN_NOT_OK(ensure_decoder());
           for (int64_t row = from_row; row <= to_row; ++row) {
             Timestamp ts = segment.start_time + row * segment.si;
             double value =
-                static_cast<double>(decoder.ValueAt(static_cast<int>(row),
-                                                    s.column)) /
+                static_cast<double>(decoder->ValueAt(static_cast<int>(row),
+                                                     s.column)) /
                 s.scaling;
             if (must_filter &&
                 (value < compiled.min_value || value > compiled.max_value)) {
@@ -461,8 +677,9 @@ Result<PartialResult> QueryEngine::DataPointViewPartial(
           }
         }
         return Status::OK();
-      });
-  MODELARDB_RETURN_NOT_OK(scan_status);
+  };
+  MODELARDB_RETURN_NOT_OK(
+      source.ScanIndexed(compiled.filter, callbacks, &partial.scan));
   return partial;
 }
 
@@ -500,9 +717,16 @@ Result<PartialResult> QueryEngine::ExecutePartialParallel(
   for (const Status& status : statuses) {
     MODELARDB_RETURN_NOT_OK(status);
   }
-  PartialResult merged = std::move(partials[0]);
+  // Merge in ascending Gid order whatever order the morsels were
+  // submitted in, so estimate-weighted scheduling cannot change results.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return morsel_gids[a] < morsel_gids[b];
+  });
+  PartialResult merged = std::move(partials[order[0]]);
   for (size_t i = 1; i < n; ++i) {
-    merged.Merge(std::move(partials[i]));
+    merged.Merge(std::move(partials[order[i]]));
   }
   return merged;
 }
@@ -637,6 +861,16 @@ Result<std::string> QueryEngine::Explain(const Query& ast) const {
     out += std::string("time rollup: per ") +
            TimeLevelName(*compiled.cube_level) + " (Algorithm 6)\n";
   }
+  if (ast.HasAggregates()) {
+    out += "summary index: ";
+    if (compiled.cube_level.has_value()) {
+      out += "rollup decodes per interval\n";
+    } else if (NeedsExactSumFold(stripped)) {
+      out += "fold per-segment summaries (exact SUM)\n";
+    } else {
+      out += "consume block aggregates\n";
+    }
+  }
   out += ast.HasAggregates()
              ? "execution: iterate aggregates on models (Algorithm 5)\n"
              : "execution: reconstruct matching rows\n";
@@ -651,6 +885,16 @@ Result<QueryResult> QueryEngine::Execute(const Query& ast,
     result.columns = {"plan"};
     for (const std::string& line : SplitString(text, '\n')) {
       if (!line.empty()) result.rows.push_back({line});
+    }
+    // EXPLAIN also runs the scan so the summary-index pruning counters
+    // reflect this query against the actual data.
+    Query stripped = ast;
+    stripped.explain = false;
+    MODELARDB_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(stripped));
+    MODELARDB_ASSIGN_OR_RETURN(PartialResult partial,
+                               ExecutePartial(compiled, source));
+    for (const std::string& line : ScanStatsLines(partial.scan)) {
+      result.rows.push_back({line});
     }
     return result;
   }

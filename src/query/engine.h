@@ -44,6 +44,25 @@ class SegmentSource {
   virtual Status ScanSegments(
       const SegmentFilter& filter,
       const std::function<Status(const Segment&)>& fn) const = 0;
+
+  // Summary-index-aware scan. The default adapts ScanSegments: every
+  // segment is delivered individually without summaries, so sources
+  // unaware of the index (mocks, remote stubs) keep working unchanged.
+  virtual Status ScanIndexed(const SegmentFilter& filter,
+                             const IndexedScanCallbacks& callbacks,
+                             ScanStats* stats) const {
+    return ScanSegments(filter, [&](const Segment& segment) {
+      if (stats != nullptr) ++stats->segments_scanned;
+      return callbacks.on_segment(segment, nullptr);
+    });
+  }
+
+  // Fence-based estimate of segments surviving `filter` for one group;
+  // used to weight morsel scheduling. 0 == unknown/none.
+  virtual int64_t EstimateSurvivingSegments(Gid,
+                                            const SegmentFilter&) const {
+    return 0;
+  }
 };
 
 // Adapter for SegmentStore.
@@ -54,6 +73,15 @@ class StoreSegmentSource : public SegmentSource {
       const SegmentFilter& filter,
       const std::function<Status(const Segment&)>& fn) const override {
     return store_->Scan(filter, fn);
+  }
+  Status ScanIndexed(const SegmentFilter& filter,
+                     const IndexedScanCallbacks& callbacks,
+                     ScanStats* stats) const override {
+    return store_->ScanIndexed(filter, callbacks, stats);
+  }
+  int64_t EstimateSurvivingSegments(
+      Gid gid, const SegmentFilter& filter) const override {
+    return store_->EstimateSurvivingSegments(gid, filter);
   }
 
   const SegmentStore* store() const { return store_; }
@@ -73,6 +101,17 @@ class GidRestrictedSource : public SegmentSource {
     SegmentFilter restricted = filter;
     restricted.gids = {gid_};
     return base_->ScanSegments(restricted, fn);
+  }
+  Status ScanIndexed(const SegmentFilter& filter,
+                     const IndexedScanCallbacks& callbacks,
+                     ScanStats* stats) const override {
+    SegmentFilter restricted = filter;
+    restricted.gids = {gid_};
+    return base_->ScanIndexed(restricted, callbacks, stats);
+  }
+  int64_t EstimateSurvivingSegments(
+      Gid gid, const SegmentFilter& filter) const override {
+    return base_->EstimateSurvivingSegments(gid, filter);
   }
 
  private:
@@ -122,13 +161,19 @@ struct AggState {
   }
 };
 
-// A worker's partial result: either grouped aggregate states or raw rows.
+// A worker's partial result: either grouped aggregate states or raw rows,
+// plus the scan's summary-index pruning counters (surfaced by EXPLAIN).
 struct PartialResult {
   std::map<std::vector<Cell>, std::vector<AggState>> groups;
   std::vector<std::vector<Cell>> rows;  // Non-aggregate queries.
+  ScanStats scan;
 
   void Merge(PartialResult&& other);
 };
+
+// Renders the `EXPLAIN` counter lines ("blocks skipped: N", ...) for a
+// scan's summary-index pruning statistics.
+std::vector<std::string> ScanStatsLines(const ScanStats& stats);
 
 class QueryEngine {
  public:
@@ -154,11 +199,13 @@ class QueryEngine {
   Result<PartialResult> ExecutePartial(const CompiledQuery& compiled,
                                        const SegmentSource& source) const;
   // Morsel-driven ExecutePartial: splits the scan into per-Gid morsels
-  // (`morsel_gids`, ascending), runs each as an independent task on `pool`
-  // (inline when `pool` is null) into a task-local PartialResult, and
-  // merges the partials in Gid order. The merge order is deterministic, so
+  // (`morsel_gids` — submitted in the given order, so callers may front-
+  // load heavy groups using index estimates), runs each as an independent
+  // task on `pool` (inline when `pool` is null) into a task-local
+  // PartialResult, and merges the partials in ascending Gid order
+  // regardless of submission order. The merge order is deterministic, so
   // the result — including the floating-point reduction tree — is
-  // byte-identical for every pool size including none.
+  // byte-identical for every pool size and every submission order.
   Result<PartialResult> ExecutePartialParallel(
       const CompiledQuery& compiled, const SegmentSource& source,
       const std::vector<Gid>& morsel_gids, ThreadPool* pool) const;
@@ -189,6 +236,19 @@ class QueryEngine {
                                            const Segment& segment) const;
 
   std::vector<Cell> KeyFor(const CompiledQuery& compiled, Tid tid) const;
+
+  // Consumes a fully time-covered block from its summaries for a
+  // non-rollup aggregate query. When `needs_sum` (SUM/AVG selected) the
+  // per-segment materialized summaries are folded — the same arithmetic
+  // in the same order as decoding, so results stay byte-identical; for
+  // COUNT/MIN/MAX-only queries the block's order-free pre-folded
+  // aggregates are consumed directly. Returns kFallback when the value
+  // zone map straddles the predicate (or a scaling is non-positive), so
+  // the exhaustive path decides per segment.
+  BlockAction ConsumeCoveredBlock(const CompiledQuery& compiled,
+                                  const BlockView& view, size_t num_aggs,
+                                  bool needs_sum,
+                                  PartialResult* partial) const;
 
   const TimeSeriesCatalog* catalog_;
   std::vector<TimeSeriesGroup> groups_;     // Indexed gid-1.

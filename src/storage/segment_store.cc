@@ -12,6 +12,10 @@ namespace {
 
 constexpr uint32_t kBlockMagic = 0x4d444253;  // "MDBS"
 
+bool SegmentLess(const Segment& a, const Segment& b) {
+  return std::tie(a.end_time, a.gap_mask) < std::tie(b.end_time, b.gap_mask);
+}
+
 }  // namespace
 
 SegmentStore::SegmentStore(SegmentStoreOptions options)
@@ -63,22 +67,174 @@ Status SegmentStore::ReplayLog() {
       MODELARDB_ASSIGN_OR_RETURN(Segment segment,
                                  Segment::Deserialize(&block));
       GroupSlot& slot = index_[segment.gid];
-      if (!slot.segments) {
-        slot.segments = std::make_shared<std::vector<Segment>>();
+      if (!slot.data) {
+        slot.data = std::make_shared<GroupData>();
+        slot.data->gid = segment.gid;
       }
-      slot.segments->push_back(std::move(segment));
+      slot.data->segments.push_back(std::move(segment));
       num_segments_.fetch_add(1, std::memory_order_relaxed);
     }
     MODELARDB_RETURN_NOT_OK(reader.Skip(length));
   }
   for (auto& [gid, slot] : index_) {
-    std::sort(slot.segments->begin(), slot.segments->end(),
-              [](const Segment& a, const Segment& b) {
-                return std::tie(a.end_time, a.gap_mask) <
-                       std::tie(b.end_time, b.gap_mask);
-              });
+    std::sort(slot.data->segments.begin(), slot.data->segments.end(),
+              SegmentLess);
+    if (options_.index_block_size > 0) {
+      if (MaterializeFor(gid)) {
+        int group_size = GroupSizeOf(gid);
+        slot.data->summaries.reserve(slot.data->segments.size());
+        for (const Segment& segment : slot.data->segments) {
+          slot.data->summaries.push_back(BuildSummary(segment, group_size));
+        }
+      }
+      RebuildBlocks(slot.data.get());
+    }
   }
   return Status::OK();
+}
+
+int SegmentStore::GroupSizeOf(Gid gid) const {
+  auto it = options_.group_sizes.find(gid);
+  return it == options_.group_sizes.end() ? 0 : it->second;
+}
+
+bool SegmentStore::MaterializeFor(Gid gid) const {
+  if (options_.index_block_size == 0 || options_.registry == nullptr) {
+    return false;
+  }
+  int group_size = GroupSizeOf(gid);
+  return group_size > 0 && group_size <= 64;
+}
+
+SegmentSummary SegmentStore::BuildSummary(const Segment& segment,
+                                          int group_size) const {
+  SegmentSummary out;
+  if (options_.registry == nullptr || group_size <= 0 || group_size > 64) {
+    return out;
+  }
+  int64_t length = segment.Length();
+  int represented = segment.RepresentedSeries(group_size);
+  if (length <= 0 || represented == 0) return out;
+  auto decoder = options_.registry->CreateDecoder(
+      segment.mid, segment.parameters, represented,
+      static_cast<int>(length));
+  if (!decoder.ok()) return out;
+  out.agg.resize(3 * static_cast<size_t>(represented));
+  for (int col = 0; col < represented; ++col) {
+    AggregateSummary summary =
+        (*decoder)->AggregateRange(0, static_cast<int>(length) - 1, col);
+    out.agg[3 * col] = summary.sum;
+    out.agg[3 * col + 1] = summary.min;
+    out.agg[3 * col + 2] = summary.max;
+  }
+  return out;
+}
+
+void SegmentStore::FoldIntoBlock(SegmentBlock* block, const Segment& segment,
+                                 const SegmentSummary* summary,
+                                 int group_size) {
+  block->min_start_time = std::min(block->min_start_time, segment.start_time);
+  block->max_end_time = std::max(block->max_end_time, segment.end_time);
+  block->min_value = std::min(block->min_value, segment.min_value);
+  block->max_value = std::max(block->max_value, segment.max_value);
+  if (!block->has_summaries) return;
+  if (summary == nullptr || !summary->valid()) {
+    // One unmaterialized segment poisons the whole block's aggregates;
+    // the fences above stay valid.
+    block->has_summaries = false;
+    block->counts.clear();
+    block->sums.clear();
+    block->mins.clear();
+    block->maxs.clear();
+    return;
+  }
+  int64_t length = segment.Length();
+  int col = 0;
+  for (int pos = 0; pos < group_size; ++pos) {
+    if (segment.SeriesInGap(pos)) continue;
+    if (block->counts[pos] == 0) {
+      block->mins[pos] = summary->min(col);
+      block->maxs[pos] = summary->max(col);
+    } else {
+      block->mins[pos] = std::min(block->mins[pos], summary->min(col));
+      block->maxs[pos] = std::max(block->maxs[pos], summary->max(col));
+    }
+    block->counts[pos] += length;
+    block->sums[pos] += summary->sum(col);
+    ++col;
+  }
+}
+
+void SegmentStore::UpdateSuffixFences(std::vector<SegmentBlock>* blocks) {
+  Timestamp suffix = std::numeric_limits<Timestamp>::max();
+  for (size_t i = blocks->size(); i-- > 0;) {
+    suffix = std::min(suffix, (*blocks)[i].min_start_time);
+    if ((*blocks)[i].suffix_min_start_time == suffix) break;  // Converged.
+    (*blocks)[i].suffix_min_start_time = suffix;
+  }
+}
+
+void SegmentStore::AppendToIndex(GroupData* data, size_t index) const {
+  const Segment& segment = data->segments[index];
+  const bool materialize = MaterializeFor(data->gid);
+  int group_size = GroupSizeOf(data->gid);
+  const SegmentSummary* summary =
+      materialize ? &data->summaries[index] : nullptr;
+  if (data->blocks.empty() ||
+      data->blocks.back().size() >= options_.index_block_size) {
+    SegmentBlock block;
+    block.begin = static_cast<uint32_t>(index);
+    block.end = block.begin;
+    if (materialize) {
+      block.has_summaries = true;
+      block.counts.assign(group_size, 0);
+      block.sums.assign(group_size, 0.0);
+      block.mins.assign(group_size, 0.0);
+      block.maxs.assign(group_size, 0.0);
+    }
+    data->blocks.push_back(std::move(block));
+  }
+  SegmentBlock& block = data->blocks.back();
+  block.end = static_cast<uint32_t>(index + 1);
+  FoldIntoBlock(&block, segment, summary, group_size);
+  UpdateSuffixFences(&data->blocks);
+}
+
+void SegmentStore::RebuildBlocks(GroupData* data) const {
+  data->blocks.clear();
+  if (options_.index_block_size == 0) return;
+  const bool materialize = MaterializeFor(data->gid);
+  int group_size = GroupSizeOf(data->gid);
+  data->blocks.reserve(
+      (data->segments.size() + options_.index_block_size - 1) /
+      std::max<size_t>(options_.index_block_size, 1));
+  for (size_t i = 0; i < data->segments.size(); ++i) {
+    if (data->blocks.empty() ||
+        data->blocks.back().size() >= options_.index_block_size) {
+      SegmentBlock block;
+      block.begin = static_cast<uint32_t>(i);
+      block.end = block.begin;
+      if (materialize) {
+        block.has_summaries = true;
+        block.counts.assign(group_size, 0);
+        block.sums.assign(group_size, 0.0);
+        block.mins.assign(group_size, 0.0);
+        block.maxs.assign(group_size, 0.0);
+      }
+      data->blocks.push_back(std::move(block));
+    }
+    SegmentBlock& block = data->blocks.back();
+    block.end = static_cast<uint32_t>(i + 1);
+    FoldIntoBlock(&block, data->segments[i],
+                  materialize ? &data->summaries[i] : nullptr, group_size);
+  }
+  // Full backward pass (UpdateSuffixFences early-stops, which is only
+  // valid for incremental appends).
+  Timestamp suffix = std::numeric_limits<Timestamp>::max();
+  for (size_t i = data->blocks.size(); i-- > 0;) {
+    suffix = std::min(suffix, data->blocks[i].min_start_time);
+    data->blocks[i].suffix_min_start_time = suffix;
+  }
 }
 
 Status SegmentStore::Put(const Segment& segment) {
@@ -88,28 +244,43 @@ Status SegmentStore::Put(const Segment& segment) {
 
 Status SegmentStore::PutLocked(const Segment& segment) {
   GroupSlot& slot = index_[segment.gid];
-  if (!slot.segments) {
-    slot.segments = std::make_shared<std::vector<Segment>>();
+  if (!slot.data) {
+    slot.data = std::make_shared<GroupData>();
+    slot.data->gid = segment.gid;
   } else if (slot.snapshotted) {
-    // A running scan may still iterate this vector: leave it intact and
-    // mutate a private copy (copy-on-write).
-    slot.segments = std::make_shared<std::vector<Segment>>(*slot.segments);
+    // A running scan may still iterate this group's data: leave it intact
+    // and mutate a private copy (copy-on-write).
+    slot.data = std::make_shared<GroupData>(*slot.data);
     slot.snapshotted = false;
   }
-  auto& segments = *slot.segments;
+  GroupData& data = *slot.data;
+  const bool index_enabled = options_.index_block_size > 0;
+  const bool materialize = MaterializeFor(segment.gid);
   // Common case: appends arrive in end_time order per group.
-  if (!segments.empty() &&
-      std::tie(segments.back().end_time, segments.back().gap_mask) >
-          std::tie(segment.end_time, segment.gap_mask)) {
-    auto it = std::upper_bound(
-        segments.begin(), segments.end(), segment,
-        [](const Segment& a, const Segment& b) {
-          return std::tie(a.end_time, a.gap_mask) <
-                 std::tie(b.end_time, b.gap_mask);
-        });
-    segments.insert(it, segment);
+  if (!data.segments.empty() && SegmentLess(segment, data.segments.back())) {
+    auto it = std::upper_bound(data.segments.begin(), data.segments.end(),
+                               segment, SegmentLess);
+    size_t pos = static_cast<size_t>(it - data.segments.begin());
+    data.segments.insert(it, segment);
+    if (index_enabled) {
+      if (materialize) {
+        data.summaries.insert(
+            data.summaries.begin() + static_cast<ptrdiff_t>(pos),
+            BuildSummary(segment, GroupSizeOf(segment.gid)));
+      }
+      // Out-of-order insert shifts every later segment: rebuild the
+      // group's blocks (rare; ingestion appends in end_time order).
+      RebuildBlocks(&data);
+    }
   } else {
-    segments.push_back(segment);
+    data.segments.push_back(segment);
+    if (index_enabled) {
+      if (materialize) {
+        data.summaries.push_back(
+            BuildSummary(segment, GroupSizeOf(segment.gid)));
+      }
+      AppendToIndex(&data, data.segments.size() - 1);
+    }
   }
   num_segments_.fetch_add(1, std::memory_order_relaxed);
   if (!log_path_.empty()) {
@@ -166,9 +337,9 @@ std::vector<SegmentStore::Snapshot> SegmentStore::SnapshotsFor(
   std::vector<Snapshot> snapshots;
   std::lock_guard<std::mutex> lock(mutex_);
   auto grab = [&](GroupSlot& slot) {
-    if (!slot.segments || slot.segments->empty()) return;
+    if (!slot.data || slot.data->segments.empty()) return;
     slot.snapshotted = true;
-    snapshots.push_back(slot.segments);
+    snapshots.push_back(slot.data);
   };
   if (filter.gids.empty()) {
     snapshots.reserve(index_.size());
@@ -183,32 +354,131 @@ std::vector<SegmentStore::Snapshot> SegmentStore::SnapshotsFor(
   return snapshots;
 }
 
+Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
+                                 const IndexedScanCallbacks& callbacks,
+                                 ScanStats* stats) const {
+  ScanStats local;
+  if (stats == nullptr) stats = &local;
+  // The lock is only held inside SnapshotsFor; everything below runs
+  // lock-free on the immutable snapshots.
+  for (const Snapshot& snapshot : SnapshotsFor(filter)) {
+    const GroupData& group = *snapshot;
+    if (group.blocks.empty()) {
+      // No index: the pre-index scan path (binary search to the first
+      // EndTime candidate, then filter every remaining segment).
+      auto it = std::lower_bound(
+          group.segments.begin(), group.segments.end(), filter.min_time,
+          [](const Segment& s, Timestamp t) { return s.end_time < t; });
+      for (; it != group.segments.end(); ++it) {
+        if (!filter.Matches(*it)) continue;
+        ++stats->segments_scanned;
+        size_t i = static_cast<size_t>(it - group.segments.begin());
+        const SegmentSummary* summary =
+            group.summaries.empty() ? nullptr : &group.summaries[i];
+        MODELARDB_RETURN_NOT_OK(callbacks.on_segment(*it, summary));
+      }
+      continue;
+    }
+    // Clustering on end_time: binary search to the first candidate block.
+    size_t b = static_cast<size_t>(
+        std::lower_bound(group.blocks.begin(), group.blocks.end(),
+                         filter.min_time,
+                         [](const SegmentBlock& block, Timestamp t) {
+                           return block.max_end_time < t;
+                         }) -
+        group.blocks.begin());
+    stats->blocks_skipped += static_cast<int64_t>(b);
+    for (; b < group.blocks.size(); ++b) {
+      const SegmentBlock& block = group.blocks[b];
+      if (block.suffix_min_start_time > filter.max_time) {
+        // No segment in this or any later block can start early enough:
+        // stop the group's scan (the tail-scan fix).
+        stats->blocks_skipped +=
+            static_cast<int64_t>(group.blocks.size() - b);
+        break;
+      }
+      if (block.min_start_time > filter.max_time) {
+        ++stats->blocks_skipped;
+        continue;
+      }
+      const bool covered = block.min_start_time >= filter.min_time &&
+                           block.max_end_time <= filter.max_time;
+      const SegmentSummary* summaries =
+          group.summaries.empty() ? nullptr : group.summaries.data();
+      if (covered && block.has_summaries && callbacks.on_covered_block) {
+        BlockView view;
+        view.gid = group.gid;
+        view.block = &block;
+        view.segments = group.segments.data() + block.begin;
+        view.summaries =
+            summaries == nullptr ? nullptr : summaries + block.begin;
+        BlockAction action = callbacks.on_covered_block(view);
+        if (action == BlockAction::kSummarized) {
+          ++stats->blocks_summarized;
+          continue;
+        }
+        if (action == BlockAction::kSkipped) {
+          ++stats->blocks_skipped;
+          continue;
+        }
+      }
+      ++stats->blocks_scanned;
+      for (uint32_t i = block.begin; i < block.end; ++i) {
+        const Segment& segment = group.segments[i];
+        if (!filter.Matches(segment)) continue;
+        ++stats->segments_scanned;
+        MODELARDB_RETURN_NOT_OK(callbacks.on_segment(
+            segment, summaries == nullptr ? nullptr : &summaries[i]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status SegmentStore::Scan(
     const SegmentFilter& filter,
     const std::function<Status(const Segment&)>& fn) const {
-  auto scan_group = [&](const std::vector<Segment>& segments) -> Status {
-    // Clustering on end_time: binary search to the first candidate.
-    auto it = std::lower_bound(
-        segments.begin(), segments.end(), filter.min_time,
-        [](const Segment& s, Timestamp t) { return s.end_time < t; });
-    for (; it != segments.end(); ++it) {
-      if (it->start_time > filter.max_time) {
-        // start_time is not monotone in end_time order when segment
-        // lengths vary, so keep scanning; the filter check handles it.
-        continue;
-      }
-      if (filter.Matches(*it)) {
-        MODELARDB_RETURN_NOT_OK(fn(*it));
-      }
-    }
-    return Status::OK();
-  };
-  // The lock is only held inside SnapshotsFor; the iterate callbacks below
-  // run lock-free on the immutable snapshot vectors.
-  for (const Snapshot& snapshot : SnapshotsFor(filter)) {
-    MODELARDB_RETURN_NOT_OK(scan_group(*snapshot));
+  IndexedScanCallbacks callbacks;
+  callbacks.on_segment = [&fn](const Segment& segment,
+                               const SegmentSummary*) { return fn(segment); };
+  return ScanIndexed(filter, callbacks, nullptr);
+}
+
+int64_t SegmentStore::EstimateSurvivingSegments(
+    Gid gid, const SegmentFilter& filter) const {
+  Snapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(gid);
+    if (it == index_.end() || !it->second.data) return 0;
+    // Read-only estimate: no need to mark the slot snapshotted, the
+    // shared_ptr alone keeps the data alive if a writer swaps it out.
+    snapshot = it->second.data;
   }
-  return Status::OK();
+  const GroupData& group = *snapshot;
+  if (group.blocks.empty()) {
+    auto it = std::lower_bound(
+        group.segments.begin(), group.segments.end(), filter.min_time,
+        [](const Segment& s, Timestamp t) { return s.end_time < t; });
+    return static_cast<int64_t>(group.segments.end() - it);
+  }
+  int64_t estimate = 0;
+  for (const SegmentBlock& block : group.blocks) {
+    if (block.suffix_min_start_time > filter.max_time) break;
+    if (block.max_end_time < filter.min_time ||
+        block.min_start_time > filter.max_time) {
+      continue;
+    }
+    if (block.min_start_time >= filter.min_time &&
+        block.max_end_time <= filter.max_time) {
+      estimate += block.size();
+      continue;
+    }
+    for (uint32_t i = block.begin; i < block.end; ++i) {
+      if (filter.Matches(group.segments[i])) ++estimate;
+    }
+  }
+  return estimate;
 }
 
 Result<std::vector<Segment>> SegmentStore::GetSegments(

@@ -12,6 +12,17 @@
 // written in bulk (Table 1: Bulk Write Size 50,000) as length-prefixed
 // blocks; Open() replays the log. The full index is also kept in memory —
 // the paper co-locates storage and query processing for locality (Fig 4).
+//
+// On top of the per-group segment vectors the store maintains a two-level
+// *segment summary index* (the "model-exploiting index" the paper defers
+// to future work, §9 item i): segments are bucketed into fixed-size blocks
+// in EndTime clustering order, and every block carries time fences, a
+// value zone map and gap-aware pre-folded aggregates, while every segment
+// carries its materialized full-range per-column aggregates (computed with
+// SegmentDecoder::AggregateRange at Put/replay time). Scans skip blocks by
+// fence, stop early on the suffix-min StartTime fence, and aggregate
+// queries answer fully covered blocks from the summaries without creating
+// a single decoder. See DESIGN.md "Segment summary index".
 
 #ifndef MODELARDB_STORAGE_SEGMENT_STORE_H_
 #define MODELARDB_STORAGE_SEGMENT_STORE_H_
@@ -25,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/model.h"
 #include "core/segment.h"
 #include "util/status.h"
 
@@ -35,6 +47,17 @@ struct SegmentStoreOptions {
   std::string directory;
   // Segments buffered before a bulk write to disk.
   size_t bulk_write_size = 50000;
+  // Segments per summary-index block; 0 disables the index entirely
+  // (fences, summaries and block skipping — the pre-index scan path).
+  size_t index_block_size = 256;
+  // Decoder registry used to materialize per-segment aggregates at Put /
+  // replay time. Null keeps the index fence-only: blocks still skip and
+  // stop scans early, but aggregate queries decode every segment.
+  const ModelRegistry* registry = nullptr;
+  // Series count per group. Materialized aggregates are gap-aware, which
+  // requires the group size to map gap_mask bits to decoder columns;
+  // groups without an entry (or wider than 64 series) stay fence-only.
+  std::map<Gid, int> group_sizes;
 };
 
 // Push-down predicate for segment scans.
@@ -48,13 +71,102 @@ struct SegmentFilter {
   }
 };
 
+// Counters describing how a scan used the summary index. Threaded through
+// query PartialResults into `EXPLAIN` output.
+struct ScanStats {
+  int64_t blocks_skipped = 0;     // Pruned by time fences, never delivered.
+  int64_t blocks_summarized = 0;  // Consumed whole from summaries.
+  int64_t blocks_scanned = 0;     // Delivered segment by segment.
+  int64_t segments_scanned = 0;   // Segments delivered to callbacks.
+  int64_t segments_decoded = 0;   // Decoders created (query-engine side).
+
+  void Merge(const ScanStats& other) {
+    blocks_skipped += other.blocks_skipped;
+    blocks_summarized += other.blocks_summarized;
+    blocks_scanned += other.blocks_scanned;
+    segments_scanned += other.segments_scanned;
+    segments_decoded += other.segments_decoded;
+  }
+};
+
+// Materialized aggregates of one segment over its full row range, one
+// entry per decoder column (represented series, in group order), in
+// stored units. The values are exactly what SegmentDecoder::AggregateRange
+// over the whole segment returns, so folding them is bit-identical to
+// decoding; the per-column count is Segment::Length(). Empty == absent
+// (no registry, unknown model, or group too wide).
+struct SegmentSummary {
+  std::vector<double> agg;  // [3 * col + {0: sum, 1: min, 2: max}]
+
+  bool valid() const { return !agg.empty(); }
+  double sum(int col) const { return agg[3 * col]; }
+  double min(int col) const { return agg[3 * col + 1]; }
+  double max(int col) const { return agg[3 * col + 2]; }
+};
+
+// Fences and pre-folded aggregates over one block of a group's segments
+// ([begin, end) in EndTime clustering order).
+struct SegmentBlock {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  Timestamp min_start_time = std::numeric_limits<Timestamp>::max();
+  Timestamp max_end_time = std::numeric_limits<Timestamp>::min();
+  // Smallest start_time of this block and every later block of the group.
+  // Monotonically non-decreasing across blocks, so a scan can stop as soon
+  // as it exceeds the query's max_time (start_time alone is not monotone
+  // in EndTime order when segment lengths vary).
+  Timestamp suffix_min_start_time = std::numeric_limits<Timestamp>::max();
+  // Zone map over the segments' value statistics (stored units, over every
+  // represented series — the same statistics RelateStats prunes with).
+  float min_value = std::numeric_limits<float>::max();
+  float max_value = std::numeric_limits<float>::lowest();
+  // True when every segment in the block has a valid SegmentSummary and
+  // the per-position arrays below are populated.
+  bool has_summaries = false;
+  // Gap-aware pre-folded aggregates per group position (only segments that
+  // represent the position contribute). counts are exact point counts;
+  // mins/maxs are order-free exact folds; sums are folded in segment order
+  // (used for estimates — exact SUM answers fold the per-segment
+  // summaries instead to preserve the reduction tree bit-for-bit).
+  std::vector<int64_t> counts;
+  std::vector<double> sums;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+
+  uint32_t size() const { return end - begin; }
+};
+
+// A fully time-covered block handed to IndexedScanCallbacks.
+struct BlockView {
+  Gid gid = 0;
+  const SegmentBlock* block = nullptr;
+  const Segment* segments = nullptr;          // block->size() of them.
+  const SegmentSummary* summaries = nullptr;  // Parallel; null if absent.
+};
+
+// What the consumer decided to do with a fully covered block.
+enum class BlockAction {
+  kSummarized,  // Consumed from the summaries; do not deliver segments.
+  kSkipped,     // Proven irrelevant (e.g. value zone map disjoint).
+  kFallback,    // Deliver the block's segments one by one.
+};
+
+struct IndexedScanCallbacks {
+  // Called for blocks whose segments all lie inside the time filter and
+  // that carry summaries. Null: every block falls back to on_segment.
+  std::function<BlockAction(const BlockView&)> on_covered_block;
+  // Called per matching segment of fallback/partial blocks (and of groups
+  // without an index). `summary` is non-null iff materialized.
+  std::function<Status(const Segment&, const SegmentSummary*)> on_segment;
+};
+
 // Thread-safety: Put/Flush/Scan may be called concurrently. Scans are
 // snapshot-based: the lock is held only while grabbing copy-on-write
-// references to the matching per-group segment vectors; iterate/aggregate
-// callbacks then run lock-free on that immutable snapshot, so concurrent
-// PutBatch from ingestion never blocks a running query (the online
-// analytics scenario of Fig 13). Writers copy a group's vector before
-// mutating it iff a live snapshot may still reference it.
+// references to the matching per-group data (segments + summary index);
+// iterate/aggregate callbacks then run lock-free on that immutable
+// snapshot, so concurrent PutBatch from ingestion never blocks a running
+// query (the online analytics scenario of Fig 13). Writers copy a group's
+// data before mutating it iff a live snapshot may still reference it.
 class SegmentStore {
  public:
   // Opens (and replays) the store at options.directory, or an in-memory
@@ -79,6 +191,20 @@ class SegmentStore {
   Status Scan(const SegmentFilter& filter,
               const std::function<Status(const Segment&)>& fn) const;
 
+  // Index-aware scan: skips blocks by fence, stops a group early once the
+  // suffix-min StartTime fence passes filter.max_time, offers fully
+  // covered blocks to `callbacks.on_covered_block`, and delivers the rest
+  // (in the same per-group EndTime order as Scan) to `on_segment`.
+  // `stats` may be null.
+  Status ScanIndexed(const SegmentFilter& filter,
+                     const IndexedScanCallbacks& callbacks,
+                     ScanStats* stats) const;
+
+  // Upper-bound estimate (from the block fences) of how many of `gid`'s
+  // segments survive `filter`. Used to weight morsel scheduling.
+  int64_t EstimateSurvivingSegments(Gid gid,
+                                    const SegmentFilter& filter) const;
+
   // Segments of one group overlapping [min_time, max_time].
   Result<std::vector<Segment>> GetSegments(Gid gid, Timestamp min_time,
                                            Timestamp max_time) const;
@@ -96,14 +222,21 @@ class SegmentStore {
   std::vector<Gid> Gids() const;
 
  private:
-  // One group's segments with copy-on-write snapshot tracking. `segments`
-  // is immutable from the moment a snapshot references it (`snapshotted`);
-  // the next write under the store lock replaces it with a copy.
+  // One group's segments plus its summary index. Immutable from the moment
+  // a snapshot references it; the next write under the store lock replaces
+  // it with a copy (copy-on-write).
+  struct GroupData {
+    Gid gid = 0;
+    std::vector<Segment> segments;  // Ordered by (end_time, gap_mask).
+    // Parallel to `segments` when materialization is on; empty otherwise.
+    std::vector<SegmentSummary> summaries;
+    std::vector<SegmentBlock> blocks;  // Empty when the index is disabled.
+  };
   struct GroupSlot {
-    std::shared_ptr<std::vector<Segment>> segments;
+    std::shared_ptr<GroupData> data;
     bool snapshotted = false;
   };
-  using Snapshot = std::shared_ptr<const std::vector<Segment>>;
+  using Snapshot = std::shared_ptr<const GroupData>;
 
   explicit SegmentStore(SegmentStoreOptions options);
 
@@ -114,6 +247,18 @@ class SegmentStore {
   // Grabs (and marks) the snapshots `filter` selects, in ascending Gid
   // order for the empty-gids case and in `filter.gids` order otherwise.
   std::vector<Snapshot> SnapshotsFor(const SegmentFilter& filter) const;
+
+  int GroupSizeOf(Gid gid) const;
+  bool MaterializeFor(Gid gid) const;
+  // Full-range per-column aggregates of `segment`; empty on any failure.
+  SegmentSummary BuildSummary(const Segment& segment, int group_size) const;
+  // Folds segments[index] (appended last) into the block structure.
+  void AppendToIndex(GroupData* data, size_t index) const;
+  // Rebuilds all blocks of `data` (replay, out-of-order inserts).
+  void RebuildBlocks(GroupData* data) const;
+  static void FoldIntoBlock(SegmentBlock* block, const Segment& segment,
+                            const SegmentSummary* summary, int group_size);
+  static void UpdateSuffixFences(std::vector<SegmentBlock>* blocks);
 
   SegmentStoreOptions options_;
   std::string log_path_;

@@ -1,0 +1,302 @@
+// Property test for the segment summary index: for randomized segment
+// populations (gaps, scaling factors, boundary-equal timestamps), every
+// query must return bit-identical results whether the index is disabled
+// (block size 0, the exhaustive decode path) or enabled at any block size
+// — including degenerate sizes 1 and 3 that maximize partially covered
+// blocks. See DESIGN.md "Segment summary index" for why this holds.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/segment_generator.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace modelardb {
+namespace query {
+namespace {
+
+constexpr SamplingInterval kSi = 50;
+constexpr Timestamp kStart = 1000000;
+const size_t kBlockSizes[] = {0, 1, 3, 256};
+
+class SummaryIndexPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = std::make_unique<TimeSeriesCatalog>(
+        std::vector<Dimension>{Dimension("Location", {"Park"})});
+    auto add = [&](Tid tid, const char* park, double scaling) {
+      TimeSeriesMeta meta;
+      meta.tid = tid;
+      meta.si = kSi;
+      meta.scaling = scaling;
+      meta.source = "s" + std::to_string(tid);
+      meta.members = {{park}};
+      ASSERT_TRUE(catalog_->AddSeries(meta).ok());
+    };
+    // Non-trivial scalings exercise the stored-unit / raw-unit conversion
+    // in both the zone maps and the materialized summaries.
+    add(1, "Aalborg", 1.0);
+    add(2, "Aalborg", 2.0);
+    add(3, "Aalborg", 0.5);
+    add(4, "Farsoe", 4.0);
+    add(5, "Farsoe", 1.0);
+
+    groups_ = {{1, {1, 2, 3}, kSi}, {2, {4, 5}, kSi}};
+    for (const auto& g : groups_) {
+      for (Tid tid : g.tids) catalog_->GetMutable(tid)->gid = g.gid;
+    }
+    registry_ = ModelRegistry::Default();
+
+    // Randomized regimes (constant runs, ramps, noise) emit many short
+    // segments; random absence stretches create gap-mask segments.
+    Random rng(42);
+    std::vector<Segment> segments;
+    for (const auto& group : groups_) {
+      SegmentGeneratorConfig config;
+      config.gid = group.gid;
+      config.si = kSi;
+      config.num_series = static_cast<int>(group.tids.size());
+      config.error_bound = ErrorBound::Lossless();
+      config.registry = &registry_;
+      SegmentGenerator generator(config, group.tids);
+      std::vector<bool> absent(group.tids.size(), false);
+      for (int i = 0; i < 2000; ++i) {
+        if (i % 37 == 0) {
+          for (size_t s = 0; s < absent.size(); ++s) {
+            absent[s] = rng.NextDouble() < 0.2;
+          }
+        }
+        GroupRow row;
+        row.timestamp = kStart + static_cast<Timestamp>(i) * kSi;
+        for (size_t s = 0; s < group.tids.size(); ++s) {
+          Tid tid = group.tids[s];
+          float raw;
+          switch ((i / 25) % 3) {
+            case 0:
+              raw = 10.0f * tid;
+              break;
+            case 1:
+              raw = static_cast<float>(3 * (i % 25) + tid);
+              break;
+            default:
+              raw = static_cast<float>(rng.NextU64() % 500) + 0.25f * tid;
+          }
+          double scaling = catalog_->Get(tid).scaling;
+          row.values.push_back(static_cast<Value>(raw * scaling));
+          row.present.push_back(!absent[s]);
+        }
+        ASSERT_TRUE(generator.Ingest(row, &segments).ok());
+      }
+      ASSERT_TRUE(generator.Flush(&segments).ok());
+    }
+    ASSERT_GT(segments.size(), 100u);
+    segments_ = segments;
+
+    for (size_t block_size : kBlockSizes) {
+      SegmentStoreOptions options;
+      options.index_block_size = block_size;
+      options.registry = &registry_;
+      for (const auto& g : groups_) {
+        options.group_sizes[g.gid] = static_cast<int>(g.tids.size());
+      }
+      auto store = SegmentStore::Open(options);
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE((*store)->PutBatch(segments).ok());
+      stores_.push_back(std::move(*store));
+    }
+    engine_ =
+        std::make_unique<QueryEngine>(catalog_.get(), groups_, &registry_);
+  }
+
+  // Runs `sql` against every store and asserts the indexed results are
+  // bit-identical (Cell operator== compares doubles exactly) to the
+  // exhaustive store's (block size 0).
+  void ExpectIdenticalAcrossStores(const std::string& sql) {
+    std::vector<QueryResult> results;
+    for (const auto& store : stores_) {
+      StoreSegmentSource source(store.get());
+      auto result = engine_->Execute(sql, source);
+      ASSERT_TRUE(result.ok()) << sql << ": " << result.status();
+      results.push_back(std::move(*result));
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[0].columns, results[i].columns) << sql;
+      ASSERT_EQ(results[0].rows.size(), results[i].rows.size())
+          << sql << " at block size " << kBlockSizes[i];
+      for (size_t r = 0; r < results[0].rows.size(); ++r) {
+        EXPECT_EQ(results[0].rows[r], results[i].rows[r])
+            << sql << " row " << r << " at block size " << kBlockSizes[i];
+      }
+    }
+  }
+
+  ScanStats StatsFor(const std::string& sql, size_t store_index) {
+    auto ast = ParseQuery(sql);
+    EXPECT_TRUE(ast.ok());
+    auto compiled = engine_->Compile(*ast);
+    EXPECT_TRUE(compiled.ok());
+    StoreSegmentSource source(stores_[store_index].get());
+    auto partial = engine_->ExecutePartial(*compiled, source);
+    EXPECT_TRUE(partial.ok());
+    return partial.ok() ? partial->scan : ScanStats{};
+  }
+
+  std::unique_ptr<TimeSeriesCatalog> catalog_;
+  std::vector<TimeSeriesGroup> groups_;
+  ModelRegistry registry_;
+  std::vector<Segment> segments_;
+  std::vector<std::unique_ptr<SegmentStore>> stores_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(SummaryIndexPropertyTest, WholeRangeAggregatesIdentical) {
+  ExpectIdenticalAcrossStores(
+      "SELECT COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*), AVG_S(*) "
+      "FROM Segment");
+  ExpectIdenticalAcrossStores(
+      "SELECT Tid, COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*), AVG_S(*) "
+      "FROM Segment GROUP BY Tid ORDER BY Tid");
+  ExpectIdenticalAcrossStores(
+      "SELECT Park, SUM_S(*) FROM Segment GROUP BY Park ORDER BY Park");
+}
+
+TEST_F(SummaryIndexPropertyTest, TimeRangesIncludingExactBoundaries) {
+  // Generic interior ranges plus ranges whose endpoints equal actual
+  // segment start/end timestamps (fence comparisons become equalities).
+  std::vector<std::pair<Timestamp, Timestamp>> ranges = {
+      {kStart + 137 * kSi, kStart + 1500 * kSi},
+      {kStart + 1, kStart + 999 * kSi + 1},
+  };
+  for (size_t i = 0; i < segments_.size(); i += 17) {
+    ranges.emplace_back(segments_[i].start_time, segments_[i].end_time);
+    if (i + 23 < segments_.size()) {
+      ranges.emplace_back(segments_[i].end_time,
+                          segments_[i + 23].end_time);
+    }
+  }
+  for (const auto& [lo, hi] : ranges) {
+    if (lo > hi) continue;
+    std::string where = " WHERE TS >= " + std::to_string(lo) +
+                        " AND TS <= " + std::to_string(hi);
+    ExpectIdenticalAcrossStores(
+        "SELECT COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment" +
+        where);
+    ExpectIdenticalAcrossStores(
+        "SELECT Tid, AVG_S(*) FROM Segment" + where +
+        " GROUP BY Tid ORDER BY Tid");
+  }
+}
+
+TEST_F(SummaryIndexPropertyTest, ValuePredicatesIdentical) {
+  for (const char* where :
+       {" WHERE Value >= 100", " WHERE Value <= 250",
+        " WHERE Value >= 50 AND Value <= 400",
+        " WHERE Value >= -1000000",  // Contains every block.
+        " WHERE Value >= 1000000"}) {  // Disjoint from every block.
+    ExpectIdenticalAcrossStores(
+        std::string("SELECT Tid, COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*) "
+                    "FROM Segment") +
+        where + " GROUP BY Tid ORDER BY Tid");
+  }
+}
+
+TEST_F(SummaryIndexPropertyTest, DataPointViewIdentical) {
+  ExpectIdenticalAcrossStores(
+      "SELECT COUNT(Value), MIN(Value), MAX(Value) FROM DataPoint");
+  ExpectIdenticalAcrossStores(
+      "SELECT Tid, COUNT(Value), MIN(Value), MAX(Value) FROM DataPoint "
+      "GROUP BY Tid ORDER BY Tid");
+  // SUM/AVG fold per point in the exhaustive path, so the index must
+  // fall back to decoding and still agree.
+  ExpectIdenticalAcrossStores(
+      "SELECT Tid, SUM(Value), AVG(Value) FROM DataPoint "
+      "GROUP BY Tid ORDER BY Tid");
+  ExpectIdenticalAcrossStores(
+      "SELECT Tid, COUNT(Value) FROM DataPoint WHERE TS >= " +
+      std::to_string(kStart + 100 * kSi) + " AND TS <= " +
+      std::to_string(kStart + 1700 * kSi) + " GROUP BY Tid ORDER BY Tid");
+}
+
+TEST_F(SummaryIndexPropertyTest, SelectedTidSubsetsIdentical) {
+  ExpectIdenticalAcrossStores(
+      "SELECT SUM_S(*), COUNT_S(*) FROM Segment WHERE Tid IN (2, 4)");
+  ExpectIdenticalAcrossStores(
+      "SELECT Tid, MAX_S(*) FROM Segment WHERE Tid IN (1, 3, 5) "
+      "GROUP BY Tid ORDER BY Tid");
+}
+
+TEST_F(SummaryIndexPropertyTest, WholeRangeAnswersFromSummariesOnly) {
+  // Block size 256 is stores_[3]. A whole-range aggregate must be served
+  // entirely from the index: blocks summarized, nothing decoded.
+  ScanStats stats = StatsFor("SELECT SUM_S(*), COUNT_S(*) FROM Segment", 3);
+  EXPECT_GT(stats.blocks_summarized, 0);
+  EXPECT_EQ(stats.blocks_scanned, 0);
+  EXPECT_EQ(stats.segments_scanned, 0);
+  EXPECT_EQ(stats.segments_decoded, 0);
+
+  // The exhaustive store decodes every segment.
+  ScanStats exhaustive =
+      StatsFor("SELECT SUM_S(*), COUNT_S(*) FROM Segment", 0);
+  EXPECT_EQ(exhaustive.blocks_summarized, 0);
+  EXPECT_EQ(exhaustive.segments_decoded,
+            static_cast<int64_t>(segments_.size()));
+}
+
+TEST_F(SummaryIndexPropertyTest, CountOnlyDataPointSkipsDecoding) {
+  ScanStats stats = StatsFor("SELECT COUNT(Value) FROM DataPoint", 3);
+  EXPECT_GT(stats.blocks_summarized, 0);
+  EXPECT_EQ(stats.segments_decoded, 0);
+  // SUM must decode (per-point fold order).
+  ScanStats sum_stats = StatsFor("SELECT SUM(Value) FROM DataPoint", 3);
+  EXPECT_EQ(sum_stats.blocks_summarized, 0);
+  EXPECT_GT(sum_stats.segments_decoded, 0);
+}
+
+TEST_F(SummaryIndexPropertyTest, ExplainReportsPruningCounters) {
+  StoreSegmentSource source(stores_[3].get());
+  auto result =
+      engine_->Execute("EXPLAIN SELECT SUM_S(*) FROM Segment", source);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::map<std::string, int64_t> counters;
+  for (const auto& row : result->rows) {
+    const std::string& line = std::get<std::string>(row[0]);
+    size_t colon = line.rfind(": ");
+    if (colon == std::string::npos) continue;
+    char* end = nullptr;
+    long long value = std::strtoll(line.c_str() + colon + 2, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      counters[line.substr(0, colon)] = value;
+    }
+  }
+  ASSERT_TRUE(counters.count("blocks skipped"));
+  ASSERT_TRUE(counters.count("blocks summarized"));
+  ASSERT_TRUE(counters.count("blocks scanned"));
+  ASSERT_TRUE(counters.count("segments scanned"));
+  ASSERT_TRUE(counters.count("segments decoded"));
+  EXPECT_GT(counters["blocks summarized"], 0);
+  EXPECT_EQ(counters["segments decoded"], 0);
+}
+
+TEST_F(SummaryIndexPropertyTest, TimeBoundedScanStopsEarly) {
+  // A range at the head of the data: the suffix-min fence must prune the
+  // tail blocks instead of scanning them. Block size 3 (stores_[2]) gives
+  // every group many blocks, so the tail is long.
+  ScanStats stats = StatsFor(
+      "SELECT COUNT_S(*) FROM Segment WHERE TS <= " +
+          std::to_string(kStart + 50 * kSi),
+      2);
+  EXPECT_GT(stats.blocks_skipped, 0);
+  EXPECT_LT(stats.blocks_scanned + stats.blocks_summarized,
+            stats.blocks_skipped);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace modelardb

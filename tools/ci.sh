@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests, the tier-2 TSan subset, and repo hygiene.
+# Usage: tools/ci.sh  (run from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+# Hygiene: build trees must never be committed (they are .gitignore'd).
+if git ls-files | grep -q '^build'; then
+  echo "FAIL: build artifacts are tracked by git:" >&2
+  git ls-files | grep '^build' | head >&2
+  exit 1
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Tier 1: full test suite.
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+# Tier 2: concurrency subset under ThreadSanitizer.
+cmake -B build-tsan -S . -DMODELARDB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+(cd build-tsan && ctest -R "ThreadPool|Concurrency|Pipeline" --output-on-failure -j "$JOBS")
+
+echo "ci: all checks passed"
