@@ -172,21 +172,41 @@ Result<query::QueryResult> ClusterEngine::Execute(
     for (const std::string& line : SplitString(text, '\n')) {
       if (!line.empty()) result.rows.push_back({line});
     }
-    // EXPLAIN also runs the scan on every worker and reports the merged
-    // summary-index pruning counters for this query.
     query::Query stripped = ast;
     stripped.explain = false;
+    stripped.analyze = false;
     MODELARDB_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
                                query_engine_->Compile(stripped));
-    ScanStats scan;
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      MODELARDB_ASSIGN_OR_RETURN(
-          query::PartialResult partial,
-          ExecuteOnWorker(compiled, static_cast<int>(i)));
-      scan.Merge(partial.scan);
-    }
-    for (const std::string& line : query::ScanStatsLines(scan)) {
-      result.rows.push_back({line});
+    if (ast.analyze) {
+      // EXPLAIN ANALYZE runs the scan on every worker and reports the
+      // merged summary-index pruning counters for this query.
+      ScanStats scan;
+      for (size_t i = 0; i < workers_.size(); ++i) {
+        MODELARDB_ASSIGN_OR_RETURN(
+            query::PartialResult partial,
+            ExecuteOnWorker(compiled, static_cast<int>(i)));
+        scan.Merge(partial.scan);
+      }
+      for (const std::string& line : query::ScanStatsLines(scan)) {
+        result.rows.push_back({line});
+      }
+    } else {
+      // Plain EXPLAIN stays cheap: sum the fence-based upper bound over
+      // every worker's store instead of executing the query.
+      int64_t estimate = 0;
+      for (const auto& worker : workers_) {
+        const SegmentStore* store = worker->store();
+        const std::vector<Gid> gids =
+            compiled.filter.gids.empty() ? store->Gids() : compiled.filter.gids;
+        for (Gid gid : gids) {
+          estimate += store->EstimateSurvivingSegments(gid, compiled.filter);
+        }
+      }
+      result.rows.push_back(
+          {"estimated surviving segments: " + std::to_string(estimate)});
+      result.rows.push_back(
+          {"hint: EXPLAIN ANALYZE runs the scan and reports exact pruning "
+           "counters"});
     }
     return result;
   }

@@ -70,6 +70,9 @@ struct OrderBy {
 
 struct Query {
   bool explain = false;  // EXPLAIN <query>: describe the plan, do not run.
+  // EXPLAIN ANALYZE <query>: also execute the scan and report the exact
+  // summary-index pruning counters (plain EXPLAIN only estimates them).
+  bool analyze = false;
   View view = View::kSegment;
   std::vector<SelectItem> select;
   std::vector<Predicate> where;       // Conjunction.

@@ -818,6 +818,7 @@ Result<QueryResult> QueryEngine::MergeFinalize(
 Result<std::string> QueryEngine::Explain(const Query& ast) const {
   Query stripped = ast;
   stripped.explain = false;
+  stripped.analyze = false;
   MODELARDB_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(stripped));
   std::string out;
   out += std::string("view: ") +
@@ -886,15 +887,37 @@ Result<QueryResult> QueryEngine::Execute(const Query& ast,
     for (const std::string& line : SplitString(text, '\n')) {
       if (!line.empty()) result.rows.push_back({line});
     }
-    // EXPLAIN also runs the scan so the summary-index pruning counters
-    // reflect this query against the actual data.
     Query stripped = ast;
     stripped.explain = false;
+    stripped.analyze = false;
     MODELARDB_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(stripped));
-    MODELARDB_ASSIGN_OR_RETURN(PartialResult partial,
-                               ExecutePartial(compiled, source));
-    for (const std::string& line : ScanStatsLines(partial.scan)) {
-      result.rows.push_back({line});
+    if (ast.analyze) {
+      // EXPLAIN ANALYZE runs the scan so the summary-index pruning
+      // counters reflect this query against the actual data.
+      MODELARDB_ASSIGN_OR_RETURN(PartialResult partial,
+                                 ExecutePartial(compiled, source));
+      for (const std::string& line : ScanStatsLines(partial.scan)) {
+        result.rows.push_back({line});
+      }
+    } else {
+      // Plain EXPLAIN must stay cheap on large stores: report the block
+      // fences' surviving-segment upper bound instead of executing.
+      int64_t estimate = 0;
+      if (compiled.filter.gids.empty()) {
+        for (size_t i = 0; i < groups_.size(); ++i) {
+          estimate += source.EstimateSurvivingSegments(
+              static_cast<Gid>(i + 1), compiled.filter);
+        }
+      } else {
+        for (Gid gid : compiled.filter.gids) {
+          estimate += source.EstimateSurvivingSegments(gid, compiled.filter);
+        }
+      }
+      result.rows.push_back(
+          {"estimated surviving segments: " + std::to_string(estimate)});
+      result.rows.push_back(
+          {"hint: EXPLAIN ANALYZE runs the scan and reports exact pruning "
+           "counters"});
     }
     return result;
   }

@@ -171,8 +171,8 @@ struct PartialResult {
   void Merge(PartialResult&& other);
 };
 
-// Renders the `EXPLAIN` counter lines ("blocks skipped: N", ...) for a
-// scan's summary-index pruning statistics.
+// Renders the `EXPLAIN ANALYZE` counter lines ("blocks skipped: N", ...)
+// for a scan's summary-index pruning statistics.
 std::vector<std::string> ScanStatsLines(const ScanStats& stats);
 
 class QueryEngine {

@@ -97,7 +97,10 @@ class Parser {
 
   Result<Query> Parse() {
     Query q;
-    if (ConsumeKeyword("EXPLAIN")) q.explain = true;
+    if (ConsumeKeyword("EXPLAIN")) {
+      q.explain = true;
+      if (ConsumeKeyword("ANALYZE")) q.analyze = true;
+    }
     MODELARDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
     do {
       MODELARDB_RETURN_NOT_OK(ParseSelectItem(&q));

@@ -451,8 +451,10 @@ int64_t SegmentStore::EstimateSurvivingSegments(
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(gid);
     if (it == index_.end() || !it->second.data) return 0;
-    // Read-only estimate: no need to mark the slot snapshotted, the
-    // shared_ptr alone keeps the data alive if a writer swaps it out.
+    // Mark the slot snapshotted exactly as SnapshotsFor does: writers only
+    // copy-on-write when the flag is set, so without it a concurrent Put
+    // would mutate the GroupData this estimate iterates lock-free.
+    it->second.snapshotted = true;
     snapshot = it->second.data;
   }
   const GroupData& group = *snapshot;
@@ -469,14 +471,11 @@ int64_t SegmentStore::EstimateSurvivingSegments(
         block.min_start_time > filter.max_time) {
       continue;
     }
-    if (block.min_start_time >= filter.min_time &&
-        block.max_end_time <= filter.max_time) {
-      estimate += block.size();
-      continue;
-    }
-    for (uint32_t i = block.begin; i < block.end; ++i) {
-      if (filter.Matches(group.segments[i])) ++estimate;
-    }
+    // Upper bound: partially covered blocks count in full. Scheduling
+    // weights and EXPLAIN estimates only need fence precision; filtering
+    // every segment of a straddling block would make the estimate itself
+    // proportional to the data.
+    estimate += block.size();
   }
   return estimate;
 }

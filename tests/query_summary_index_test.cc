@@ -259,10 +259,10 @@ TEST_F(SummaryIndexPropertyTest, CountOnlyDataPointSkipsDecoding) {
   EXPECT_GT(sum_stats.segments_decoded, 0);
 }
 
-TEST_F(SummaryIndexPropertyTest, ExplainReportsPruningCounters) {
+TEST_F(SummaryIndexPropertyTest, ExplainAnalyzeReportsPruningCounters) {
   StoreSegmentSource source(stores_[3].get());
-  auto result =
-      engine_->Execute("EXPLAIN SELECT SUM_S(*) FROM Segment", source);
+  auto result = engine_->Execute("EXPLAIN ANALYZE SELECT SUM_S(*) FROM Segment",
+                                 source);
   ASSERT_TRUE(result.ok()) << result.status();
   std::map<std::string, int64_t> counters;
   for (const auto& row : result->rows) {
@@ -282,6 +282,26 @@ TEST_F(SummaryIndexPropertyTest, ExplainReportsPruningCounters) {
   ASSERT_TRUE(counters.count("segments decoded"));
   EXPECT_GT(counters["blocks summarized"], 0);
   EXPECT_EQ(counters["segments decoded"], 0);
+}
+
+TEST_F(SummaryIndexPropertyTest, PlainExplainEstimatesWithoutExecuting) {
+  // Plain EXPLAIN must not run the scan: no pruning counters, only the
+  // fence-based surviving-segment upper bound (whole range == everything).
+  StoreSegmentSource source(stores_[3].get());
+  auto result =
+      engine_->Execute("EXPLAIN SELECT SUM_S(*) FROM Segment", source);
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool saw_estimate = false;
+  for (const auto& row : result->rows) {
+    const std::string& line = std::get<std::string>(row[0]);
+    EXPECT_EQ(line.find("segments decoded"), std::string::npos) << line;
+    EXPECT_EQ(line.find("blocks summarized"), std::string::npos) << line;
+    if (line == "estimated surviving segments: " +
+                    std::to_string(segments_.size())) {
+      saw_estimate = true;
+    }
+  }
+  EXPECT_TRUE(saw_estimate);
 }
 
 TEST_F(SummaryIndexPropertyTest, TimeBoundedScanStopsEarly) {

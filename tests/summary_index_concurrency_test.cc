@@ -121,6 +121,45 @@ TEST(SummaryIndexConcurrencyTest, IndexedScansRaceAppends) {
   EXPECT_EQ(total, 4 * 400 * 10);
 }
 
+TEST(SummaryIndexConcurrencyTest, EstimatesRaceAppendsWithoutScans) {
+  // No Scan anywhere in this test: EstimateSurvivingSegments must mark its
+  // own snapshot as live, or writers mutate the GroupData it iterates
+  // in place (no copy-on-write without the flag) — the race a Scan-heavy
+  // reader would mask by setting the flag for it.
+  ModelRegistry registry = ModelRegistry::Default();
+  auto store = *SegmentStore::Open(IndexedOptions(&registry, 4));
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> estimated{0};
+
+  std::thread estimator([&] {
+    while (!done.load()) {
+      SegmentFilter narrow;
+      narrow.min_time = 50 * 1000;
+      narrow.max_time = 900 * 1000;
+      estimated.fetch_add(store->EstimateSurvivingSegments(1, narrow));
+      estimated.fetch_add(store->EstimateSurvivingSegments(2, SegmentFilter{}));
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&store, w] {
+      for (int i = 0; i < 2000; ++i) {
+        // Every third Put lands out of order and rebuilds the blocks.
+        int slot = (i % 3 == 0) ? 4000 - i : i;
+        ASSERT_TRUE(store->Put(MakeSegment(w + 1, slot)).ok());
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true);
+  estimator.join();
+  EXPECT_EQ(store->NumSegments(), 2 * 2000);
+  // Quiescent upper bound: every segment of group 2 survives the empty
+  // filter.
+  EXPECT_EQ(store->EstimateSurvivingSegments(2, SegmentFilter{}), 2000);
+}
+
 TEST(SummaryIndexConcurrencyTest, OutOfOrderPutsRebuildWhileScanning) {
   ModelRegistry registry = ModelRegistry::Default();
   auto store = *SegmentStore::Open(IndexedOptions(&registry, 8));
@@ -142,7 +181,18 @@ TEST(SummaryIndexConcurrencyTest, OutOfOrderPutsRebuildWhileScanning) {
         scan_status = s;
         return;
       }
-      // EstimateSurvivingSegments races the same snapshots read-only.
+    }
+  });
+
+  // A second reader that only estimates, never scans: the estimator must
+  // mark its snapshot itself (it cannot rely on a preceding Scan having
+  // set the copy-on-write flag for it).
+  std::thread estimator([&store, &done] {
+    while (!done.load()) {
+      SegmentFilter filter;
+      (void)store->EstimateSurvivingSegments(1, filter);
+      filter.min_time = 100 * 1000;
+      filter.max_time = 400 * 1000;
       (void)store->EstimateSurvivingSegments(1, filter);
     }
   });
@@ -158,6 +208,7 @@ TEST(SummaryIndexConcurrencyTest, OutOfOrderPutsRebuildWhileScanning) {
   writer.join();
   done.store(true);
   reader.join();
+  estimator.join();
   EXPECT_TRUE(scan_status.ok()) << scan_status;
   EXPECT_EQ(store->NumSegments(), 300);
 
