@@ -75,6 +75,15 @@ int main() {
     PrintRates("ModelarDBv2 (MMGC)", v2.report.data_points,
                v2.report.seconds, v2.engine->DiskBytes(), "(B-1)");
     json.Add("v2_b1_points_per_second", v2.report.points_per_second);
+    json.Add("v2_b1_compression_ratio", v2.report.compression_ratio);
+    std::printf("  compression vs raw points: %.1fx\n",
+                v2.report.compression_ratio);
+    for (const auto& [model, segments] : v2.report.segments_per_model) {
+      std::printf("  %-12s: %lld segments, %lld points\n", model.c_str(),
+                  static_cast<long long>(segments),
+                  static_cast<long long>(v2.report.points_per_model[model]));
+      json.Add("v2_b1_segments_" + model, segments);
+    }
     v2_b1_disk_seconds = std::max(
         v2.report.seconds, v2.engine->DiskBytes() / kDiskBytesPerSecond);
   }

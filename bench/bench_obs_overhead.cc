@@ -1,0 +1,59 @@
+// Instrumentation overhead: whole-range SUM_S with obs on vs off.
+//
+// The obs layer promises "≤2% on the hot query path" (ISSUE: relaxed
+// sharded counters, Enabled() kill switch ahead of every clock read).
+// This bench measures it directly: the same whole-range SUM query runs
+// back to back with the registry/tracer enabled and disabled, and the
+// ratio is reported. Variance on a loaded machine can exceed the
+// overhead being measured — EXPERIMENTS.md records a representative run.
+
+#include "bench/harness.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+int main() {
+  using namespace modelardb;
+  bench::PrintHeader("Obs overhead", "whole-range SUM_S, obs on vs off");
+  bench::JsonReport json("obs_overhead");
+  bench::TempDir dir("obs_overhead");
+
+  auto ep = bench::MakeEp();
+  auto instance = bench::CheckOk(
+      bench::BuildModelar(&ep, /*v1=*/false, 1.0, 1, dir.Sub("v2")),
+      "ingest");
+
+  const std::string sql = "SELECT SUM_S(*) FROM Segment";
+  const int kWarmup = 5;
+  const int kIters = 200;
+  auto run = [&](bool enabled) {
+    obs::SetEnabled(enabled);
+    for (int i = 0; i < kWarmup; ++i) {
+      bench::CheckOk(instance.engine->Execute(sql), "warmup query");
+    }
+    Stopwatch stopwatch;
+    for (int i = 0; i < kIters; ++i) {
+      bench::CheckOk(instance.engine->Execute(sql), "query");
+    }
+    return stopwatch.ElapsedSeconds();
+  };
+
+  // Interleave off/on/off/on to average out machine drift.
+  double seconds_on = 0;
+  double seconds_off = 0;
+  for (int round = 0; round < 4; ++round) {
+    seconds_off += run(false);
+    seconds_on += run(true);
+  }
+  obs::SetEnabled(true);
+
+  const double ratio = seconds_off > 0 ? seconds_on / seconds_off : 1.0;
+  bench::PrintRow("obs disabled", 4 * kIters / seconds_off, "queries/s");
+  bench::PrintRow("obs enabled", 4 * kIters / seconds_on, "queries/s");
+  bench::PrintRow("overhead", (ratio - 1.0) * 100.0, "%");
+  json.Add("queries_per_second_off", 4 * kIters / seconds_off);
+  json.Add("queries_per_second_on", 4 * kIters / seconds_on);
+  json.Add("overhead_pct", (ratio - 1.0) * 100.0);
+  bench::PrintNote("target: enabled/disabled <= 1.02 on the whole-range "
+                   "SUM query (see EXPERIMENTS.md)");
+  return 0;
+}

@@ -11,6 +11,7 @@
 #ifndef MODELARDB_BENCH_HARNESS_H_
 #define MODELARDB_BENCH_HARNESS_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -21,6 +22,7 @@
 
 #include "cluster/cluster.h"
 #include "ingest/pipeline.h"
+#include "obs/metrics.h"
 #include "partition/partitioner.h"
 #include "storage/columnar_store.h"
 #include "storage/row_store.h"
@@ -274,6 +276,7 @@ class JsonReport {
     const char* dir = std::getenv("MODELARDB_BENCH_JSON_DIR");
     std::string directory = dir != nullptr ? dir : ".";
     if (directory == "off") return;
+    AppendRegistrySnapshot();
     std::string path = directory + "/BENCH_" + tag_ + ".json";
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (out == nullptr) return;  // Best effort: benches still print tables.
@@ -288,6 +291,41 @@ class JsonReport {
   }
 
  private:
+  // Records the obs registry at exit so BENCH_*.json carries the same
+  // counters the paper-style tables summarize (e.g. metric_modelardb_
+  // pool_tasks_total, metric_modelardb_ingest_compression_ratio).
+  // Labels fold into the key: name{model="swing"} → name_model_swing;
+  // histograms expand to _count and _sum.
+  void AppendRegistrySnapshot() {
+    for (const obs::MetricSample& sample :
+         obs::MetricsRegistry::Global().Snapshot()) {
+      std::string key = "metric_" + sample.name;
+      if (!sample.label.empty()) {
+        key += '_';
+        for (char c : sample.label) {
+          if (std::isalnum(static_cast<unsigned char>(c))) {
+            key += c;
+          } else if (key.back() != '_') {
+            key += '_';
+          }
+        }
+        while (!key.empty() && key.back() == '_') key.pop_back();
+      }
+      switch (sample.kind) {
+        case obs::MetricKind::kCounter:
+          Add(key, sample.counter_value);
+          break;
+        case obs::MetricKind::kGauge:
+          Add(key, sample.gauge_value);
+          break;
+        case obs::MetricKind::kHistogram:
+          Add(key + "_count", sample.histogram.count);
+          Add(key + "_sum", sample.histogram.sum_seconds);
+          break;
+      }
+    }
+  }
+
   std::string tag_;
   std::vector<std::pair<std::string, std::string>> entries_;
 };

@@ -98,11 +98,14 @@ int main() {
               report->points_per_second);
 
   IngestStats stats = (*engine)->TotalStats();
-  double raw_bytes = static_cast<double>(stats.values_ingested) *
-                     (sizeof(Value) + sizeof(Timestamp));
   std::printf("Segments: %lld, compression vs raw points: %.1fx\n",
               static_cast<long long>(stats.segments_emitted),
-              raw_bytes / static_cast<double>(stats.bytes_emitted));
+              report->compression_ratio);
+  for (const auto& [model, segments] : report->segments_per_model) {
+    std::printf("  %-12s: %lld segments, %lld points\n", model.c_str(),
+                static_cast<long long>(segments),
+                static_cast<long long>(report->points_per_model[model]));
+  }
 
   // --- 4. Query. ----------------------------------------------------------
   const char* queries[] = {

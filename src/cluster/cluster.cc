@@ -2,11 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "query/parser.h"
 #include "util/strings.h"
 
 namespace modelardb {
 namespace cluster {
+namespace {
+
+obs::Counter& ClusterQueriesTotal() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kClusterQueriesTotal);
+  return counter;
+}
+obs::Histogram& ClusterSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kClusterSeconds);
+  return histogram;
+}
+obs::Counter& ClusterSegmentsEmitted() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kClusterSegmentsEmittedTotal);
+  return counter;
+}
+obs::Counter& ClusterFlushes() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kClusterFlushesTotal);
+  return counter;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Create(
     const TimeSeriesCatalog* catalog, std::vector<TimeSeriesGroup> groups,
@@ -101,12 +128,14 @@ Status ClusterEngine::Ingest(Gid gid, const GroupRow& row) {
   std::vector<Segment> segments;
   MODELARDB_RETURN_NOT_OK(coordinator->Ingest(row, &segments));
   if (!segments.empty()) {
+    ClusterSegmentsEmitted().Add(static_cast<int64_t>(segments.size()));
     MODELARDB_RETURN_NOT_OK(worker->store()->PutBatch(segments));
   }
   return Status::OK();
 }
 
 Status ClusterEngine::FlushAll() {
+  ClusterFlushes().Add();
   // One task per worker: each group's coordinator and each store is
   // touched by exactly one task (the one-writer-per-group invariant).
   std::vector<Status> statuses(workers_.size());
@@ -119,6 +148,8 @@ Status ClusterEngine::FlushAll() {
           std::vector<Segment> segments;
           MODELARDB_RETURN_NOT_OK(coordinator->Flush(&segments));
           if (!segments.empty()) {
+            ClusterSegmentsEmitted().Add(
+                static_cast<int64_t>(segments.size()));
             MODELARDB_RETURN_NOT_OK(worker->store()->PutBatch(segments));
           }
         }
@@ -135,7 +166,8 @@ Status ClusterEngine::FlushAll() {
 }
 
 Result<query::PartialResult> ClusterEngine::ExecuteOnWorker(
-    const query::CompiledQuery& compiled, int worker) const {
+    const query::CompiledQuery& compiled, int worker, obs::Trace* trace,
+    int32_t parent_span) const {
   const SegmentStore* store = workers_[worker]->store();
   query::StoreSegmentSource source(store);
   // Morsel per Gid; an empty filter means "all groups on this worker".
@@ -160,11 +192,18 @@ Result<query::PartialResult> ClusterEngine::ExecuteOnWorker(
     morsel_gids[i] = weighted[i].second;
   }
   return query_engine_->ExecutePartialParallel(compiled, source, morsel_gids,
-                                               pool_);
+                                               pool_, trace, parent_span);
 }
 
-Result<query::QueryResult> ClusterEngine::Execute(
-    const query::Query& ast) const {
+Result<query::QueryResult> ClusterEngine::Execute(const query::Query& ast,
+                                                  obs::Trace* trace) const {
+  if (ast.view == query::View::kMetrics ||
+      ast.view == query::View::kTraces) {
+    // Introspection views are process-wide; the single-source engine
+    // answers them without touching any store.
+    query::StoreSegmentSource source(workers_[0]->store());
+    return query_engine_->Execute(ast, source);
+  }
   if (ast.explain) {
     MODELARDB_ASSIGN_OR_RETURN(std::string text, query_engine_->Explain(ast));
     query::QueryResult result;
@@ -179,16 +218,35 @@ Result<query::QueryResult> ClusterEngine::Execute(
                                query_engine_->Compile(stripped));
     if (ast.analyze) {
       // EXPLAIN ANALYZE runs the scan on every worker and reports the
-      // merged summary-index pruning counters for this query.
+      // merged summary-index pruning counters for this query, plus the
+      // per-stage span tree.
+      std::unique_ptr<obs::Trace> local_trace;
+      if (trace == nullptr) {
+        local_trace = obs::Tracer::Global().StartForcedTrace("EXPLAIN ANALYZE");
+        trace = local_trace.get();
+      }
       ScanStats scan;
       for (size_t i = 0; i < workers_.size(); ++i) {
+        obs::ScopedSpan worker_span(trace,
+                                    "worker " + std::to_string(i) + " scan");
         MODELARDB_ASSIGN_OR_RETURN(
             query::PartialResult partial,
-            ExecuteOnWorker(compiled, static_cast<int>(i)));
+            ExecuteOnWorker(compiled, static_cast<int>(i), trace,
+                            worker_span.id()));
         scan.Merge(partial.scan);
       }
       for (const std::string& line : query::ScanStatsLines(scan)) {
         result.rows.push_back({line});
+      }
+      if (trace != nullptr) {
+        result.rows.push_back({std::string("span tree")});
+        std::string rendered = obs::RenderSpanTree(trace->Spans(), "  ");
+        for (const std::string& line : SplitString(rendered, '\n')) {
+          if (!line.empty()) result.rows.push_back({line});
+        }
+      }
+      if (local_trace != nullptr) {
+        obs::Tracer::Global().Finish(std::move(local_trace));
       }
     } else {
       // Plain EXPLAIN stays cheap: sum the fence-based upper bound over
@@ -210,18 +268,27 @@ Result<query::QueryResult> ClusterEngine::Execute(
     }
     return result;
   }
+  const bool timed = obs::Enabled();
+  const int64_t start_ns = timed ? obs::MonotonicNanos() : 0;
+  obs::ScopedSpan plan_span(trace, "plan");
   MODELARDB_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
                              query_engine_->Compile(ast));
+  plan_span.End();
   // Fan out one task per worker onto the shared pool; each worker task
   // fans out per-Gid morsels onto the same pool (TaskGroup::Wait helps run
   // them, so the nesting cannot deadlock). Partials are merged in worker
   // order, keeping results byte-identical to sequential execution.
   std::vector<query::PartialResult> partials(workers_.size());
   std::vector<Status> statuses(workers_.size());
+  obs::ScopedSpan scan_span(trace, "scan");
   TaskGroup group(pool_);
   for (size_t i = 0; i < workers_.size(); ++i) {
-    group.Submit([this, &compiled, &partials, &statuses, i] {
-      auto result = ExecuteOnWorker(compiled, static_cast<int>(i));
+    group.Submit([this, &compiled, &partials, &statuses, trace,
+                  scan_id = scan_span.id(), i] {
+      obs::ScopedSpan worker_span(trace, "worker " + std::to_string(i),
+                                  scan_id);
+      auto result = ExecuteOnWorker(compiled, static_cast<int>(i), trace,
+                                    worker_span.id());
       if (result.ok()) {
         partials[i] = std::move(*result);
       } else {
@@ -230,16 +297,31 @@ Result<query::QueryResult> ClusterEngine::Execute(
     });
   }
   group.Wait();
+  scan_span.End();
   for (const Status& status : statuses) {
     MODELARDB_RETURN_NOT_OK(status);
   }
-  return query_engine_->MergeFinalize(compiled, std::move(partials));
+  obs::ScopedSpan merge_span(trace, "merge");
+  Result<query::QueryResult> result =
+      query_engine_->MergeFinalize(compiled, std::move(partials));
+  merge_span.End();
+  ClusterQueriesTotal().Add();
+  if (timed) {
+    ClusterSeconds().Observe(
+        static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9);
+  }
+  return result;
 }
 
 Result<query::QueryResult> ClusterEngine::Execute(
     const std::string& sql) const {
+  std::unique_ptr<obs::Trace> trace = obs::Tracer::Global().StartTrace(sql);
+  obs::ScopedSpan parse_span(trace.get(), "parse");
   MODELARDB_ASSIGN_OR_RETURN(query::Query ast, query::ParseQuery(sql));
-  return Execute(ast);
+  parse_span.End();
+  Result<query::QueryResult> result = Execute(ast, trace.get());
+  obs::Tracer::Global().Finish(std::move(trace));
+  return result;
 }
 
 int64_t ClusterEngine::DiskBytes() const {

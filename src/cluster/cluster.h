@@ -99,16 +99,23 @@ class ClusterEngine {
   Status FlushAll();
 
   // Parses and executes a query: workers compute partials (in parallel
-  // when configured), the master merges and finalizes.
+  // when configured), the master merges and finalizes. The string overload
+  // records a full query trace (parse → plan → per-worker fan-out →
+  // per-Gid morsels → merge) into obs::Tracer::Global(); the AST overload
+  // attaches spans to `trace` when given (null disables tracing).
   Result<query::QueryResult> Execute(const std::string& sql) const;
-  Result<query::QueryResult> Execute(const query::Query& ast) const;
+  Result<query::QueryResult> Execute(const query::Query& ast,
+                                     obs::Trace* trace = nullptr) const;
 
   // Per-worker partial execution (exposed for the scale-out harness):
-  // splits the worker's store into per-Gid morsels on the pool.
+  // splits the worker's store into per-Gid morsels on the pool. Morsel
+  // spans attach under `parent_span` when `trace` is given.
   Result<query::PartialResult> ExecuteOnWorker(
-      const query::CompiledQuery& compiled, int worker) const;
+      const query::CompiledQuery& compiled, int worker,
+      obs::Trace* trace = nullptr, int32_t parent_span = 0) const;
 
   const query::QueryEngine& query_engine() const { return *query_engine_; }
+  const ModelRegistry* registry() const { return registry_; }
 
   // The pool queries/flushes/ingestion run on; null when parallelism == 1.
   ThreadPool* pool() const { return pool_; }

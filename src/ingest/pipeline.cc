@@ -1,13 +1,33 @@
 #include "ingest/pipeline.h"
 
 #include <atomic>
+#include <cctype>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace modelardb {
 namespace ingest {
 namespace {
+
+// "PMC-Mean" → "pmc_mean": metric label convention (see metric_names.h).
+std::string NormalizeModelName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+// Raw footprint of one data point: its timestamp plus its value.
+constexpr double kRawPointBytes = sizeof(Timestamp) + sizeof(Value);
 
 // Ingests one partition of sources (all owned by the same worker) to
 // exhaustion, micro-batch by micro-batch.
@@ -83,6 +103,55 @@ Result<IngestReport> RunPipeline(
   report.data_points = points.load();
   report.points_per_second =
       report.seconds > 0 ? report.data_points / report.seconds : 0;
+
+  // Model-type breakdown and compression from the coordinators, published
+  // both on the report and as obs gauges (cold path: the run is over).
+  IngestStats stats = cluster->TotalStats();
+  auto model_label = [&](Mid mid) {
+    Result<std::string> name = cluster->registry()->ModelName(mid);
+    return NormalizeModelName(name.ok() ? *name
+                                        : "mid_" + std::to_string(mid));
+  };
+  for (const auto& [mid, n] : stats.segments_per_model) {
+    report.segments_per_model[model_label(mid)] += n;
+  }
+  for (const auto& [mid, n] : stats.values_per_model) {
+    report.points_per_model[model_label(mid)] += n;
+  }
+  if (stats.bytes_emitted > 0) {
+    report.compression_ratio =
+        static_cast<double>(stats.values_ingested) * kRawPointBytes /
+        static_cast<double>(stats.bytes_emitted);
+  }
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter(obs::kIngestRowsTotal).Add(report.rows);
+  registry.GetCounter(obs::kIngestPointsTotal).Add(report.data_points);
+  registry.GetCounter(obs::kIngestPipelineRunsTotal).Add();
+  registry.GetGauge(obs::kIngestPointsPerSecond)
+      .Set(report.points_per_second);
+  for (const auto& [model, n] : report.segments_per_model) {
+    registry.GetGauge(obs::kIngestSegments, "model", model)
+        .Set(static_cast<double>(n));
+  }
+  for (const auto& [model, n] : report.points_per_model) {
+    registry.GetGauge(obs::kIngestModelPoints, "model", model)
+        .Set(static_cast<double>(n));
+  }
+  registry.GetGauge(obs::kIngestCompressionRatio)
+      .Set(report.compression_ratio);
+  for (int w = 0; w < cluster->num_workers(); ++w) {
+    for (const auto& [gid, coordinator] :
+         cluster->worker(w)->coordinators()) {
+      IngestStats group_stats = coordinator->stats();
+      if (group_stats.bytes_emitted <= 0) continue;
+      registry.GetGauge(obs::kIngestCompressionRatio, "gid",
+                        std::to_string(gid))
+          .Set(static_cast<double>(group_stats.values_ingested) *
+               kRawPointBytes /
+               static_cast<double>(group_stats.bytes_emitted));
+    }
+  }
   return report;
 }
 

@@ -10,7 +10,9 @@
 #ifndef MODELARDB_INGEST_PIPELINE_H_
 #define MODELARDB_INGEST_PIPELINE_H_
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -47,6 +49,15 @@ struct IngestReport {
   int64_t rows = 0;         // Sampling instants.
   double seconds = 0.0;
   double points_per_second = 0.0;
+  // Model-type breakdown and achieved compression, pulled from the
+  // cluster's coordinators after the run. Keys are normalized model names
+  // ("pmc_mean", "swing", ...) matching the metric label convention. The
+  // same values are published as modelardb_ingest_* gauges in the global
+  // obs registry (per-group compression under label gid).
+  std::map<std::string, int64_t> segments_per_model;
+  std::map<std::string, int64_t> points_per_model;
+  // Raw point bytes (timestamp + value) / stored segment bytes.
+  double compression_ratio = 0.0;
 };
 
 // Runs all sources to exhaustion against `cluster` and flushes. Sources

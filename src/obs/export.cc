@@ -1,0 +1,152 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/metric_names.h"
+
+namespace modelardb {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+// `{model="pmc_mean"}` or `{model="pmc_mean",le="0.001"}` or ``.
+std::string RenderLabels(const std::string& label, const std::string& extra) {
+  if (label.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += label;
+  if (!label.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+void AppendFamilyHeader(const MetricSample& sample, std::string* out) {
+  const MetricInfo* info = FindMetricInfo(sample.name);
+  out->append("# HELP ").append(sample.name).append(" ");
+  out->append(info != nullptr ? info->help : "(not in catalog)");
+  out->append("\n# TYPE ").append(sample.name).append(" ");
+  out->append(KindName(sample.kind));
+  out->append("\n");
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const MetricSample& sample : samples) {
+    // Samples arrive sorted by (name, label): emit HELP/TYPE once per name.
+    if (last_family == nullptr || *last_family != sample.name) {
+      AppendFamilyHeader(sample, &out);
+      last_family = &sample.name;
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out.append(sample.name).append(RenderLabels(sample.label, ""));
+        out.append(" ").append(std::to_string(sample.counter_value));
+        out.append("\n");
+        break;
+      case MetricKind::kGauge:
+        out.append(sample.name).append(RenderLabels(sample.label, ""));
+        out.append(" ").append(FormatDouble(sample.gauge_value));
+        out.append("\n");
+        break;
+      case MetricKind::kHistogram: {
+        const auto& bounds = Histogram::Bounds();
+        int64_t cumulative = 0;
+        for (int b = 0; b <= Histogram::kNumBounds; ++b) {
+          cumulative += sample.histogram.buckets[b];
+          const std::string le =
+              b < Histogram::kNumBounds ? FormatDouble(bounds[b]) : "+Inf";
+          out.append(sample.name).append("_bucket");
+          out.append(RenderLabels(sample.label, "le=\"" + le + "\""));
+          out.append(" ").append(std::to_string(cumulative)).append("\n");
+        }
+        out.append(sample.name).append("_sum");
+        out.append(RenderLabels(sample.label, ""));
+        out.append(" ").append(FormatDouble(sample.histogram.sum_seconds));
+        out.append("\n");
+        out.append(sample.name).append("_count");
+        out.append(RenderLabels(sample.label, ""));
+        out.append(" ").append(std::to_string(sample.histogram.count));
+        out.append("\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<MetricSample>& samples) {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSample& sample : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\":\"";
+    out += sample.name;
+    out += "\",\"label\":\"";
+    for (char c : sample.label) {  // Labels contain embedded quotes.
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\",\"type\":\"";
+    out += KindName(sample.kind);
+    out += "\",";
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out += "\"value\":" + std::to_string(sample.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += "\"value\":" + FormatDouble(sample.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out += "\"count\":" + std::to_string(sample.histogram.count);
+        out += ",\"sum\":" + FormatDouble(sample.histogram.sum_seconds);
+        out += ",\"buckets\":[";
+        for (int b = 0; b <= Histogram::kNumBounds; ++b) {
+          if (b > 0) out += ",";
+          out += std::to_string(sample.histogram.buckets[b]);
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string RenderPrometheus() {
+  return RenderPrometheus(MetricsRegistry::Global().Snapshot());
+}
+
+std::string RenderJson() {
+  return RenderJson(MetricsRegistry::Global().Snapshot());
+}
+
+}  // namespace obs
+}  // namespace modelardb

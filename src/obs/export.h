@@ -1,0 +1,31 @@
+// Text exporters over a MetricsRegistry snapshot.
+
+#ifndef MODELARDB_OBS_EXPORT_H_
+#define MODELARDB_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace modelardb {
+namespace obs {
+
+// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE
+// headers per metric family, cumulative `_bucket{le="..."}` series plus
+// `_sum` / `_count` for histograms. Help strings come from the compiled-in
+// catalog; off-catalog metrics get a generic header.
+std::string RenderPrometheus(const std::vector<MetricSample>& samples);
+
+// One JSON object per metric: {"name", "label", "type", and "value" or
+// {"count","sum","buckets"} for histograms}, wrapped in a top-level array.
+std::string RenderJson(const std::vector<MetricSample>& samples);
+
+// Convenience overloads over MetricsRegistry::Global().Snapshot().
+std::string RenderPrometheus();
+std::string RenderJson();
+
+}  // namespace obs
+}  // namespace modelardb
+
+#endif  // MODELARDB_OBS_EXPORT_H_

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace modelardb {
+namespace obs {
+
+namespace internal {
+
+unsigned ThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+const std::array<double, Histogram::kNumBounds>& Histogram::Bounds() {
+  static const std::array<double, kNumBounds> bounds = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3,
+      2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0};
+  return bounds;
+}
+
+void Histogram::Observe(double seconds) {
+  if (!Enabled()) return;
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN/negative clock glitches.
+  const auto& bounds = Bounds();
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), seconds) -
+      bounds.begin());
+  Shard& shard = shards_[internal::ThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Read() const {
+  Snapshot snapshot;
+  int64_t sum_ns = 0;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b <= kNumBounds; ++b) {
+      snapshot.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    sum_ns += shard.sum_ns.load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b <= kNumBounds; ++b) snapshot.count += snapshot.buckets[b];
+  snapshot.sum_seconds = static_cast<double>(sum_ns) * 1e-9;
+  return snapshot;
+}
+
+void Histogram::ResetForTest() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(
+    MetricKind kind, std::string_view name, std::string_view label_key,
+    std::string_view label_value) {
+  std::string label;
+  if (!label_key.empty()) {
+    label = std::string(label_key) + "=\"" + std::string(label_value) + "\"";
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[Key(std::string(name), std::move(label))];
+  if (!entry.counter && !entry.gauge && !entry.histogram) {
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return entry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view label_key,
+                                     std::string_view label_value) {
+  Entry& entry =
+      GetEntry(MetricKind::kCounter, name, label_key, label_value);
+  if (entry.counter) return *entry.counter;
+  // Kind clash with an earlier registration: never crash an instrumented
+  // path — absorb the writes into a process-wide sink instead.
+  static Counter* sink = new Counter();
+  return *sink;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view label_key,
+                                 std::string_view label_value) {
+  Entry& entry = GetEntry(MetricKind::kGauge, name, label_key, label_value);
+  if (entry.gauge) return *entry.gauge;
+  static Gauge* sink = new Gauge();
+  return *sink;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  Entry& entry =
+      GetEntry(MetricKind::kHistogram, name, label_key, label_value);
+  if (entry.histogram) return *entry.histogram;
+  static Histogram* sink = new Histogram();
+  return *sink;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples.reserve(metrics_.size());
+  for (const auto& [key, entry] : metrics_) {
+    MetricSample sample;
+    sample.name = key.first;
+    sample.label = key.second;
+    sample.kind = entry.kind;
+    sample.in_catalog = IsCatalogMetric(sample.name);
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.counter_value = entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge_value = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        sample.histogram = entry.histogram->Read();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : metrics_) {
+    if (entry.counter) entry.counter->ResetForTest();
+    if (entry.gauge) entry.gauge->ResetForTest();
+    if (entry.histogram) entry.histogram->ResetForTest();
+  }
+}
+
+}  // namespace obs
+}  // namespace modelardb

@@ -22,7 +22,9 @@
 namespace modelardb {
 namespace query {
 
-enum class View { kSegment, kDataPoint };
+// kMetrics/kTraces are introspection views over the obs subsystem
+// (SELECT * FROM METRICS() / TRACES()); they bypass the scan machinery.
+enum class View { kSegment, kDataPoint, kMetrics, kTraces };
 
 enum class AggregateFunction { kCount, kMin, kMax, kSum, kAvg };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "util/strings.h"
 
@@ -86,6 +88,78 @@ bool NeedsExactSumFold(const Query& ast) {
   return false;
 }
 
+void ApplyLimit(const std::optional<int64_t>& limit, QueryResult* result) {
+  if (limit.has_value() &&
+      static_cast<int64_t>(result->rows.size()) > *limit) {
+    result->rows.resize(*limit);
+  }
+}
+
+// SELECT * FROM METRICS(): one row per counter/gauge, two per histogram
+// (<name>_count and <name>_sum), over a consistent registry snapshot.
+QueryResult MetricsTable(const std::optional<int64_t>& limit) {
+  QueryResult result;
+  result.columns = {"name", "label", "type", "value"};
+  for (const obs::MetricSample& sample :
+       obs::MetricsRegistry::Global().Snapshot()) {
+    switch (sample.kind) {
+      case obs::MetricKind::kCounter:
+        result.rows.push_back({Cell(sample.name), Cell(sample.label),
+                               Cell(std::string("counter")),
+                               Cell(sample.counter_value)});
+        break;
+      case obs::MetricKind::kGauge:
+        result.rows.push_back({Cell(sample.name), Cell(sample.label),
+                               Cell(std::string("gauge")),
+                               Cell(sample.gauge_value)});
+        break;
+      case obs::MetricKind::kHistogram:
+        result.rows.push_back({Cell(sample.name + "_count"),
+                               Cell(sample.label),
+                               Cell(std::string("histogram")),
+                               Cell(sample.histogram.count)});
+        result.rows.push_back({Cell(sample.name + "_sum"),
+                               Cell(sample.label),
+                               Cell(std::string("histogram")),
+                               Cell(sample.histogram.sum_seconds)});
+        break;
+    }
+  }
+  ApplyLimit(limit, &result);
+  return result;
+}
+
+// SELECT * FROM TRACES(): one row per span of the retained query traces,
+// newest trace first, spans in creation order.
+QueryResult TracesTable(const std::optional<int64_t>& limit) {
+  QueryResult result;
+  result.columns = {"trace", "query",    "span",   "parent",
+                    "name",  "start_ms", "wall_ms", "cpu_ms"};
+  for (const obs::TraceRecord& trace : obs::Tracer::Global().Recent()) {
+    for (const obs::SpanRecord& span : trace.spans) {
+      result.rows.push_back(
+          {Cell(trace.trace_id), Cell(trace.label),
+           Cell(static_cast<int64_t>(span.id)),
+           Cell(static_cast<int64_t>(span.parent)), Cell(span.name),
+           Cell(static_cast<double>(span.start_ns) * 1e-6),
+           Cell(static_cast<double>(span.wall_ns) * 1e-6),
+           Cell(static_cast<double>(span.cpu_ns) * 1e-6)});
+    }
+  }
+  ApplyLimit(limit, &result);
+  return result;
+}
+
+// Appends the trace's rendered span tree to an EXPLAIN ANALYZE result.
+void AppendSpanTree(const obs::Trace* trace, QueryResult* result) {
+  if (trace == nullptr) return;
+  result->rows.push_back({Cell(std::string("span tree"))});
+  std::string rendered = obs::RenderSpanTree(trace->Spans(), "  ");
+  for (const std::string& line : SplitString(rendered, '\n')) {
+    if (!line.empty()) result->rows.push_back({Cell(line)});
+  }
+}
+
 }  // namespace
 
 void PartialResult::Merge(PartialResult&& other) {
@@ -158,6 +232,12 @@ Result<std::pair<int, int>> QueryEngine::ResolveDimensionColumn(
 }
 
 Result<CompiledQuery> QueryEngine::Compile(const Query& ast) const {
+  if (ast.view == View::kMetrics || ast.view == View::kTraces) {
+    // Introspection views never touch the scan pipeline; Execute answers
+    // them directly from the obs subsystem.
+    return Status::InvalidArgument(
+        "METRICS()/TRACES() cannot be compiled for distributed execution");
+  }
   CompiledQuery compiled;
   compiled.ast = ast;
 
@@ -693,17 +773,21 @@ Result<PartialResult> QueryEngine::ExecutePartial(
 
 Result<PartialResult> QueryEngine::ExecutePartialParallel(
     const CompiledQuery& compiled, const SegmentSource& source,
-    const std::vector<Gid>& morsel_gids, ThreadPool* pool) const {
+    const std::vector<Gid>& morsel_gids, ThreadPool* pool,
+    obs::Trace* trace, int32_t parent_span) const {
   if (morsel_gids.empty()) return PartialResult{};
   // Even sequentially (null pool), execute morsel-by-morsel and merge in
   // Gid order so aggregates sum in the same order at every pool size.
   const size_t n = morsel_gids.size();
   std::vector<PartialResult> partials(n);
   std::vector<Status> statuses(n);
+  obs::ScopedSpan fan_out(trace, "morsel fan-out", parent_span);
   TaskGroup group(pool);
   for (size_t i = 0; i < n; ++i) {
     group.Submit([this, &compiled, &source, &morsel_gids, &partials,
-                  &statuses, i] {
+                  &statuses, trace, fan_out_id = fan_out.id(), i] {
+      obs::ScopedSpan span(
+          trace, "morsel gid=" + std::to_string(morsel_gids[i]), fan_out_id);
       GidRestrictedSource morsel(&source, morsel_gids[i]);
       auto result = ExecutePartial(compiled, morsel);
       if (result.ok()) {
@@ -714,6 +798,7 @@ Result<PartialResult> QueryEngine::ExecutePartialParallel(
     });
   }
   group.Wait();
+  fan_out.End();
   for (const Status& status : statuses) {
     MODELARDB_RETURN_NOT_OK(status);
   }
@@ -736,6 +821,11 @@ Result<QueryResult> QueryEngine::MergeFinalize(
   PartialResult merged;
   for (PartialResult& partial : partials) {
     merged.Merge(std::move(partial));
+  }
+  if (merged.scan.segments_decoded != 0) {
+    static obs::Counter& decoded = obs::MetricsRegistry::Global().GetCounter(
+        obs::kQuerySegmentsDecodedTotal);
+    decoded.Add(merged.scan.segments_decoded);
   }
 
   QueryResult result;
@@ -879,7 +969,11 @@ Result<std::string> QueryEngine::Explain(const Query& ast) const {
 }
 
 Result<QueryResult> QueryEngine::Execute(const Query& ast,
-                                         const SegmentSource& source) const {
+                                         const SegmentSource& source,
+                                         obs::Trace* trace) const {
+  // Introspection views are answered straight from the obs subsystem.
+  if (ast.view == View::kMetrics) return MetricsTable(ast.limit);
+  if (ast.view == View::kTraces) return TracesTable(ast.limit);
   if (ast.explain) {
     MODELARDB_ASSIGN_OR_RETURN(std::string text, Explain(ast));
     QueryResult result;
@@ -893,11 +987,23 @@ Result<QueryResult> QueryEngine::Execute(const Query& ast,
     MODELARDB_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(stripped));
     if (ast.analyze) {
       // EXPLAIN ANALYZE runs the scan so the summary-index pruning
-      // counters reflect this query against the actual data.
+      // counters reflect this query against the actual data; the stage
+      // timings are reported as a span tree.
+      std::unique_ptr<obs::Trace> local_trace;
+      if (trace == nullptr) {
+        local_trace = obs::Tracer::Global().StartForcedTrace("EXPLAIN ANALYZE");
+        trace = local_trace.get();
+      }
+      obs::ScopedSpan scan_span(trace, "scan");
       MODELARDB_ASSIGN_OR_RETURN(PartialResult partial,
                                  ExecutePartial(compiled, source));
+      scan_span.End();
       for (const std::string& line : ScanStatsLines(partial.scan)) {
         result.rows.push_back({line});
+      }
+      AppendSpanTree(trace, &result);
+      if (local_trace != nullptr) {
+        obs::Tracer::Global().Finish(std::move(local_trace));
       }
     } else {
       // Plain EXPLAIN must stay cheap on large stores: report the block
@@ -921,18 +1027,43 @@ Result<QueryResult> QueryEngine::Execute(const Query& ast,
     }
     return result;
   }
+  static obs::Counter& queries = obs::MetricsRegistry::Global().GetCounter(
+      obs::kQueryQueriesTotal);
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kQuerySeconds);
+  const bool timed = obs::Enabled();
+  const int64_t start_ns = timed ? obs::MonotonicNanos() : 0;
+
+  obs::ScopedSpan plan_span(trace, "plan");
   MODELARDB_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(ast));
+  plan_span.End();
+  obs::ScopedSpan scan_span(trace, "scan");
   MODELARDB_ASSIGN_OR_RETURN(PartialResult partial,
                              ExecutePartial(compiled, source));
+  scan_span.End();
   std::vector<PartialResult> partials;
   partials.push_back(std::move(partial));
-  return MergeFinalize(compiled, std::move(partials));
+  obs::ScopedSpan merge_span(trace, "merge");
+  Result<QueryResult> result = MergeFinalize(compiled, std::move(partials));
+  merge_span.End();
+
+  queries.Add();
+  if (timed) {
+    latency.Observe(static_cast<double>(obs::MonotonicNanos() - start_ns) *
+                    1e-9);
+  }
+  return result;
 }
 
 Result<QueryResult> QueryEngine::Execute(const std::string& sql,
                                          const SegmentSource& source) const {
+  std::unique_ptr<obs::Trace> trace = obs::Tracer::Global().StartTrace(sql);
+  obs::ScopedSpan parse_span(trace.get(), "parse");
   MODELARDB_ASSIGN_OR_RETURN(Query ast, ParseQuery(sql));
-  return Execute(ast, source);
+  parse_span.End();
+  Result<QueryResult> result = Execute(ast, source, trace.get());
+  obs::Tracer::Global().Finish(std::move(trace));
+  return result;
 }
 
 }  // namespace query

@@ -27,6 +27,7 @@
 
 #include "core/model.h"
 #include "dims/dimensions.h"
+#include "obs/tracer.h"
 #include "partition/partitioner.h"
 #include "query/ast.h"
 #include "query/result.h"
@@ -183,11 +184,14 @@ class QueryEngine {
               std::vector<TimeSeriesGroup> groups,
               const ModelRegistry* registry);
 
-  // Parses, compiles and runs `sql` against `source`.
+  // Parses, compiles and runs `sql` against `source`. The string overload
+  // records a full query trace (parse → plan → scan → merge spans) into
+  // obs::Tracer::Global(); the AST overload attaches its stage spans to
+  // `trace` when one is provided (null — the default — disables tracing).
   Result<QueryResult> Execute(const std::string& sql,
                               const SegmentSource& source) const;
-  Result<QueryResult> Execute(const Query& ast,
-                              const SegmentSource& source) const;
+  Result<QueryResult> Execute(const Query& ast, const SegmentSource& source,
+                              obs::Trace* trace = nullptr) const;
 
   // Renders the compiled plan of `ast`: view, push-down predicates (Gids,
   // time range, value range), per-series filters, grouping and rollup.
@@ -206,9 +210,13 @@ class QueryEngine {
   // regardless of submission order. The merge order is deterministic, so
   // the result — including the floating-point reduction tree — is
   // byte-identical for every pool size and every submission order.
+  // When `trace` is non-null a "morsel fan-out" span (parented to
+  // `parent_span`) wraps the scan and each morsel records its own
+  // "morsel gid=N" child span with per-morsel wall + CPU timings.
   Result<PartialResult> ExecutePartialParallel(
       const CompiledQuery& compiled, const SegmentSource& source,
-      const std::vector<Gid>& morsel_gids, ThreadPool* pool) const;
+      const std::vector<Gid>& morsel_gids, ThreadPool* pool,
+      obs::Trace* trace = nullptr, int32_t parent_span = 0) const;
   Result<QueryResult> MergeFinalize(const CompiledQuery& compiled,
                                     std::vector<PartialResult> partials) const;
 

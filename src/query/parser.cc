@@ -111,9 +111,18 @@ class Parser {
       q.view = View::kSegment;
     } else if (EqualsIgnoreCase(table, "DataPoint")) {
       q.view = View::kDataPoint;
+    } else if (EqualsIgnoreCase(table, "METRICS") ||
+               EqualsIgnoreCase(table, "TRACES")) {
+      // Introspection table functions: METRICS() / TRACES().
+      q.view = EqualsIgnoreCase(table, "METRICS") ? View::kMetrics
+                                                  : View::kTraces;
+      if (!ConsumeSymbol("(") || !ConsumeSymbol(")")) {
+        return Status::InvalidArgument("expected () after " + ToUpper(table));
+      }
     } else {
-      return Status::InvalidArgument("unknown view: " + table +
-                                     " (expected Segment or DataPoint)");
+      return Status::InvalidArgument(
+          "unknown view: " + table +
+          " (expected Segment, DataPoint, METRICS() or TRACES())");
     }
     if (ConsumeKeyword("WHERE")) {
       do {
@@ -384,6 +393,22 @@ class Parser {
 
   static Status Validate(const Query& q) {
     bool has_agg = q.HasAggregates();
+    if (q.view == View::kMetrics || q.view == View::kTraces) {
+      // Introspection views support only `SELECT * ... [LIMIT n]`.
+      const char* name = q.view == View::kMetrics ? "METRICS()" : "TRACES()";
+      if (q.select.size() != 1 ||
+          q.select[0].kind != SelectItem::Kind::kStar) {
+        return Status::InvalidArgument(std::string(name) +
+                                       " supports only SELECT *");
+      }
+      if (!q.where.empty() || !q.group_by.empty() || q.order_by ||
+          q.explain) {
+        return Status::InvalidArgument(
+            std::string(name) +
+            " supports only SELECT * (optionally with LIMIT)");
+      }
+      return Status::OK();
+    }
     for (const SelectItem& item : q.select) {
       if (q.view == View::kDataPoint &&
           (item.kind == SelectItem::Kind::kCubeAggregate)) {

@@ -5,7 +5,55 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/buffer.h"
+
+namespace modelardb {
+namespace {
+
+// Cached references into the global registry (stable for process life).
+obs::Counter& StorePutTotal() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kStorePutTotal);
+  return counter;
+}
+obs::Counter& StoreFlushTotal() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kStoreFlushTotal);
+  return counter;
+}
+obs::Counter& StoreCowCopies() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kStoreCowCopiesTotal);
+  return counter;
+}
+obs::Counter& StoreBlockRebuilds() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kStoreBlockRebuildsTotal);
+  return counter;
+}
+
+// Feeds one scan's pruning counters into the cumulative store metrics.
+void RecordScanStats(const ScanStats& stats) {
+  if (!obs::Enabled()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& skipped =
+      registry.GetCounter(obs::kStoreScanBlocksSkippedTotal);
+  static obs::Counter& summarized =
+      registry.GetCounter(obs::kStoreScanBlocksSummarizedTotal);
+  static obs::Counter& scanned =
+      registry.GetCounter(obs::kStoreScanBlocksScannedTotal);
+  static obs::Counter& segments =
+      registry.GetCounter(obs::kStoreScanSegmentsTotal);
+  if (stats.blocks_skipped != 0) skipped.Add(stats.blocks_skipped);
+  if (stats.blocks_summarized != 0) summarized.Add(stats.blocks_summarized);
+  if (stats.blocks_scanned != 0) scanned.Add(stats.blocks_scanned);
+  if (stats.segments_scanned != 0) segments.Add(stats.segments_scanned);
+}
+
+}  // namespace
+}  // namespace modelardb
 
 namespace modelardb {
 namespace {
@@ -203,6 +251,7 @@ void SegmentStore::AppendToIndex(GroupData* data, size_t index) const {
 void SegmentStore::RebuildBlocks(GroupData* data) const {
   data->blocks.clear();
   if (options_.index_block_size == 0) return;
+  StoreBlockRebuilds().Add();
   const bool materialize = MaterializeFor(data->gid);
   int group_size = GroupSizeOf(data->gid);
   data->blocks.reserve(
@@ -252,7 +301,9 @@ Status SegmentStore::PutLocked(const Segment& segment) {
     // and mutate a private copy (copy-on-write).
     slot.data = std::make_shared<GroupData>(*slot.data);
     slot.snapshotted = false;
+    StoreCowCopies().Add();
   }
+  StorePutTotal().Add();
   GroupData& data = *slot.data;
   const bool index_enabled = options_.index_block_size > 0;
   const bool materialize = MaterializeFor(segment.gid);
@@ -329,6 +380,7 @@ Status SegmentStore::FlushLocked() {
   if (log_path_.empty() || write_buffer_.empty()) return Status::OK();
   MODELARDB_RETURN_NOT_OK(WriteBlock(write_buffer_));
   write_buffer_.clear();
+  StoreFlushTotal().Add();
   return Status::OK();
 }
 
@@ -359,6 +411,9 @@ Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
                                  ScanStats* stats) const {
   ScanStats local;
   if (stats == nullptr) stats = &local;
+  // Delta against the caller's (possibly pre-populated) stats, so only
+  // this scan's counts feed the cumulative metrics below.
+  const ScanStats before = *stats;
   // The lock is only held inside SnapshotsFor; everything below runs
   // lock-free on the immutable snapshots.
   for (const Snapshot& snapshot : SnapshotsFor(filter)) {
@@ -432,6 +487,12 @@ Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
       }
     }
   }
+  ScanStats delta = *stats;
+  delta.blocks_skipped -= before.blocks_skipped;
+  delta.blocks_summarized -= before.blocks_summarized;
+  delta.blocks_scanned -= before.blocks_scanned;
+  delta.segments_scanned -= before.segments_scanned;
+  RecordScanStats(delta);
   return Status::OK();
 }
 

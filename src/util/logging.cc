@@ -1,14 +1,19 @@
 #include "util/logging.h"
 
-#include <atomic>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <mutex>
+#include <thread>
+#include <utility>
 
 namespace modelardb {
 namespace {
 
-std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
 std::mutex g_log_mutex;
+LogSink g_log_sink;  // Guarded by g_log_mutex; empty → stderr.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,16 +29,62 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// "2026-08-06T12:34:56.789Z" into buf (needs >= 25 bytes).
+void FormatUtcTimestamp(char* buf, size_t size) {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_utc;
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  const int millis = static_cast<int>(ts.tv_nsec / 1000000);
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+}
+
+long CurrentThreadId() {
+#ifdef SYS_gettid
+  return static_cast<long>(syscall(SYS_gettid));
+#else
+  return static_cast<long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000000);
+#endif
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level.store(level); }
-LogLevel GetLogLevel() { return g_log_level.load(); }
+namespace internal_logging {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace internal_logging
+
+void SetLogLevel(LogLevel level) {
+  internal_logging::g_min_level.store(static_cast<int>(level),
+                                      std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      internal_logging::g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_sink = std::move(sink);
+}
 
 namespace internal_logging {
 
 void Emit(LogLevel level, const std::string& message) {
+  char timestamp[32];
+  FormatUtcTimestamp(timestamp, sizeof(timestamp));
+  char prefix[80];
+  std::snprintf(prefix, sizeof(prefix), "%s %-5s [tid %ld] ", timestamp,
+                LevelName(level), CurrentThreadId());
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (g_log_sink) {
+    g_log_sink(level, std::string(prefix) + message);
+    return;
+  }
+  std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
 }
 
 }  // namespace internal_logging

@@ -1,10 +1,18 @@
 // Minimal leveled logger. Kept deliberately simple: the library's public API
 // reports errors through Status; logging exists for operational visibility
 // in the ingestion pipeline and cluster engine.
+//
+// Thread-safety: the level check in MODELARDB_LOG is a relaxed atomic load
+// (no fence on the fast "suppressed" path), and Emit serializes writes so
+// concurrent log lines never interleave. Each line is structured as
+//   2026-08-06T12:34:56.789Z WARN  [tid 140223] message
+// with a UTC timestamp and the OS thread id.
 
 #ifndef MODELARDB_UTIL_LOGGING_H_
 #define MODELARDB_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,7 +24,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Redirects fully formatted log lines (timestamp + level + tid + message,
+// no trailing newline) away from stderr; pass nullptr to restore stderr.
+// The sink is called with the emit mutex held, so it needs no locking of
+// its own but must not log. Intended for tests.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
 namespace internal_logging {
+
+extern std::atomic<int> g_min_level;
+
+inline bool Enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
 
 void Emit(LogLevel level, const std::string& message);
 
@@ -39,10 +61,10 @@ class LogMessage {
 }  // namespace internal_logging
 }  // namespace modelardb
 
-#define MODELARDB_LOG(level)                                   \
-  if (::modelardb::LogLevel::level < ::modelardb::GetLogLevel()) \
-    ;                                                          \
-  else                                                         \
+#define MODELARDB_LOG(level)                                              \
+  if (!::modelardb::internal_logging::Enabled(::modelardb::LogLevel::level)) \
+    ;                                                                     \
+  else                                                                    \
     ::modelardb::internal_logging::LogMessage(::modelardb::LogLevel::level)
 
 #endif  // MODELARDB_UTIL_LOGGING_H_

@@ -2,9 +2,38 @@
 
 #include <cstdlib>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace modelardb {
+namespace {
+
+// Cached references: registry lookups take a mutex, the references are
+// stable for the process lifetime (entries are never removed).
+obs::Gauge& PoolQueueDepth() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge(obs::kPoolQueueDepth);
+  return gauge;
+}
+obs::Counter& PoolTasksTotal() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kPoolTasksTotal);
+  return counter;
+}
+obs::Histogram& PoolTaskSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kPoolTaskSeconds);
+  return histogram;
+}
+obs::Counter& PoolHelpSteals() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kPoolHelpStealsTotal);
+  return counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -33,6 +62,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolQueueDepth().Add(-1.0);
+    const bool timed = obs::Enabled();
+    const int64_t start_ns = timed ? obs::MonotonicNanos() : 0;
     try {
       task();
     } catch (const std::exception& e) {
@@ -40,6 +72,11 @@ void ThreadPool::WorkerLoop() {
                             << e.what();
     } catch (...) {
       MODELARDB_LOG(kError) << "uncaught exception in pool task";
+    }
+    PoolTasksTotal().Add();
+    if (timed) {
+      PoolTaskSeconds().Observe(
+          static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9);
     }
   }
 }
@@ -49,6 +86,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!shutdown_) {
       queue_.push_back(std::move(fn));
+      PoolQueueDepth().Add(1.0);
       cv_.notify_one();
       return;
     }
@@ -99,6 +137,7 @@ void TaskGroup::State::Drain() {
   // Help: execute the group's own backlog on this thread, then wait for
   // whatever pool workers picked up.
   while (RunOne()) {
+    PoolHelpSteals().Add();
   }
   std::unique_lock<std::mutex> lock(mutex);
   cv.wait(lock, [this] { return running == 0 && pending.empty(); });

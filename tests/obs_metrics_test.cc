@@ -1,0 +1,289 @@
+// obs metrics: counters/gauges/histograms, registry snapshot semantics,
+// the compiled-in catalog, and the Prometheus text exposition format
+// (the render output is parsed line by line and must validate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace modelardb {
+namespace obs {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    MetricsRegistry::Global().ResetForTest();
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterAddAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42);
+  counter.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST_F(ObsMetricsTest, CounterIgnoredWhenDisabled) {
+  Counter counter;
+  SetEnabled(false);
+  counter.Add(100);
+  SetEnabled(true);
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Add(1);
+  EXPECT_EQ(counter.Value(), 1);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAddValue) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(1.0);
+  gauge.Add(-3.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.5);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsAndSum) {
+  Histogram histogram;
+  histogram.Observe(0.5e-6);  // Below the first bound.
+  histogram.Observe(0.003);
+  histogram.Observe(100.0);  // Above the last bound: +Inf bucket.
+  Histogram::Snapshot snapshot = histogram.Read();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_NEAR(snapshot.sum_seconds, 100.0030005, 1e-6);
+  EXPECT_EQ(snapshot.buckets[0], 1);
+  EXPECT_EQ(snapshot.buckets[Histogram::kNumBounds], 1);
+  int64_t total = 0;
+  for (int64_t b : snapshot.buckets) total += b;
+  EXPECT_EQ(total, snapshot.count);  // Every observation lands somewhere.
+}
+
+TEST_F(ObsMetricsTest, HistogramBoundsAreSortedAndCoverMicroToTenSeconds) {
+  const auto& bounds = Histogram::Bounds();
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST_F(ObsMetricsTest, HistogramClampsNegativeAndNaN) {
+  Histogram histogram;
+  histogram.Observe(-1.0);
+  histogram.Observe(std::nan(""));
+  Histogram::Snapshot snapshot = histogram.Read();
+  EXPECT_EQ(snapshot.count, 2);
+  EXPECT_DOUBLE_EQ(snapshot.sum_seconds, 0.0);
+  EXPECT_EQ(snapshot.buckets[0], 2);  // Clamped to zero → first bucket.
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsSameObjectPerKey) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("modelardb_query_queries_total");
+  Counter& b = registry.GetCounter("modelardb_query_queries_total");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled =
+      registry.GetCounter("modelardb_query_queries_total", "k", "v");
+  EXPECT_NE(&a, &labeled);
+}
+
+TEST_F(ObsMetricsTest, RegistryKindClashFallsBackToSink) {
+  MetricsRegistry registry;
+  registry.GetCounter("modelardb_store_put_total").Add(7);
+  // Wrong-kind lookup must not crash nor corrupt the real counter.
+  Gauge& sink = registry.GetGauge("modelardb_store_put_total");
+  sink.Set(99.0);
+  EXPECT_EQ(registry.GetCounter("modelardb_store_put_total").Value(), 7);
+}
+
+TEST_F(ObsMetricsTest, SnapshotIsSortedAndFlagsCatalogMembership) {
+  MetricsRegistry registry;
+  registry.GetCounter("modelardb_store_put_total").Add(1);
+  registry.GetCounter("an_off_catalog_metric").Add(2);
+  registry.GetGauge(kIngestSegments, "model", "swing").Set(3);
+  std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].name, samples[i].name);
+  }
+  for (const MetricSample& sample : samples) {
+    if (sample.name == "an_off_catalog_metric") {
+      EXPECT_FALSE(sample.in_catalog);
+      EXPECT_EQ(sample.counter_value, 2);
+    } else {
+      EXPECT_TRUE(sample.in_catalog);
+    }
+    if (sample.name == kIngestSegments) {
+      EXPECT_EQ(sample.label, "model=\"swing\"");
+    }
+  }
+}
+
+TEST_F(ObsMetricsTest, CatalogNamesFollowConvention) {
+  for (const MetricInfo& info : kMetricCatalog) {
+    const std::string name = info.name;
+    EXPECT_EQ(name.rfind("modelardb_", 0), 0u) << name;
+    EXPECT_TRUE(IsCatalogMetric(name)) << name;
+    const MetricInfo* found = FindMetricInfo(name);
+    ASSERT_NE(found, nullptr) << name;
+    EXPECT_EQ(found->kind, info.kind);
+    if (info.kind == MetricKind::kCounter) {
+      EXPECT_TRUE(name.size() >= 6 &&
+                  name.compare(name.size() - 6, 6, "_total") == 0)
+          << name << " (counters end in _total)";
+    }
+    if (info.kind == MetricKind::kHistogram) {
+      EXPECT_TRUE(name.size() >= 8 &&
+                  name.compare(name.size() - 8, 8, "_seconds") == 0)
+          << name << " (histograms end in _seconds)";
+    }
+  }
+  EXPECT_FALSE(IsCatalogMetric("modelardb_not_a_metric"));
+}
+
+// --- Prometheus text-format validation --------------------------------------
+
+// Minimal validator for the exposition format: every non-empty line is a
+// comment (# HELP / # TYPE) or a sample `name[{labels}] value`; TYPE
+// precedes its family's samples; values parse as doubles; histogram
+// buckets are cumulative and consistent with _count / _sum.
+void ValidatePrometheus(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  std::set<std::string> typed_families;
+  std::map<std::string, std::string> family_type;
+  // Bucket sample values per histogram family, in exposition order (the
+  // exporter emits them by ascending le, +Inf last).
+  std::map<std::string, std::vector<double>> bucket_values;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, family;
+      comment >> hash >> keyword >> family;
+      ASSERT_TRUE(keyword == "HELP" || keyword == "TYPE") << line;
+      ASSERT_FALSE(family.empty()) << line;
+      if (keyword == "TYPE") {
+        std::string type;
+        comment >> type;
+        ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram" || type == "untyped")
+            << line;
+        ASSERT_TRUE(typed_families.insert(family).second)
+            << "duplicate TYPE for " << family;
+        family_type[family] = type;
+      }
+      continue;
+    }
+    // Sample line: name or name{label="v",...}, one space, a double.
+    size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    std::string name = line.substr(0, name_end);
+    size_t value_pos;
+    if (line[name_end] == '{') {
+      size_t close = line.find('}', name_end);
+      ASSERT_NE(close, std::string::npos) << line;
+      ASSERT_EQ(line[close + 1], ' ') << line;
+      value_pos = close + 2;
+    } else {
+      value_pos = name_end + 1;
+    }
+    const std::string value_text = line.substr(value_pos);
+    char* end = nullptr;
+    std::strtod(value_text.c_str(), &end);
+    ASSERT_NE(end, value_text.c_str()) << "unparsable value: " << line;
+    ASSERT_EQ(*end, '\0') << "trailing junk: " << line;
+    // The family (histogram samples strip _bucket/_sum/_count) must have
+    // been typed before its first sample.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t n = std::strlen(suffix);
+      if (family.size() > n &&
+          family.compare(family.size() - n, n, suffix) == 0 &&
+          typed_families.count(family.substr(0, family.size() - n))) {
+        family = family.substr(0, family.size() - n);
+        break;
+      }
+    }
+    ASSERT_TRUE(typed_families.count(family))
+        << "sample before TYPE: " << line;
+    if (family_type[family] == "histogram" &&
+        name == family + "_bucket") {
+      bucket_values[family].push_back(
+          std::strtod(value_text.c_str(), nullptr));
+    }
+  }
+  // Histogram buckets must be cumulative (non-decreasing in le order).
+  for (const auto& [family, type] : family_type) {
+    if (type != "histogram") continue;
+    const std::vector<double>& buckets = bucket_values[family];
+    EXPECT_FALSE(buckets.empty()) << family;
+    for (size_t i = 1; i < buckets.size(); ++i) {
+      EXPECT_GE(buckets[i], buckets[i - 1])
+          << "non-cumulative bucket in " << family;
+    }
+  }
+}
+
+TEST_F(ObsMetricsTest, RenderPrometheusIsValidExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter(kStorePutTotal).Add(12);
+  registry.GetGauge(kIngestCompressionRatio).Set(8.25);
+  registry.GetGauge(kIngestSegments, "model", "pmc_mean").Set(5);
+  registry.GetGauge(kIngestSegments, "model", "swing").Set(7);
+  Histogram& histogram = registry.GetHistogram(kQuerySeconds);
+  histogram.Observe(0.001);
+  histogram.Observe(0.2);
+  histogram.Observe(30.0);
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  ValidatePrometheus(text);
+  EXPECT_NE(text.find("# TYPE modelardb_store_put_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("modelardb_store_put_total 12"), std::string::npos);
+  EXPECT_NE(text.find("modelardb_ingest_segments{model=\"swing\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("modelardb_query_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("modelardb_query_seconds_count 3"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, RenderJsonListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter(kStorePutTotal).Add(3);
+  registry.GetHistogram(kQuerySeconds).Observe(0.5);
+  const std::string json = RenderJson(registry.Snapshot());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"modelardb_store_put_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, GlobalRegistryResetZeroesInPlace) {
+  Counter& counter = MetricsRegistry::Global().GetCounter(kStorePutTotal);
+  counter.Add(5);
+  MetricsRegistry::Global().ResetForTest();
+  EXPECT_EQ(counter.Value(), 0);  // Same object, zeroed value.
+  counter.Add(1);
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter(kStorePutTotal).Value(), 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace modelardb

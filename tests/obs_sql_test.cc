@@ -1,0 +1,182 @@
+// SQL introspection surface of the obs layer: SELECT * FROM METRICS()
+// returns live counters after an ingest + query workload, TRACES() lists
+// retained span trees, and EXPLAIN ANALYZE prints the span tree with
+// per-stage timings.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ingest/pipeline.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "query/parser.h"
+#include "workload/dataset.h"
+
+namespace modelardb {
+namespace {
+
+using workload::SyntheticDataset;
+
+class ObsSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(true);
+    obs::MetricsRegistry::Global().ResetForTest();
+    obs::Tracer::Global().ResetForTest();
+
+    dataset_ = std::make_unique<SyntheticDataset>(
+        SyntheticDataset::Ep(4, 400));
+    groups_ = *Partitioner::Partition(dataset_->catalog(),
+                                      dataset_->BestHints());
+    registry_ = ModelRegistry::Default();
+    cluster::ClusterConfig config;
+    config.num_workers = 2;
+    cluster_ = *cluster::ClusterEngine::Create(dataset_->catalog(), groups_,
+                                               &registry_, config);
+    report_ = *ingest::RunPipeline(cluster_.get(),
+                                   dataset_->MakeSources(groups_), {});
+  }
+
+  // name[/label] → value column for every METRICS() row.
+  std::map<std::string, query::Cell> MetricsByName() {
+    auto result = *cluster_->Execute("SELECT * FROM METRICS()");
+    EXPECT_EQ(result.columns,
+              (std::vector<std::string>{"name", "label", "type", "value"}));
+    std::map<std::string, query::Cell> by_name;
+    for (const auto& row : result.rows) {
+      std::string key = std::get<std::string>(row[0]);
+      const std::string& label = std::get<std::string>(row[1]);
+      if (!label.empty()) key += "/" + label;
+      by_name[key] = row[3];
+    }
+    return by_name;
+  }
+
+  std::unique_ptr<SyntheticDataset> dataset_;
+  std::vector<TimeSeriesGroup> groups_;
+  ModelRegistry registry_;
+  std::unique_ptr<cluster::ClusterEngine> cluster_;
+  ingest::IngestReport report_;
+};
+
+TEST_F(ObsSqlTest, MetricsReturnsLiveCountersAfterWorkload) {
+  // The ingest already ran in SetUp; add a query so both layers count.
+  ASSERT_TRUE(cluster_->Execute("SELECT SUM_S(*) FROM Segment").ok());
+
+  std::map<std::string, query::Cell> metrics = MetricsByName();
+  ASSERT_TRUE(metrics.count(obs::kIngestPointsTotal));
+  EXPECT_EQ(std::get<int64_t>(metrics[obs::kIngestPointsTotal]),
+            report_.data_points);
+  ASSERT_TRUE(metrics.count(obs::kStorePutTotal));
+  EXPECT_GT(std::get<int64_t>(metrics[obs::kStorePutTotal]), 0);
+  ASSERT_TRUE(metrics.count(obs::kClusterQueriesTotal));
+  EXPECT_GE(std::get<int64_t>(metrics[obs::kClusterQueriesTotal]), 1);
+  // Histograms surface as _count / _sum rows.
+  const std::string count_row = std::string(obs::kClusterSeconds) + "_count";
+  ASSERT_TRUE(metrics.count(count_row));
+  EXPECT_GE(std::get<int64_t>(metrics[count_row]), 1);
+  // Per-model gauges carry the ingest breakdown.
+  bool saw_model_gauge = false;
+  for (const auto& [key, value] : metrics) {
+    if (key.rfind(std::string(obs::kIngestSegments) + "/model=", 0) == 0) {
+      saw_model_gauge = true;
+      EXPECT_GT(std::get<double>(value), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_model_gauge);
+}
+
+TEST_F(ObsSqlTest, MetricsQueryCountsGrowAcrossQueries) {
+  ASSERT_TRUE(cluster_->Execute("SELECT COUNT_S(*) FROM Segment").ok());
+  auto before = MetricsByName();
+  const int64_t count =
+      std::get<int64_t>(before[obs::kClusterQueriesTotal]);
+  ASSERT_TRUE(cluster_->Execute("SELECT COUNT_S(*) FROM Segment").ok());
+  auto after = MetricsByName();
+  EXPECT_GE(std::get<int64_t>(after[obs::kClusterQueriesTotal]), count + 1);
+}
+
+TEST_F(ObsSqlTest, MetricsHonoursLimit) {
+  auto result = *cluster_->Execute("SELECT * FROM METRICS() LIMIT 3");
+  EXPECT_EQ(result.rows.size(), 3u);
+}
+
+TEST_F(ObsSqlTest, TracesListsRetainedSpanTrees) {
+  ASSERT_TRUE(cluster_->Execute("SELECT SUM_S(*) FROM Segment").ok());
+  auto result = *cluster_->Execute("SELECT * FROM TRACES()");
+  EXPECT_EQ(result.columns,
+            (std::vector<std::string>{"trace", "query", "span", "parent",
+                                      "name", "start_ms", "wall_ms",
+                                      "cpu_ms"}));
+  ASSERT_FALSE(result.rows.empty());
+  // The SUM query's trace must contain the canonical stages.
+  std::map<std::string, int> stage_count;
+  for (const auto& row : result.rows) {
+    if (std::get<std::string>(row[1]) == "SELECT SUM_S(*) FROM Segment") {
+      ++stage_count[std::get<std::string>(row[4])];
+    }
+  }
+  EXPECT_EQ(stage_count["parse"], 1);
+  EXPECT_EQ(stage_count["plan"], 1);
+  EXPECT_EQ(stage_count["scan"], 1);
+  EXPECT_EQ(stage_count["merge"], 1);
+  EXPECT_GT(stage_count["morsel fan-out"], 0);
+}
+
+TEST_F(ObsSqlTest, ExplainAnalyzePrintsSpanTree) {
+  auto result =
+      *cluster_->Execute("EXPLAIN ANALYZE SELECT SUM_S(*) FROM Segment");
+  ASSERT_EQ(result.columns, (std::vector<std::string>{"plan"}));
+  bool saw_header = false;
+  bool saw_timing = false;
+  for (const auto& row : result.rows) {
+    const std::string& line = std::get<std::string>(row[0]);
+    if (line == "span tree") saw_header = true;
+    if (line.find("wall") != std::string::npos &&
+        line.find("ms") != std::string::npos) {
+      saw_timing = true;
+    }
+  }
+  EXPECT_TRUE(saw_header);
+  EXPECT_TRUE(saw_timing);
+}
+
+TEST_F(ObsSqlTest, PlainExplainHasNoSpanTree) {
+  auto result =
+      *cluster_->Execute("EXPLAIN SELECT SUM_S(*) FROM Segment");
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(std::get<std::string>(row[0]).find("span tree"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ObsSqlTest, IntrospectionViewsRejectFiltersAndProjection) {
+  EXPECT_FALSE(cluster_->Execute("SELECT name FROM METRICS()").ok());
+  EXPECT_FALSE(
+      cluster_->Execute("SELECT * FROM METRICS() WHERE Tid = 1").ok());
+  EXPECT_FALSE(cluster_->Execute("SELECT * FROM TRACES() GROUP BY Tid").ok());
+  EXPECT_FALSE(cluster_->Execute("SELECT * FROM METRICS(1)").ok());
+}
+
+TEST_F(ObsSqlTest, IntrospectionViewsCannotBeCompiled) {
+  auto ast = *query::ParseQuery("SELECT * FROM METRICS()");
+  EXPECT_FALSE(cluster_->query_engine().Compile(ast).ok());
+}
+
+TEST_F(ObsSqlTest, QueriesRunWithTracingDisabled) {
+  obs::SetEnabled(false);
+  auto result = cluster_->Execute("SELECT COUNT_S(*) FROM Segment");
+  obs::SetEnabled(true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<int64_t>(result->rows[0][0]),
+            dataset_->CountDataPoints());
+}
+
+}  // namespace
+}  // namespace modelardb

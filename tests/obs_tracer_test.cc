@@ -1,0 +1,153 @@
+// obs tracer: span trees (parenting, wall/cpu accounting), the ring
+// buffer of finished traces, the disabled path, and RenderSpanTree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace modelardb {
+namespace obs {
+namespace {
+
+class ObsTracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Tracer::Global().ResetForTest();
+  }
+};
+
+TEST_F(ObsTracerTest, SpansRecordParentAndTimes) {
+  Trace trace("SELECT 1");
+  {
+    ScopedSpan root(&trace, "scan");
+    EXPECT_GT(root.id(), 0);
+    {
+      ScopedSpan child(&trace, "morsel gid=1", root.id());
+      volatile double sink = 0;
+      for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+    }
+  }
+  std::vector<SpanRecord> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "scan");
+  EXPECT_EQ(spans[0].parent, 0);
+  EXPECT_EQ(spans[1].name, "morsel gid=1");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_GE(spans[0].wall_ns, spans[1].wall_ns);  // Parent covers child.
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.wall_ns, 0);
+    EXPECT_GE(span.cpu_ns, 0);
+    EXPECT_GE(span.start_ns, 0);
+  }
+}
+
+TEST_F(ObsTracerTest, SpansFinishedOnOtherThreadsAreRecorded) {
+  Trace trace("parallel");
+  ScopedSpan root(&trace, "fan-out");
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&trace, parent = root.id(), i] {
+      ScopedSpan span(&trace, "morsel gid=" + std::to_string(i), parent);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  root.End();
+  std::vector<SpanRecord> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 5u);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].parent, spans[0].id);
+    EXPECT_EQ(spans[i].id, spans[i - 1].id + 1);  // Sorted by creation.
+  }
+}
+
+TEST_F(ObsTracerTest, ScopedSpanNoOpsOnNullTrace) {
+  ScopedSpan span(nullptr, "ignored");
+  EXPECT_EQ(span.id(), 0);
+  span.End();  // Must be safe.
+}
+
+TEST_F(ObsTracerTest, StartTraceReturnsNullWhenDisabled) {
+  SetEnabled(false);
+  std::unique_ptr<Trace> trace = Tracer::Global().StartTrace("off");
+  EXPECT_EQ(trace, nullptr);
+  EXPECT_EQ(Tracer::Global().Finish(std::move(trace)), 0);
+  SetEnabled(true);
+  EXPECT_NE(Tracer::Global().StartTrace("on"), nullptr);
+}
+
+TEST_F(ObsTracerTest, FinishArchivesNewestFirstWithIncreasingIds) {
+  Tracer tracer(/*capacity=*/8);
+  int64_t first = 0;
+  for (int i = 0; i < 3; ++i) {
+    std::unique_ptr<Trace> trace =
+        tracer.StartTrace("q" + std::to_string(i));
+    ScopedSpan span(trace.get(), "parse");
+    span.End();
+    int64_t id = tracer.Finish(std::move(trace));
+    if (i == 0) first = id;
+    EXPECT_EQ(id, first + i);
+  }
+  std::vector<TraceRecord> recent = tracer.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].label, "q2");  // Newest first.
+  EXPECT_EQ(recent[2].label, "q0");
+  EXPECT_EQ(recent[0].spans.size(), 1u);
+}
+
+TEST_F(ObsTracerTest, RingBufferEvictsOldest) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Finish(tracer.StartTrace("q" + std::to_string(i)));
+  }
+  std::vector<TraceRecord> recent = tracer.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent[0].label, "q9");
+  EXPECT_EQ(recent[3].label, "q6");
+}
+
+TEST_F(ObsTracerTest, RenderSpanTreeIndentsByDepth) {
+  std::vector<SpanRecord> spans;
+  SpanRecord root;
+  root.id = 1;
+  root.name = "scan";
+  root.wall_ns = 2'000'000;  // 2 ms.
+  root.cpu_ns = 1'500'000;
+  spans.push_back(root);
+  SpanRecord child;
+  child.id = 2;
+  child.parent = 1;
+  child.name = "morsel gid=1";
+  child.wall_ns = 1'000'000;
+  child.cpu_ns = 900'000;
+  spans.push_back(child);
+  SpanRecord grandchild;
+  grandchild.id = 3;
+  grandchild.parent = 2;
+  grandchild.name = "decode";
+  spans.push_back(grandchild);
+
+  const std::string tree = RenderSpanTree(spans, ">");
+  EXPECT_NE(tree.find(">scan"), std::string::npos);
+  EXPECT_NE(tree.find(">  morsel gid=1"), std::string::npos);
+  EXPECT_NE(tree.find(">    decode"), std::string::npos);
+  EXPECT_NE(tree.find("2.000 ms"), std::string::npos);  // Root wall.
+  EXPECT_NE(tree.find("1.500 ms"), std::string::npos);  // Root cpu.
+  // One line per span, each reporting wall and cpu.
+  EXPECT_EQ(std::count(tree.begin(), tree.end(), '\n'), 3);
+}
+
+TEST_F(ObsTracerTest, RenderSpanTreeEmptyInput) {
+  EXPECT_EQ(RenderSpanTree({}, "  "), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace modelardb

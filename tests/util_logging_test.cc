@@ -1,0 +1,150 @@
+// Structured logger: sink capture, line format (UTC timestamp + level +
+// thread id), level filtering, and concurrent emission (lines never
+// interleave because Emit serializes writers).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace modelardb {
+namespace {
+
+// Captures every emitted line; restores stderr + default level on exit.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::kDebug);
+    SetLogSink([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kWarn);
+  }
+
+  std::vector<std::string> Lines() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return lines_;
+  }
+  std::vector<LogLevel> Levels() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return levels_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> lines_;
+  std::vector<LogLevel> levels_;
+};
+
+TEST_F(LoggingTest, SinkReceivesFormattedLine) {
+  MODELARDB_LOG(kInfo) << "hello " << 42;
+  std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  // 2026-08-06T12:34:56.789Z INFO  [tid 140223] hello 42
+  EXPECT_NE(line.find("INFO"), std::string::npos) << line;
+  EXPECT_NE(line.find("[tid "), std::string::npos) << line;
+  EXPECT_NE(line.find("hello 42"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '2');  // No trailing newline.
+  EXPECT_EQ(Levels()[0], LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, TimestampIsUtcIso8601WithMillis) {
+  MODELARDB_LOG(kWarn) << "x";
+  std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  // "YYYY-MM-DDTHH:MM:SS.mmmZ " prefix: fixed offsets.
+  ASSERT_GE(line.size(), 25u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  for (int i : {0, 1, 2, 3, 5, 6, 8, 9, 11, 12, 14, 15, 17, 18, 20, 21, 22}) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i])))
+        << "position " << i << " in " << line;
+  }
+}
+
+TEST_F(LoggingTest, LevelFilterSuppressesBelowMinimum) {
+  SetLogLevel(LogLevel::kWarn);
+  MODELARDB_LOG(kDebug) << "dropped";
+  MODELARDB_LOG(kInfo) << "dropped";
+  MODELARDB_LOG(kWarn) << "kept";
+  MODELARDB_LOG(kError) << "kept too";
+  std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("kept"), std::string::npos);
+  EXPECT_NE(lines[1].find("kept too"), std::string::npos);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SuppressedStatementDoesNotEvaluateStream) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto side_effect = [&] {
+    ++evaluations;
+    return "value";
+  };
+  MODELARDB_LOG(kDebug) << side_effect();
+  EXPECT_EQ(evaluations, 0);  // The else-branch never ran.
+  MODELARDB_LOG(kError) << side_effect();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, EachThreadReportsItsOwnTid) {
+  MODELARDB_LOG(kInfo) << "main";
+  std::thread other([] { MODELARDB_LOG(kInfo) << "other"; });
+  other.join();
+  std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  auto tid_of = [](const std::string& line) {
+    size_t start = line.find("[tid ") + 5;
+    return line.substr(start, line.find(']', start) - start);
+  };
+  EXPECT_NE(tid_of(lines[0]), tid_of(lines[1]));
+}
+
+TEST_F(LoggingTest, ConcurrentEmissionKeepsLinesIntact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MODELARDB_LOG(kInfo) << "thread " << t << " line " << i << " end";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    // Every captured line is one complete message, never a torn mix.
+    EXPECT_NE(line.find("thread "), std::string::npos);
+    EXPECT_EQ(line.compare(line.size() - 4, 4, " end"), 0) << line;
+  }
+}
+
+TEST_F(LoggingTest, NullSinkRestoresStderrWithoutCrashing) {
+  SetLogSink(nullptr);
+  MODELARDB_LOG(kError) << "goes to stderr";  // Must not crash.
+  EXPECT_TRUE(Lines().empty());
+  SetLogSink([this](LogLevel, const std::string&) {});
+}
+
+}  // namespace
+}  // namespace modelardb

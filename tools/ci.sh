@@ -12,6 +12,34 @@ if git ls-files | grep -q '^build'; then
   exit 1
 fi
 
+# Hygiene: every metric name mentioned in tests or docs must exist in the
+# compiled-in catalog (src/obs/metric_names.h), so docs/tests can never
+# drift from what the system actually emits. Histogram series suffixes
+# (_bucket/_sum/_count) are stripped before the lookup.
+metric_hygiene() {
+  local unknown=0 name base
+  while read -r name; do
+    base="$name"
+    for suffix in _bucket _sum _count; do
+      if [[ "$base" == *"$suffix" ]] &&
+         grep -q "\"${base%"$suffix"}\"" src/obs/metric_names.h; then
+        base="${base%"$suffix"}"
+        break
+      fi
+    done
+    if ! grep -q "\"$base\"" src/obs/metric_names.h; then
+      echo "FAIL: metric '$name' is not in src/obs/metric_names.h" >&2
+      unknown=1
+    fi
+  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster)_[a-z0-9_]+' \
+             -- tests docs '*.md' ':!src/obs/metric_names.h' 2>/dev/null \
+           | sort -u)
+  return "$unknown"
+}
+if ! metric_hygiene; then
+  exit 1
+fi
+
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # Tier 1: full test suite.
@@ -22,6 +50,6 @@ cmake --build build -j "$JOBS"
 # Tier 2: concurrency subset under ThreadSanitizer.
 cmake -B build-tsan -S . -DMODELARDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
-(cd build-tsan && ctest -R "ThreadPool|Concurrency|Pipeline" --output-on-failure -j "$JOBS")
+(cd build-tsan && ctest -R "ThreadPool|Concurrency|Pipeline|Obs" --output-on-failure -j "$JOBS")
 
 echo "ci: all checks passed"

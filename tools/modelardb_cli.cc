@@ -14,8 +14,15 @@
 //   \series                list time series and their dimensions
 //   \groups                list time series groups and worker placement
 //   \stats                 ingestion/storage statistics
+//   \metrics [prom|json]   obs registry snapshot (default: table;
+//                          prom = Prometheus text format, json = JSON)
+//   \trace [n]             span tree of the n-th most recent query trace
+//                          (default 0, the newest)
 //   \similar <tid> <k> <v1> <v2> ...   top-k similarity search (§9 ext.)
 //   \quit                  exit
+//
+// SQL also exposes the observability layer: SELECT * FROM METRICS() and
+// SELECT * FROM TRACES(); EXPLAIN ANALYZE <query> prints the span tree.
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +32,9 @@
 #include "cluster/cluster.h"
 #include "ingest/csv.h"
 #include "ingest/pipeline.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "query/similarity.h"
 #include "util/strings.h"
 #include "workload/dataset.h"
@@ -106,6 +116,36 @@ void RunShell(cluster::ClusterEngine* engine,
           std::printf("  %-12s: %lld points\n",
                       name.ok() ? name->c_str() : "?",
                       static_cast<long long>(n));
+        }
+      } else if (command == "metrics") {
+        std::string format;
+        args >> format;
+        if (format == "prom") {
+          std::printf("%s", obs::RenderPrometheus().c_str());
+        } else if (format == "json") {
+          std::printf("%s", obs::RenderJson().c_str());
+        } else {
+          auto result = engine->Execute("SELECT * FROM METRICS()");
+          if (result.ok()) {
+            std::printf("%s", result->ToString().c_str());
+          } else {
+            std::printf("error: %s\n", result.status().ToString().c_str());
+          }
+        }
+      } else if (command == "trace") {
+        int n = 0;
+        args >> n;
+        std::vector<obs::TraceRecord> traces = obs::Tracer::Global().Recent();
+        if (traces.empty()) {
+          std::printf("no traces recorded yet (run a query first)\n");
+        } else if (n < 0 || static_cast<size_t>(n) >= traces.size()) {
+          std::printf("only %zu trace(s) retained\n", traces.size());
+        } else {
+          const obs::TraceRecord& trace = traces[n];
+          std::printf("trace %lld: %s\n",
+                      static_cast<long long>(trace.trace_id),
+                      trace.label.c_str());
+          std::printf("%s", obs::RenderSpanTree(trace.spans, "  ").c_str());
         }
       } else if (command == "similar") {
         Tid tid;
