@@ -1,0 +1,1 @@
+SELECT AVG(Value) FROM DataPoint WHERE Tid = 2

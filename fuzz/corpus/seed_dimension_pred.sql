@@ -1,0 +1,1 @@
+SELECT Category, SUM_S(*) FROM Segment WHERE Park = 'Harpanet' GROUP BY Category

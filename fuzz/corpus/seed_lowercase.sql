@@ -1,0 +1,1 @@
+select tid, sum_s(*) from segment group by tid

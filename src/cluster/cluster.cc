@@ -278,6 +278,9 @@ Result<query::QueryResult> ClusterEngine::Execute(const query::Query& ast,
   // fans out per-Gid morsels onto the same pool (TaskGroup::Wait helps run
   // them, so the nesting cannot deadlock). Partials are merged in worker
   // order, keeping results byte-identical to sequential execution.
+  // Lock-free by design: task i exclusively owns partials[i]/statuses[i],
+  // and TaskGroup::Wait() is the barrier that publishes the slots back to
+  // this thread, so no lock (and no GUARDED_BY) is involved.
   std::vector<query::PartialResult> partials(workers_.size());
   std::vector<Status> statuses(workers_.size());
   obs::ScopedSpan scan_span(trace, "scan");

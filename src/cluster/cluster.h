@@ -78,6 +78,14 @@ class Worker {
   std::map<Gid, std::unique_ptr<GroupCoordinator>> coordinators_;
 };
 
+// Thread-safety: the engine's own members are frozen after Create() —
+// workers_, worker_of_ and the pool pointer are never mutated again, so
+// concurrent Execute() calls share them read-only without a lock (and
+// without GUARDED_BY; immutable-after-publish is an analyzer boundary,
+// DESIGN.md §3e). All mutable shared state lives behind the workers'
+// SegmentStores, whose annotated mutexes carry the actual guarantees;
+// Ingest() is additionally safe across *different* workers only, because
+// GroupCoordinators are single-writer by design.
 class ClusterEngine {
  public:
   // `catalog`, `registry` must outlive the engine; `groups` from the

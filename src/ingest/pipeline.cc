@@ -70,6 +70,12 @@ Result<IngestReport> RunPipeline(
     partitions[cluster->WorkerOf(source->gid())].push_back(source.get());
   }
 
+  // Lock-free by design: the row/point totals are relaxed atomics shared
+  // by all partition tasks (exactness needs the sum, not any ordering),
+  // and statuses[i] below is owned exclusively by partition task i with
+  // TaskGroup::Wait() as the publishing barrier — the pipeline itself
+  // holds no locks, which keeps the one-writer-per-group invariant the
+  // only ingestion-side synchronization (DESIGN.md §3b).
   std::atomic<int64_t> rows{0};
   std::atomic<int64_t> points{0};
   Stopwatch stopwatch;

@@ -71,7 +71,7 @@ MetricsRegistry::Entry& MetricsRegistry::GetEntry(
   if (!label_key.empty()) {
     label = std::string(label_key) + "=\"" + std::string(label_value) + "\"";
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& entry = metrics_[Key(std::string(name), std::move(label))];
   if (!entry.counter && !entry.gauge && !entry.histogram) {
     entry.kind = kind;
@@ -123,7 +123,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> samples;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   samples.reserve(metrics_.size());
   for (const auto& [key, entry] : metrics_) {
     MetricSample sample;
@@ -148,7 +148,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, entry] : metrics_) {
     if (entry.counter) entry.counter->ResetForTest();
     if (entry.gauge) entry.gauge->ResetForTest();

@@ -21,17 +21,20 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metric_names.h"
+#include "util/sync.h"
 
 namespace modelardb {
 namespace obs {
 
 namespace internal {
+// Lock-free by design: the kill switch is a relaxed atomic so Enabled()
+// costs one load on every instrumented path; a racy toggle only affects
+// which in-flight observations are dropped, never memory safety.
 inline std::atomic<bool> g_enabled{true};
 // Stable small id per thread; maps threads onto metric shards.
 unsigned ThreadShard();
@@ -50,6 +53,11 @@ inline void SetEnabled(bool enabled) {
 inline constexpr unsigned kMetricShards = 16;
 
 // Monotonically increasing counter (use Gauge for values that go down).
+//
+// Lock-free by design: shard values are relaxed atomics, not GUARDED_BY
+// the registry mutex — writers are hot-path pool workers and must never
+// contend; Value() sums the shards and tolerates torn totals (a snapshot
+// concurrent with writers is approximate by contract, DESIGN.md §3d).
 class Counter {
  public:
   void Add(int64_t delta = 1) {
@@ -186,8 +194,12 @@ class MetricsRegistry {
   Entry& GetEntry(MetricKind kind, std::string_view name,
                   std::string_view label_key, std::string_view label_value);
 
-  mutable std::mutex mutex_;
-  std::map<Key, Entry> metrics_;
+  // The mutex guards only the name → entry map. The metric objects the
+  // entries point to are written lock-free (relaxed atomics, above) —
+  // that hand-off is safe because entries are never removed, so a
+  // reference returned under the lock stays valid forever.
+  mutable Mutex mutex_;
+  std::map<Key, Entry> metrics_ GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -26,7 +26,7 @@ Trace::Trace(std::string label)
     : label_(std::move(label)), start_ns_(MonotonicNanos()) {}
 
 int32_t Trace::BeginSpan(std::string name, int32_t parent) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SpanRecord span;
   span.id = static_cast<int32_t>(spans_.size()) + 1;
   span.parent = parent;
@@ -40,7 +40,7 @@ int32_t Trace::BeginSpan(std::string name, int32_t parent) {
 void Trace::EndSpan(int32_t id, int64_t begin_wall_ns, int64_t begin_cpu_ns) {
   const int64_t wall_ns = MonotonicNanos() - begin_wall_ns;
   const int64_t cpu_ns = ThreadCpuNanos() - begin_cpu_ns;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (id < 1 || static_cast<size_t>(id) > spans_.size()) return;
   SpanRecord& span = spans_[id - 1];
   span.wall_ns = wall_ns < 0 ? 0 : wall_ns;
@@ -48,7 +48,7 @@ void Trace::EndSpan(int32_t id, int64_t begin_wall_ns, int64_t begin_cpu_ns) {
 }
 
 std::vector<SpanRecord> Trace::Spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<SpanRecord> spans = spans_;
   for (SpanRecord& span : spans) {
     if (span.wall_ns < 0) span.wall_ns = 0;  // Still open: report as zero.
@@ -81,7 +81,7 @@ int64_t Tracer::Finish(std::unique_ptr<Trace> trace) {
   TraceRecord record;
   record.label = trace->label();
   record.spans = trace->Spans();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   record.trace_id = next_trace_id_++;
   finished_.push_back(std::move(record));
   while (finished_.size() > capacity_) finished_.pop_front();
@@ -89,12 +89,12 @@ int64_t Tracer::Finish(std::unique_ptr<Trace> trace) {
 }
 
 std::vector<TraceRecord> Tracer::Recent() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::vector<TraceRecord>(finished_.rbegin(), finished_.rend());
 }
 
 void Tracer::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   finished_.clear();
   next_trace_id_ = 1;
   start_calls_.store(0, std::memory_order_relaxed);

@@ -16,9 +16,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace modelardb {
 namespace obs {
@@ -60,8 +61,8 @@ class Trace {
  private:
   const std::string label_;
   const int64_t start_ns_;
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> spans_ GUARDED_BY(mutex_);
 };
 
 // RAII span. No-ops when `trace` is null, so call sites are unconditional:
@@ -151,11 +152,14 @@ class Tracer {
 
  private:
   const size_t capacity_;
+  // Lock-free by design: the sampling draw is a relaxed fetch_add on the
+  // StartTrace hot path; an imprecise interleaving only shifts which call
+  // wins the draw, so neither field is GUARDED_BY the ring-buffer mutex.
   std::atomic<int64_t> sample_every_;
   std::atomic<int64_t> start_calls_{0};
-  mutable std::mutex mutex_;
-  int64_t next_trace_id_ = 1;
-  std::deque<TraceRecord> finished_;
+  mutable Mutex mutex_;
+  int64_t next_trace_id_ GUARDED_BY(mutex_) = 1;
+  std::deque<TraceRecord> finished_ GUARDED_BY(mutex_);
 };
 
 // Renders a span tree as indented text, one line per span:

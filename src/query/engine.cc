@@ -778,6 +778,12 @@ Result<PartialResult> QueryEngine::ExecutePartialParallel(
   if (morsel_gids.empty()) return PartialResult{};
   // Even sequentially (null pool), execute morsel-by-morsel and merge in
   // Gid order so aggregates sum in the same order at every pool size.
+  //
+  // Lock-free by design (outside the thread-safety analyzer's view):
+  // `partials`/`statuses` are written without a lock, but every task owns
+  // slot i exclusively and TaskGroup::Wait() is the release/acquire
+  // barrier that publishes the slots to this thread — the same disjoint
+  // slot pattern as ClusterEngine::Execute and ingest::RunPipeline.
   const size_t n = morsel_gids.size();
   std::vector<PartialResult> partials(n);
   std::vector<Status> statuses(n);

@@ -32,13 +32,13 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/model.h"
 #include "core/segment.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace modelardb {
 
@@ -232,6 +232,10 @@ class SegmentStore {
     std::vector<SegmentSummary> summaries;
     std::vector<SegmentBlock> blocks;  // Empty when the index is disabled.
   };
+  // COW snapshot hand-off (DESIGN.md §3e): both fields are guarded by the
+  // store mutex — `snapshotted` is the flag that forces the next writer to
+  // copy instead of mutate, so a GroupData is immutable from the moment a
+  // Snapshot reference escapes the lock, and readers iterate it lock-free.
   struct GroupSlot {
     std::shared_ptr<GroupData> data;
     bool snapshotted = false;
@@ -242,8 +246,8 @@ class SegmentStore {
 
   Status ReplayLog();
   Status WriteBlock(const std::vector<Segment>& segments);
-  Status PutLocked(const Segment& segment);
-  Status FlushLocked();
+  Status PutLocked(const Segment& segment) REQUIRES(mutex_);
+  Status FlushLocked() REQUIRES(mutex_);
   // Grabs (and marks) the snapshots `filter` selects, in ascending Gid
   // order for the empty-gids case and in `filter.gids` order otherwise.
   std::vector<Snapshot> SnapshotsFor(const SegmentFilter& filter) const;
@@ -262,10 +266,14 @@ class SegmentStore {
 
   SegmentStoreOptions options_;
   std::string log_path_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // Index: per group, segments ordered by end_time (the clustering key).
-  mutable std::map<Gid, GroupSlot> index_;
-  std::vector<Segment> write_buffer_;
+  mutable std::map<Gid, GroupSlot> index_ GUARDED_BY(mutex_);
+  std::vector<Segment> write_buffer_ GUARDED_BY(mutex_);
+  // Lock-free by design: cheap monotonic counters read by NumSegments() /
+  // DiskBytes() without taking the store mutex; relaxed ordering is sound
+  // because the values are standalone statistics, never used to order
+  // access to other state.
   std::atomic<int64_t> num_segments_{0};
   std::atomic<int64_t> disk_bytes_{0};
 };

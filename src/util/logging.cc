@@ -5,15 +5,16 @@
 #include <unistd.h>
 
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace modelardb {
 namespace {
 
-std::mutex g_log_mutex;
-LogSink g_log_sink;  // Guarded by g_log_mutex; empty → stderr.
+Mutex g_log_mutex;
+LogSink g_log_sink GUARDED_BY(g_log_mutex);  // Empty → stderr.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,10 +36,16 @@ void FormatUtcTimestamp(char* buf, size_t size) {
   clock_gettime(CLOCK_REALTIME, &ts);
   struct tm tm_utc;
   gmtime_r(&ts.tv_sec, &tm_utc);
-  const int millis = static_cast<int>(ts.tv_nsec / 1000000);
-  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
-                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
-                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  const unsigned millis = static_cast<unsigned>(ts.tv_nsec / 1000000);
+  // The modulos bound every field so -Wformat-truncation can prove the
+  // output always fits the caller's buffer.
+  std::snprintf(buf, size, "%04u-%02u-%02uT%02u:%02u:%02u.%03uZ",
+                static_cast<unsigned>(tm_utc.tm_year + 1900) % 10000u,
+                static_cast<unsigned>(tm_utc.tm_mon + 1) % 100u,
+                static_cast<unsigned>(tm_utc.tm_mday) % 100u,
+                static_cast<unsigned>(tm_utc.tm_hour) % 100u,
+                static_cast<unsigned>(tm_utc.tm_min) % 100u,
+                static_cast<unsigned>(tm_utc.tm_sec) % 100u, millis % 1000u);
 }
 
 long CurrentThreadId() {
@@ -67,7 +74,7 @@ LogLevel GetLogLevel() {
 }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   g_log_sink = std::move(sink);
 }
 
@@ -79,7 +86,7 @@ void Emit(LogLevel level, const std::string& message) {
   char prefix[80];
   std::snprintf(prefix, sizeof(prefix), "%s %-5s [tid %ld] ", timestamp,
                 LevelName(level), CurrentThreadId());
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   if (g_log_sink) {
     g_log_sink(level, std::string(prefix) + message);
     return;

@@ -33,6 +33,9 @@ void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 
+// Lock-free by design: the level gate is a relaxed atomic, not GUARDED_BY
+// the emit mutex — suppressed log statements must cost one load, and a
+// racy level change only mis-filters the handful of lines in flight.
 extern std::atomic<int> g_min_level;
 
 inline bool Enabled(LogLevel level) {

@@ -33,7 +33,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 // A Status either is OK or carries an error code plus a message.
-class Status {
+// [[nodiscard]]: silently dropping a Status is how storage corruption
+// sneaks past review — discarding one is a compile warning (an error in
+// CI), and intentional drops must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -88,8 +91,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 // A Result<T> holds either a value of type T or a non-OK Status.
+// [[nodiscard]] for the same reason as Status: an unread Result is an
+// unread error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)

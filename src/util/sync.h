@@ -1,0 +1,192 @@
+// Annotated synchronization primitives: Clang thread-safety analysis as a
+// compile-time gate (DESIGN.md §3e "Static analysis").
+//
+// Every lock in the codebase is one of these wrappers, and every private
+// member protected by a lock carries GUARDED_BY, so the locking protocol
+// documented in DESIGN.md §3b is machine-checked: forgetting a MutexLock,
+// touching guarded state from the wrong side of a condition wait, or
+// calling a *Locked helper without REQUIRES is a build failure under
+//   clang++ ... -DMODELARDB_THREAD_SAFETY=ON   (-Werror=thread-safety)
+// and tools/ci.sh runs that configuration as a permanent gate. Under GCC
+// (or Clang without the flag) the attribute macros expand to nothing and
+// the wrappers cost exactly a std::mutex.
+//
+// Conventions (see DESIGN.md §3e for the full rules):
+//  * Shared mutable state  → member + GUARDED_BY(mutex_).
+//  * Helper called locked  → declaration + REQUIRES(mutex_).
+//  * Lock-free by design   → std::atomic, never GUARDED_BY; the member
+//    comment must say why relaxed ordering is sound. The analyzer is
+//    intentionally blind there — atomics are its boundary.
+//  * Snapshot hand-off     → shared_ptr<const T> grabbed under the lock,
+//    iterated lock-free; the *flag* that makes writers copy-on-write is
+//    GUARDED_BY, the snapshot itself is immutable and unannotated.
+
+#ifndef MODELARDB_UTIL_SYNC_H_
+#define MODELARDB_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Clang's -Wthread-safety attributes; inert elsewhere. Macro set and names
+// follow the Clang documentation ("Thread Safety Analysis") so call sites
+// read like the upstream examples.
+#if defined(__clang__)
+#define MODELARDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MODELARDB_THREAD_ANNOTATION_(x)  // Inert under GCC/MSVC.
+#endif
+
+#define CAPABILITY(x) MODELARDB_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY MODELARDB_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) MODELARDB_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) MODELARDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  MODELARDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  MODELARDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  MODELARDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MODELARDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  MODELARDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MODELARDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  MODELARDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MODELARDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  MODELARDB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  MODELARDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  MODELARDB_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) MODELARDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  MODELARDB_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MODELARDB_THREAD_ANNOTATION_(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) MODELARDB_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MODELARDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace modelardb {
+
+// Exclusive mutex. Prefer the RAII MutexLock; the raw Lock/Unlock pair
+// exists for the rare split acquire/release (none in-tree today).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Tells the analyzer (without checking at runtime) that the calling
+  // context holds this mutex — for code reached only via callbacks that
+  // the caller documents as running under the lock (e.g. LogSink).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex for read-mostly state. WriterLock/ReaderLock below
+// are the intended entry points.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterLock() RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable bound to Mutex. Wait() atomically releases and
+// reacquires, which the analysis cannot see — REQUIRES(mu) states the
+// contract (held on entry, held again on return). There is deliberately
+// no predicate overload: a predicate lambda is a separate function to the
+// analyzer and could not read GUARDED_BY state warning-free, so callers
+// write the standard `while (!cond) cv.Wait(mu);` loop inline, where the
+// analysis does check the guarded reads.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Caller's MutexLock still owns the mutex.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_SYNC_H_

@@ -45,10 +45,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -56,8 +56,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mutex_);
       if (queue_.empty()) return;  // shutdown_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -83,11 +83,11 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!shutdown_) {
       queue_.push_back(std::move(fn));
       PoolQueueDepth().Add(1.0);
-      cv_.notify_one();
+      cv_.NotifyOne();
       return;
     }
   }
@@ -113,7 +113,7 @@ ThreadPool* ThreadPool::Shared() {
 bool TaskGroup::State::RunOne() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (pending.empty()) return false;
     task = std::move(pending.front());
     pending.pop_front();
@@ -122,13 +122,13 @@ bool TaskGroup::State::RunOne() {
   try {
     task();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (!error) error = std::current_exception();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     --running;
-    if (running == 0 && pending.empty()) cv.notify_all();
+    if (running == 0 && pending.empty()) cv.NotifyAll();
   }
   return true;
 }
@@ -139,8 +139,8 @@ void TaskGroup::State::Drain() {
   while (RunOne()) {
     PoolHelpSteals().Add();
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, [this] { return running == 0 && pending.empty(); });
+  MutexLock lock(mutex);
+  while (running != 0 || !pending.empty()) cv.Wait(mutex);
 }
 
 TaskGroup::TaskGroup(ThreadPool* pool)
@@ -159,13 +159,13 @@ void TaskGroup::Submit(std::function<void()> fn) {
     try {
       fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      MutexLock lock(state_->mutex);
       if (!state_->error) state_->error = std::current_exception();
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->pending.push_back(std::move(fn));
   }
   pool_->Submit([state = state_] { state->RunOne(); });
@@ -175,7 +175,7 @@ void TaskGroup::Wait() {
   state_->Drain();
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     error = state_->error;
     state_->error = nullptr;
   }

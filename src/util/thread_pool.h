@@ -13,14 +13,14 @@
 #ifndef MODELARDB_UTIL_THREAD_POOL_H_
 #define MODELARDB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace modelardb {
 
@@ -52,10 +52,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  // Written in the constructor, joined in the destructor; never touched by
+  // worker threads, so it needs no guard.
   std::vector<std::thread> threads_;
 };
 
@@ -80,11 +82,11 @@ class TaskGroup {
   // Shared with pool runners so a runner scheduled after Wait() returned
   // finds an empty, still-alive queue instead of a dangling group.
   struct State {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> pending;
-    int running = 0;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar cv;
+    std::deque<std::function<void()>> pending GUARDED_BY(mutex);
+    int running GUARDED_BY(mutex) = 0;
+    std::exception_ptr error GUARDED_BY(mutex);
 
     bool RunOne();
     void Drain();

@@ -1,0 +1,50 @@
+// Compile-time fixture for the thread-safety gate itself (never linked
+// into a test binary — ctest runs the compiler on this file).
+//
+// Two registered checks use it (tests/CMakeLists.txt):
+//   ConcurrencyThreadSafetyGate.AnnotatedLockingCompiles
+//     plain compile: the well-annotated branch must build everywhere,
+//     proving the macros are inert under GCC and warning-free under
+//     Clang's -Werror=thread-safety.
+//   ConcurrencyThreadSafetyGate.MisannotatedLockingFailsToCompile
+//     Clang only, compiled with -DMODELARDB_EXPECT_THREAD_SAFETY_ERROR and
+//     WILL_FAIL: re-introduces the exact mis-annotated pattern of the
+//     PR 3 EstimateSurvivingSegments race — touching guarded state without
+//     the lock — and asserts the analysis actually fails the build. If
+//     this check ever "passes" to compile, the gate is broken, not the
+//     code.
+
+#include "util/sync.h"
+
+namespace {
+
+class EstimateLikeRace {
+ public:
+  // The PR 3 bug shape: a reader that grabbed shared state outside the
+  // locking discipline while writers mutated it.
+  int ReadTotal() {
+#ifdef MODELARDB_EXPECT_THREAD_SAFETY_ERROR
+    return total_;  // No lock: -Werror=thread-safety must reject this.
+#else
+    modelardb::MutexLock lock(mutex_);
+    return total_;
+#endif
+  }
+
+  void Add(int delta) {
+    modelardb::MutexLock lock(mutex_);
+    total_ += delta;
+  }
+
+ private:
+  modelardb::Mutex mutex_;
+  int total_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  EstimateLikeRace race;
+  race.Add(1);
+  return race.ReadTotal() == 1 ? 0 : 1;
+}

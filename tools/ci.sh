@@ -1,5 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests, the tier-2 TSan subset, and repo hygiene.
+# CI gate: repo hygiene, tier-1 tests, the tier-2 TSan subset, the UBSan
+# tier, and the static-analysis gates (Clang thread-safety build,
+# clang-tidy, parser fuzz smoke).
+#
+# The three Clang-only stages detect the toolchain and SKIP (loudly, but
+# green) when clang++/clang-tidy are not installed, so the script stays
+# runnable on GCC-only machines; on a machine with LLVM they are hard
+# gates. Everything else always runs.
+#
 # Usage: tools/ci.sh  (run from anywhere inside the repo)
 set -euo pipefail
 
@@ -40,6 +48,41 @@ if ! metric_hygiene; then
   exit 1
 fi
 
+# Hygiene: every src/ file that locks through util/sync.h must be covered
+# by the tier-2 ThreadSanitizer run. Concretely: for foo.cc/foo.h that
+# includes "util/sync.h", some tests/*.cc must include the module's header
+# AND define a gtest suite matching the tier-2 regex
+# (ThreadPool|Concurrency|Pipeline|Obs), so the annotated locks are
+# exercised under TSan, not just compiled. Keeps the analyzer's boundary
+# honest — new locking sites cannot silently skip the sanitizer tier.
+sync_coverage_hygiene() {
+  local bad=0 src hdr t
+  while read -r src; do
+    hdr="${src#src/}"
+    hdr="${hdr%.cc}"
+    hdr="${hdr%.h}.h"
+    local covered=0
+    for t in tests/*.cc; do
+      if grep -q "\"$hdr\"" "$t" &&
+         grep -qE 'TEST(_F)?\([A-Za-z0-9_]*(ThreadPool|Concurrency|Pipeline|Obs)' "$t"; then
+        covered=1
+        break
+      fi
+    done
+    if [[ "$covered" == 0 ]]; then
+      echo "FAIL: $src includes util/sync.h but no tests/*.cc including" >&2
+      echo "  \"$hdr\" defines a suite matching the tier-2 TSan regex" >&2
+      echo "  (ThreadPool|Concurrency|Pipeline|Obs)" >&2
+      bad=1
+    fi
+  done < <({ echo src/util/sync.h
+             git grep -l '"util/sync.h"' -- src; } | sort -u)
+  return "$bad"
+}
+if ! sync_coverage_hygiene; then
+  exit 1
+fi
+
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # Tier 1: full test suite.
@@ -51,5 +94,47 @@ cmake --build build -j "$JOBS"
 cmake -B build-tsan -S . -DMODELARDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -R "ThreadPool|Concurrency|Pipeline|Obs" --output-on-failure -j "$JOBS")
+
+# UBSan tier: the full suite with every UB finding fatal
+# (-fno-sanitize-recover=all), covering the bit-packing and model codecs.
+cmake -B build-ubsan -S . -DMODELARDB_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+(cd build-ubsan && ctest --output-on-failure -j "$JOBS")
+
+# Static analysis gate 1: Clang thread-safety analysis as build errors.
+# Every annotation in util/sync.h (GUARDED_BY/REQUIRES/...) is enforced;
+# any locking-discipline violation fails this build.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-threadsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DMODELARDB_THREAD_SAFETY=ON >/dev/null
+  cmake --build build-threadsafety -j "$JOBS"
+  echo "ci: thread-safety gate passed"
+else
+  echo "ci: SKIP thread-safety gate (clang++ not on PATH)"
+fi
+
+# Static analysis gate 2: clang-tidy (.clang-tidy: bugprone-*,
+# concurrency-*, performance-*, unused-result as errors).
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/*.cc' 'tools/*.cc' \
+    | xargs -P "$JOBS" -n 1 clang-tidy -p build-tidy --quiet
+  echo "ci: clang-tidy gate passed"
+else
+  echo "ci: SKIP clang-tidy gate (clang-tidy not on PATH)"
+fi
+
+# Fuzz smoke: 30 seconds of coverage-guided parser fuzzing from the seed
+# corpus; any crash/UB trap fails the stage.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DMODELARDB_FUZZ=ON >/dev/null
+  cmake --build build-fuzz -j "$JOBS" --target fuzz_parser
+  ./build-fuzz/fuzz/fuzz_parser -max_total_time=30 -print_final_stats=1 \
+      fuzz/corpus
+  echo "ci: fuzz smoke passed"
+else
+  echo "ci: SKIP fuzz smoke (clang++ not on PATH)"
+fi
 
 echo "ci: all checks passed"
