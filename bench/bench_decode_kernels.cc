@@ -1,0 +1,217 @@
+// Micro-benchmark for the util/simd decode and aggregate kernels
+// (DESIGN.md §3f): scalar tier vs the dispatched tier, per bit width
+// 1..64 for unpack_bits, per fold op, and end-to-end Gorilla segment
+// decode (one-pass scalar reference vs the two-pass kernel decoder).
+// Writes BENCH_decode_kernels.json; EXPERIMENTS.md records the measured
+// speedups against the ROADMAP targets (>=4x unpack, >=2x decode).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/models/gorilla.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/simd/kernels.h"
+#include "util/stopwatch.h"
+
+namespace modelardb {
+namespace {
+
+// Best-of-3 wall-clock seconds for `fn` run `iters` times.
+template <typename Fn>
+double TimeBest(int iters, Fn&& fn) {
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch stopwatch;
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, stopwatch.ElapsedSeconds());
+  }
+  return best;
+}
+
+int ScaledIters(int base) {
+  int iters = static_cast<int>(base * bench::Scale());
+  return iters > 0 ? iters : 1;
+}
+
+void BenchUnpack(bench::JsonReport* report) {
+  const simd::Kernels& scalar = simd::ScalarKernels();
+  const simd::Kernels& active = simd::Active();
+  Random rng(21);
+  std::vector<uint8_t> bytes(1 << 20);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+
+  std::printf("%-10s %14s %14s %9s\n", "bit width", "scalar Mf/s",
+              "dispatched Mf/s", "speedup");
+  double best_speedup = 0.0;
+  double worst_speedup = 1e100;
+  for (int width = 1; width <= 64; ++width) {
+    size_t n = bytes.size() * 8 / static_cast<size_t>(width);
+    n = std::min(n, size_t{1} << 17);
+    std::vector<uint64_t> out(n);
+    const int iters = ScaledIters(40);
+    double scalar_s = TimeBest(iters, [&] {
+      scalar.unpack_bits(bytes.data(), bytes.size(), 0, width, n,
+                         out.data());
+    });
+    double active_s = TimeBest(iters, [&] {
+      active.unpack_bits(bytes.data(), bytes.size(), 0, width, n,
+                         out.data());
+    });
+    double fields_per_s = static_cast<double>(n) * iters / scalar_s;
+    double fields_per_s_active = static_cast<double>(n) * iters / active_s;
+    double speedup = scalar_s / active_s;
+    best_speedup = std::max(best_speedup, speedup);
+    worst_speedup = std::min(worst_speedup, speedup);
+    std::printf("%-10d %14.1f %14.1f %8.2fx\n", width, fields_per_s / 1e6,
+                fields_per_s_active / 1e6, speedup);
+    report->Add("unpack_speedup_w" + std::to_string(width), speedup);
+  }
+  report->Add("unpack_speedup_best", best_speedup);
+  report->Add("unpack_speedup_worst", worst_speedup);
+}
+
+void BenchFolds(bench::JsonReport* report) {
+  const simd::Kernels& scalar = simd::ScalarKernels();
+  const simd::Kernels& active = simd::Active();
+  Random rng(22);
+  const size_t n = 1 << 16;
+
+  std::printf("\n%-22s %14s %14s %9s\n", "fold op", "scalar Mel/s",
+              "dispatched Mel/s", "speedup");
+  auto row = [&](const char* name, const std::string& key, double scalar_s,
+                 double active_s, int iters) {
+    double speedup = scalar_s / active_s;
+    std::printf("%-22s %14.1f %14.1f %8.2fx\n", name,
+                static_cast<double>(n) * iters / scalar_s / 1e6,
+                static_cast<double>(n) * iters / active_s / 1e6, speedup);
+    report->Add(key, speedup);
+  };
+
+  {
+    std::vector<uint32_t> deltas(n);
+    for (auto& d : deltas) d = static_cast<uint32_t>(rng.NextU64());
+    std::vector<uint32_t> work(n);
+    const int iters = ScaledIters(200);
+    double scalar_s = TimeBest(iters, [&] {
+      work = deltas;
+      scalar.xor_prefix32(work.data(), n, 0);
+    });
+    double active_s = TimeBest(iters, [&] {
+      work = deltas;
+      active.xor_prefix32(work.data(), n, 0);
+    });
+    row("xor_prefix32", "xor_prefix32_speedup", scalar_s, active_s, iters);
+  }
+  {
+    std::vector<int64_t> dods(n);
+    for (auto& d : dods) d = static_cast<int64_t>(rng.NextBelow(100)) - 50;
+    std::vector<int64_t> work(n);
+    const int iters = ScaledIters(200);
+    double scalar_s = TimeBest(iters, [&] {
+      work = dods;
+      scalar.prefix_sum64(work.data(), n, 1700000000);
+    });
+    double active_s = TimeBest(iters, [&] {
+      work = dods;
+      active.prefix_sum64(work.data(), n, 1700000000);
+    });
+    row("prefix_sum64", "prefix_sum64_speedup", scalar_s, active_s, iters);
+  }
+  {
+    std::vector<float> values(n);
+    for (auto& v : values) {
+      v = static_cast<float>(rng.NextBelow(10000)) * 0.01f;
+    }
+    for (double scaling : {1.0, 10.0}) {
+      simd::FoldAccum accum;
+      const int iters = ScaledIters(200);
+      double scalar_s = TimeBest(iters, [&] {
+        simd::FoldInit(&accum);
+        scalar.fold_span(values.data(), n, scaling, &accum);
+      });
+      double active_s = TimeBest(iters, [&] {
+        simd::FoldInit(&accum);
+        active.fold_span(values.data(), n, scaling, &accum);
+      });
+      std::string tag = scaling == 1.0 ? "fold_span_speedup"
+                                       : "fold_span_scaled_speedup";
+      row(scaling == 1.0 ? "fold_span (sum/min/max)"
+                         : "fold_span (scaled)",
+          tag, scalar_s, active_s, iters);
+    }
+  }
+}
+
+void BenchSegmentDecode(bench::JsonReport* report) {
+  // A realistic mixed stream: runs of repeats, small drifts, occasional
+  // window changes — roughly what regular sensor series compress to.
+  Random rng(23);
+  const size_t count = 50000;
+  GorillaEncoder encoder;
+  float v = 20.0f;
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.NextBelow(8)) {
+      case 0:
+      case 1:
+      case 2:
+        break;  // Repeat.
+      case 3:
+      case 4:
+      case 5:
+        v += 0.25f;
+        break;
+      default:
+        v = static_cast<float>(rng.NextBelow(1 << 16)) * 0.125f;
+        break;
+    }
+    encoder.Append(v);
+  }
+  std::vector<uint8_t> bytes = encoder.Finish();
+
+  const int iters = ScaledIters(60);
+  double scalar_s = TimeBest(iters, [&] {
+    bench::CheckOk(GorillaDecodeStreamScalar(bytes, count).status(),
+                   "scalar decode");
+  });
+  double kernel_s = TimeBest(iters, [&] {
+    bench::CheckOk(
+        GorillaDecodeStreamWithKernels(bytes, count, simd::Active())
+            .status(),
+        "kernel decode");
+  });
+  double speedup = scalar_s / kernel_s;
+  std::printf("\n%-22s %14s %14s %9s\n", "segment decode", "scalar Mv/s",
+              "dispatched Mv/s", "speedup");
+  std::printf("%-22s %14.1f %14.1f %8.2fx\n", "gorilla 50k values",
+              static_cast<double>(count) * iters / scalar_s / 1e6,
+              static_cast<double>(count) * iters / kernel_s / 1e6, speedup);
+  report->Add("segment_decode_speedup", speedup);
+  report->Add("segment_decode_scalar_mvps",
+              static_cast<double>(count) * iters / scalar_s / 1e6);
+  report->Add("segment_decode_dispatched_mvps",
+              static_cast<double>(count) * iters / kernel_s / 1e6);
+}
+
+}  // namespace
+}  // namespace modelardb
+
+int main() {
+  using namespace modelardb;
+  bench::PrintHeader("decode-kernels",
+                     "SIMD decode/aggregate kernels vs scalar tier");
+  std::printf("active tier: %s (MODELARDB_FORCE_SCALAR=%s)\n\n",
+              simd::TierName(simd::ActiveTier()),
+              std::getenv("MODELARDB_FORCE_SCALAR") != nullptr ? "1" : "0");
+  bench::JsonReport report("decode_kernels");
+  report.Add("active_tier", simd::TierName(simd::ActiveTier()));
+  report.Add("avx2_available",
+             static_cast<int64_t>(simd::Avx2Available() ? 1 : 0));
+  BenchUnpack(&report);
+  BenchFolds(&report);
+  BenchSegmentDecode(&report);
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd/kernels.h"
+
 #include "core/models/gorilla.h"
 #include "core/models/per_series.h"
 #include "core/models/pmc_mean.h"
@@ -11,20 +13,46 @@
 
 namespace modelardb {
 
+void SegmentDecoder::CopyColumn(int from_row, int to_row, int col,
+                                Value* out) const {
+  for (int row = from_row; row <= to_row; ++row) {
+    *out++ = ValueAt(row, col);
+  }
+}
+
 AggregateSummary SegmentDecoder::AggregateRange(int from_row, int to_row,
                                                 int col) const {
-  AggregateSummary out;
-  out.count = to_row - from_row + 1;
-  Value first = ValueAt(from_row, col);
-  out.min = first;
-  out.max = first;
-  out.sum = first;
-  for (int row = from_row + 1; row <= to_row; ++row) {
-    Value v = ValueAt(row, col);
-    out.sum += v;
-    out.min = std::min(out.min, static_cast<double>(v));
-    out.max = std::max(out.max, static_cast<double>(v));
+  return AggregateRangeScaled(from_row, to_row, col, /*scaling=*/1.0);
+}
+
+AggregateSummary SegmentDecoder::AggregateRangeScaled(int from_row,
+                                                      int to_row, int col,
+                                                      double scaling) const {
+  // The canonical fold: chunked CopyColumn spans through the dispatched
+  // kernels. Chunks are a multiple of kFoldLanes (except the last) so the
+  // element-to-lane mapping is continuous across chunks — byte-identical
+  // results whatever the chunk size or kernel tier (DESIGN.md §3f).
+  simd::FoldAccum accum;
+  simd::FoldInit(&accum);
+  constexpr int kChunkRows = 512;
+  static_assert(kChunkRows % simd::kFoldLanes == 0,
+                "chunks must preserve the fold lane mapping");
+  Value buffer[kChunkRows];
+  const int64_t n = static_cast<int64_t>(to_row) - from_row + 1;
+  for (int64_t at = 0; at < n; at += kChunkRows) {
+    int len = static_cast<int>(std::min<int64_t>(kChunkRows, n - at));
+    int row = from_row + static_cast<int>(at);
+    CopyColumn(row, row + len - 1, col, buffer);
+    simd::Active().fold_span(buffer, static_cast<size_t>(len), scaling,
+                             &accum);
   }
+  simd::NoteSpanFolded(static_cast<size_t>(n));
+  simd::FoldResult folded = simd::FoldFinalize(accum);
+  AggregateSummary out;
+  out.sum = folded.sum;
+  out.min = folded.min;
+  out.max = folded.max;
+  out.count = n;
   return out;
 }
 

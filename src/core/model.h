@@ -87,11 +87,28 @@ class SegmentDecoder {
   // `row` (0-based sampling instant within the segment).
   virtual Value ValueAt(int row, int col) const = 0;
 
+  // Copies the reconstructed values of series `col` over rows
+  // [from_row, to_row] into out[0..to_row - from_row]. The default walks
+  // ValueAt; decoders whose storage is contiguous (Gorilla) override with
+  // memcpy/strided copies. This is the contiguous-span contract the
+  // query-engine fold kernels rely on (DESIGN.md §3f).
+  virtual void CopyColumn(int from_row, int to_row, int col,
+                          Value* out) const;
+
   // Aggregates series `col` over rows [from_row, to_row] (inclusive).
-  // The default walks ValueAt; constant/linear models override with O(1)
-  // closed forms, which is what makes aggregate queries on models fast.
+  // The default folds CopyColumn spans through the dispatched SIMD
+  // kernels; constant/linear models override with O(1) closed forms,
+  // which is what makes aggregate queries on models fast.
   virtual AggregateSummary AggregateRange(int from_row, int to_row,
                                           int col) const;
+
+  // AggregateRange with each value divided by `scaling` before it enters
+  // the reduction tree — the Data Point View fold, where predicates and
+  // aggregates see raw (de-scaled) values per point (§6.1). Not virtual:
+  // always the canonical kernel fold over CopyColumn spans, so results
+  // are byte-identical at any parallelism and any kernel tier.
+  AggregateSummary AggregateRangeScaled(int from_row, int to_row, int col,
+                                        double scaling) const;
 
   // True when AggregateRange runs in O(1) (used by tests and EXPLAIN output).
   virtual bool HasConstantTimeAggregates() const { return false; }

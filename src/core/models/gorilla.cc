@@ -1,5 +1,7 @@
 #include "core/models/gorilla.h"
 
+#include <cstring>
+
 namespace modelardb {
 namespace {
 
@@ -9,6 +11,52 @@ namespace {
 // (0-31) and 6 bits for the meaningful-bit count (1-32).
 constexpr int kLeadingBits = 5;
 constexpr int kLengthBits = 6;
+
+// Bit cursor over the big-endian word array produced by pass 1 of the
+// kernel decoder. Field extraction is a couple of shifts instead of
+// BitReader's per-byte loop; past-the-end reads zero-fill and latch
+// overran(), bit-identical to BitReader.
+class WordCursor {
+ public:
+  WordCursor(const uint64_t* words, size_t size_bits)
+      : words_(words), size_bits_(size_bits) {}
+
+  uint64_t Read(int k) {
+    if (k <= 0) return 0;
+    if (pos_ + static_cast<size_t>(k) > size_bits_) {
+      overran_ = true;
+      int avail =
+          pos_ < size_bits_ ? static_cast<int>(size_bits_ - pos_) : 0;
+      uint64_t value = avail > 0 ? ReadInBounds(avail) : 0;
+      pos_ += static_cast<size_t>(k - avail);
+      // k - avail == 64 only when nothing was read (value is 0); guard
+      // it anyway — a 64-bit shift by 64 is UB. Mirrors BitReader.
+      return k - avail < 64 ? value << (k - avail) : 0;
+    }
+    return ReadInBounds(k);
+  }
+
+  bool ReadBit() { return Read(1) != 0; }
+  bool overran() const { return overran_; }
+
+ private:
+  uint64_t ReadInBounds(int k) {
+    size_t word = pos_ / 64;
+    int offset = static_cast<int>(pos_ % 64);
+    uint64_t hi = words_[word] << offset;
+    uint64_t value = hi >> (64 - k);
+    if (offset + k > 64) {
+      value |= words_[word + 1] >> (128 - offset - k);
+    }
+    pos_ += static_cast<size_t>(k);
+    return value;
+  }
+
+  const uint64_t* words_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+  bool overran_ = false;
+};
 
 }  // namespace
 
@@ -50,6 +98,16 @@ void GorillaEncoder::Append(Value v) {
 
 Result<std::vector<Value>> GorillaDecodeStream(
     const std::vector<uint8_t>& bytes, size_t count) {
+  // Scalar tier: the one-pass reference. Kernel tiers: the two-pass
+  // decoder (identical bytes either way; the parity CI stage proves it).
+  if (simd::ActiveTier() == simd::Tier::kScalar) {
+    return GorillaDecodeStreamScalar(bytes, count);
+  }
+  return GorillaDecodeStreamWithKernels(bytes, count, simd::Active());
+}
+
+Result<std::vector<Value>> GorillaDecodeStreamScalar(
+    const std::vector<uint8_t>& bytes, size_t count) {
   std::vector<Value> out;
   out.reserve(count);
   BitReader reader(bytes);
@@ -86,6 +144,69 @@ Result<std::vector<Value>> GorillaDecodeStream(
     }
     out.push_back(BitsToFloat(previous));
   }
+  if (reader.overran()) {
+    return Status::Corruption("gorilla: truncated stream");
+  }
+  simd::NoteValuesDecoded(count);
+  return out;
+}
+
+Result<std::vector<Value>> GorillaDecodeStreamWithKernels(
+    const std::vector<uint8_t>& bytes, size_t count,
+    const simd::Kernels& kernels) {
+  // Pass 1: gulp the byte stream into big-endian uint64 words (the
+  // ReadBitsBulk fast path) and parse the control fields into the XOR
+  // deltas. The parse is branchy but touches words, not bits.
+  const size_t size_bits = bytes.size() * 8;
+  std::vector<uint64_t> words((size_bits + 63) / 64);
+  BitReader reader(bytes);
+  reader.ReadBitsBulk(64, words.size(), words.data());
+  WordCursor cursor(words.data(), size_bits);
+
+  std::vector<uint32_t> deltas(count);
+  int prev_leading = 0;
+  int prev_trailing = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      deltas[0] = static_cast<uint32_t>(cursor.Read(32));
+      continue;
+    }
+    if (!cursor.ReadBit()) {
+      deltas[i] = 0;
+      continue;
+    }
+    if (cursor.ReadBit()) {
+      // '11': new window.
+      prev_leading = static_cast<int>(cursor.Read(kLeadingBits));
+      int meaningful = static_cast<int>(cursor.Read(kLengthBits)) + 1;
+      prev_trailing = 32 - prev_leading - meaningful;
+      if (prev_trailing < 0) {
+        return Status::Corruption("gorilla: invalid bit window");
+      }
+      deltas[i] = static_cast<uint32_t>(cursor.Read(meaningful))
+                  << prev_trailing;
+    } else {
+      // '10': previous window.
+      int meaningful = 32 - prev_leading - prev_trailing;
+      deltas[i] = static_cast<uint32_t>(cursor.Read(meaningful))
+                  << prev_trailing;
+    }
+  }
+  if (cursor.overran()) {
+    return Status::Corruption("gorilla: truncated stream");
+  }
+
+  // Pass 2: one prefix-XOR sweep turns the deltas into the value bits;
+  // the array is then memcpy'd into floats (exactly BitsToFloat per
+  // element, without the per-element call).
+  kernels.xor_prefix32(deltas.data(), count, 0);
+  std::vector<Value> out(count);
+  static_assert(sizeof(Value) == sizeof(uint32_t),
+                "Gorilla decodes 32-bit floats");
+  if (count > 0) {
+    std::memcpy(out.data(), deltas.data(), count * sizeof(Value));
+  }
+  simd::NoteValuesDecoded(count);
   return out;
 }
 

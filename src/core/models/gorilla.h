@@ -7,11 +7,13 @@
 #ifndef MODELARDB_CORE_MODELS_GORILLA_H_
 #define MODELARDB_CORE_MODELS_GORILLA_H_
 
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "core/model.h"
 #include "util/bits.h"
+#include "util/simd/kernels.h"
 
 namespace modelardb {
 
@@ -33,8 +35,28 @@ class GorillaEncoder {
 };
 
 // Decodes a stream produced by GorillaEncoder. `count` values are read.
+// Dispatches between the implementations below (DESIGN.md §3f); a stream
+// too short to hold `count` values is Corruption ("truncated stream"),
+// distinguished from legitimate trailing zero bits by BitReader's
+// overrun tracking.
 Result<std::vector<Value>> GorillaDecodeStream(
     const std::vector<uint8_t>& bytes, size_t count);
+
+// The portable one-pass reference decoder (bit-at-a-time BitReader walk).
+// Selected when the scalar kernel tier is active; also the baseline the
+// parity tests and bench_decode_kernels compare against.
+Result<std::vector<Value>> GorillaDecodeStreamScalar(
+    const std::vector<uint8_t>& bytes, size_t count);
+
+// The two-pass kernel decoder: pass 1 gulps the stream into big-endian
+// words via BitReader::ReadBitsBulk and parses the control fields into an
+// XOR-delta array; pass 2 reconstructs all values with one
+// kernels.xor_prefix32 sweep. Byte-identical to the scalar reference for
+// every input (integer-only operations); exposed with an explicit kernel
+// table so tests can pin a tier regardless of dispatch.
+Result<std::vector<Value>> GorillaDecodeStreamWithKernels(
+    const std::vector<uint8_t>& bytes, size_t count,
+    const simd::Kernels& kernels);
 
 class GorillaModel : public Model {
  public:
@@ -71,6 +93,19 @@ class GorillaDecoder : public SegmentDecoder {
   int length() const override { return length_; }
   Value ValueAt(int row, int col) const override {
     return grid_[static_cast<size_t>(row) * num_series_ + col];
+  }
+  // The grid is contiguous for single-series segments, so the span folds
+  // get a straight memcpy instead of the ValueAt-per-row default.
+  void CopyColumn(int from_row, int to_row, int col,
+                  Value* out) const override {
+    size_t n = static_cast<size_t>(to_row - from_row + 1);
+    if (num_series_ == 1) {
+      std::memcpy(out, grid_.data() + from_row, n * sizeof(Value));
+      return;
+    }
+    const Value* in =
+        grid_.data() + static_cast<size_t>(from_row) * num_series_ + col;
+    for (size_t i = 0; i < n; ++i, in += num_series_) out[i] = *in;
   }
 
  private:

@@ -66,6 +66,10 @@ class PerSeriesDecoder : public SegmentDecoder {
   Value ValueAt(int row, int col) const override {
     return subs_[col]->ValueAt(row, 0);
   }
+  void CopyColumn(int from_row, int to_row, int col,
+                  Value* out) const override {
+    subs_[col]->CopyColumn(from_row, to_row, 0, out);
+  }
   AggregateSummary AggregateRange(int from_row, int to_row,
                                   int col) const override {
     return subs_[col]->AggregateRange(from_row, to_row, 0);

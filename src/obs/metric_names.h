@@ -6,7 +6,7 @@
 // catalog.
 //
 // Naming convention: modelardb_<layer>_<name>[_total|_seconds]
-//   <layer>  pool | ingest | store | query | cluster
+//   <layer>  pool | ingest | store | query | cluster | decode
 //   _total   monotonically increasing counters
 //   _seconds latency histograms (observed in seconds)
 // Per-instance breakdowns (per model type, per group) use a single label,
@@ -77,7 +77,15 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
   X(kClusterSegmentsEmittedTotal, "modelardb_cluster_segments_emitted_total", \
     kCounter, "Segments emitted by coordinators during cluster ingestion")   \
   X(kClusterFlushesTotal, "modelardb_cluster_flushes_total", kCounter,       \
-    "FlushAll invocations on the cluster engine")
+    "FlushAll invocations on the cluster engine")                            \
+  X(kDecodeValuesSimdTotal, "modelardb_decode_values_simd_total", kCounter,  \
+    "Values decoded through the dispatched SIMD kernel tier")                \
+  X(kDecodeValuesScalarTotal, "modelardb_decode_values_scalar_total",        \
+    kCounter, "Values decoded through the portable scalar tier")             \
+  X(kDecodeFoldsSimdTotal, "modelardb_decode_folds_simd_total", kCounter,    \
+    "Span elements folded through the dispatched SIMD aggregate kernels")    \
+  X(kDecodeFoldsScalarTotal, "modelardb_decode_folds_scalar_total",          \
+    kCounter, "Span elements folded through the scalar aggregate kernels")
 
 // Named constants: obs::kPoolTasksTotal == "modelardb_pool_tasks_total".
 #define MODELARDB_DECLARE_METRIC_NAME(ident, name, kind, help) \

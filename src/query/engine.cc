@@ -718,6 +718,23 @@ Result<PartialResult> QueryEngine::DataPointViewPartial(
             continue;
           }
           MODELARDB_RETURN_NOT_OK(ensure_decoder());
+          if (has_agg && !must_filter) {
+            // No value predicate to apply per point: fold the contiguous
+            // decoded span through the dispatched SIMD kernels. The
+            // canonical reduction tree makes the result byte-identical
+            // to the scalar tier at any parallelism (DESIGN.md §3f);
+            // scaling divides per element inside the fold, matching the
+            // per-point loop below.
+            AggregateSummary folded = decoder->AggregateRangeScaled(
+                static_cast<int>(from_row), static_cast<int>(to_row),
+                s.column, s.scaling);
+            auto& states = partial.groups[base_key];
+            if (states.empty()) states.resize(num_aggs);
+            for (auto& state : states) {
+              UpdateState(&state, folded, /*scaling=*/1.0);
+            }
+            continue;
+          }
           for (int64_t row = from_row; row <= to_row; ++row) {
             Timestamp ts = segment.start_time + row * segment.si;
             double value =

@@ -5,6 +5,7 @@
 
 #include "core/models/gorilla.h"
 #include "util/buffer.h"
+#include "util/simd/kernels.h"
 
 namespace modelardb {
 
@@ -129,17 +130,24 @@ Status TsmStore::Scan(const DataPointFilter& filter,
             std::vector<Value> values,
             GorillaDecodeStream(block.values, block.count));
         BufferReader ts_reader(block.timestamps);
-        MODELARDB_ASSIGN_OR_RETURN(Timestamp ts, ts_reader.ReadI64());
-        int64_t delta = 0;
+        MODELARDB_ASSIGN_OR_RETURN(Timestamp ts0, ts_reader.ReadI64());
+        // Timestamp reconstruction as two prefix sums through the
+        // dispatched kernels: delta-of-deltas -> deltas (seed 0), then
+        // deltas -> timestamps (seed ts0). Integer-exact, so identical
+        // to the sequential loop on every tier.
+        std::vector<int64_t> ts(block.count);
+        for (uint32_t i = 1; i < block.count; ++i) {
+          MODELARDB_ASSIGN_OR_RETURN(ts[i], ts_reader.ReadSignedVarint());
+        }
+        if (block.count > 1) {
+          const simd::Kernels& kernels = simd::Active();
+          kernels.prefix_sum64(ts.data() + 1, block.count - 1, 0);
+          kernels.prefix_sum64(ts.data() + 1, block.count - 1, ts0);
+        }
+        if (block.count > 0) ts[0] = ts0;
         for (uint32_t i = 0; i < block.count; ++i) {
-          if (i > 0) {
-            MODELARDB_ASSIGN_OR_RETURN(int64_t dod,
-                                       ts_reader.ReadSignedVarint());
-            delta += dod;
-            ts += delta;
-          }
-          if (filter.MatchesTime(ts)) {
-            MODELARDB_RETURN_NOT_OK(fn(DataPoint{tid, ts, values[i]}));
+          if (filter.MatchesTime(ts[i])) {
+            MODELARDB_RETURN_NOT_OK(fn(DataPoint{tid, ts[i], values[i]}));
           }
         }
       }

@@ -1,5 +1,9 @@
 #include "util/bits.h"
 
+#include <algorithm>
+
+#include "util/simd/kernels.h"
+
 namespace modelardb {
 
 void BitWriter::WriteBits(uint64_t bits, int num_bits) {
@@ -28,8 +32,12 @@ uint64_t BitReader::ReadBits(int num_bits) {
   int remaining = num_bits;
   while (remaining > 0) {
     if (pos_ >= size_bits_) {
-      // Past the end: behave as if padded with zero bits.
-      out <<= remaining;
+      // Past the end: behave as if padded with zero bits, but remember
+      // that the stream was overrun (truncation vs trailing zeros).
+      overran_ = true;
+      // remaining == 64 only when no bits were read yet (out is still 0);
+      // guard it anyway — shifting a 64-bit value by 64 is UB.
+      out = remaining < 64 ? out << remaining : 0;
       pos_ += remaining;
       break;
     }
@@ -45,6 +53,27 @@ uint64_t BitReader::ReadBits(int num_bits) {
     remaining -= take;
   }
   return out;
+}
+
+void BitReader::ReadBitsBulk(int num_bits, size_t n, uint64_t* out) {
+  if (n == 0) return;
+  if (num_bits <= 0) {
+    std::fill(out, out + n, uint64_t{0});
+    return;
+  }
+  // Fields that sit entirely inside the buffer go through the kernel;
+  // the first straddling field (and everything after) falls back to
+  // ReadBits for its zero-fill-and-latch semantics.
+  size_t bulk = 0;
+  if (pos_ < size_bits_) {
+    bulk = std::min(n, (size_bits_ - pos_) / static_cast<size_t>(num_bits));
+  }
+  if (bulk > 0) {
+    simd::Active().unpack_bits(data_, size_bits_ / 8, pos_, num_bits, bulk,
+                               out);
+    pos_ += bulk * static_cast<size_t>(num_bits);
+  }
+  for (size_t i = bulk; i < n; ++i) out[i] = ReadBits(num_bits);
 }
 
 int CountLeadingZeros64(uint64_t x) {

@@ -49,18 +49,31 @@ class BitReader {
   explicit BitReader(std::vector<uint8_t>&&) = delete;
 
   // Reads `num_bits` bits (in [0, 64]); returns them right-aligned.
-  // Reading past the end returns zero bits (callers track logical length).
+  // Reading past the end returns zero bits (callers track logical length)
+  // and latches overran(), so decoders can tell a truncated stream from
+  // legitimate trailing zeros.
   uint64_t ReadBits(int num_bits);
+
+  // Bulk fast path: reads `n` fields of `num_bits` each into out[0..n).
+  // Fields that are fully in bounds go through the dispatched
+  // simd::Active().unpack_bits kernel; a field that straddles or passes
+  // the end falls back to ReadBits (zero fill + overran(), bit-identical
+  // to n single reads).
+  void ReadBitsBulk(int num_bits, size_t n, uint64_t* out);
 
   bool ReadBit() { return ReadBits(1) != 0; }
 
   size_t position_bits() const { return pos_; }
   bool exhausted() const { return pos_ >= size_bits_; }
 
+  // True once any read consumed bits past the end of the buffer.
+  bool overran() const { return overran_; }
+
  private:
   const uint8_t* data_;
   size_t size_bits_;
   size_t pos_ = 0;
+  bool overran_ = false;
 };
 
 // Returns the number of leading zeros of `x` (64 for x == 0).

@@ -1,0 +1,170 @@
+// Scalar kernel tier and the one-time runtime dispatch. The scalar
+// implementations are the portable references the property tests compare
+// the AVX2 tier against; keep them simple and obviously correct.
+
+#include "util/simd/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace modelardb {
+namespace simd {
+namespace {
+
+void UnpackBitsScalar(const uint8_t* data, size_t size_bytes,
+                      size_t start_bit, int num_bits, size_t n,
+                      uint64_t* out) {
+  (void)size_bytes;
+  if (num_bits <= 0) {
+    std::fill(out, out + n, uint64_t{0});
+    return;
+  }
+  size_t pos = start_bit;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t value = 0;
+    int remaining = num_bits;
+    while (remaining > 0) {
+      size_t byte_index = pos / 8;
+      int avail = static_cast<int>(8 - pos % 8);
+      int take = remaining < avail ? remaining : avail;
+      uint8_t chunk =
+          static_cast<uint8_t>(data[byte_index] >> (avail - take)) &
+          static_cast<uint8_t>((1u << take) - 1);
+      value = (value << take) | chunk;
+      pos += take;
+      remaining -= take;
+    }
+    out[i] = value;
+  }
+}
+
+void XorPrefix32Scalar(uint32_t* values, size_t n, uint32_t seed) {
+  uint32_t acc = seed;
+  for (size_t i = 0; i < n; ++i) {
+    acc ^= values[i];
+    values[i] = acc;
+  }
+}
+
+void PrefixSum64Scalar(int64_t* values, size_t n, int64_t seed) {
+  uint64_t acc = static_cast<uint64_t>(seed);  // Unsigned: wraps, no UB.
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<uint64_t>(values[i]);
+    values[i] = static_cast<int64_t>(acc);
+  }
+}
+
+void FoldSpanScalar(const float* values, size_t n, double scaling,
+                    FoldAccum* accum) {
+  // Mirrors the AVX2 tier exactly: lane i % kFoldLanes, widen, divide
+  // only when scaling != 1.0 (x / 1.0 is a bitwise identity, but both
+  // tiers must take the same branch), and min/max keep the accumulator
+  // on NaN (matching vminpd/vmaxpd, which return the second operand).
+  const bool scale = scaling != 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    int lane = static_cast<int>(i % kFoldLanes);
+    double v = static_cast<double>(values[i]);
+    if (scale) v = v / scaling;
+    accum->sum[lane] += v;
+    accum->min[lane] = v < accum->min[lane] ? v : accum->min[lane];
+    accum->max[lane] = v > accum->max[lane] ? v : accum->max[lane];
+  }
+}
+
+constexpr Kernels kScalarKernels = {UnpackBitsScalar, XorPrefix32Scalar,
+                                    PrefixSum64Scalar, FoldSpanScalar};
+
+Tier DetectTier() {
+  const char* force = std::getenv("MODELARDB_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+    return Tier::kScalar;
+  }
+  return Avx2Available() ? Tier::kAvx2 : Tier::kScalar;
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+void FoldInit(FoldAccum* accum) {
+  for (int lane = 0; lane < kFoldLanes; ++lane) {
+    accum->sum[lane] = 0.0;
+    accum->min[lane] = std::numeric_limits<double>::infinity();
+    accum->max[lane] = -std::numeric_limits<double>::infinity();
+  }
+}
+
+FoldResult FoldFinalize(const FoldAccum& accum) {
+  FoldResult out{accum.sum[0], accum.min[0], accum.max[0]};
+  for (int lane = 1; lane < kFoldLanes; ++lane) {
+    out.sum += accum.sum[lane];
+    out.min = accum.min[lane] < out.min ? accum.min[lane] : out.min;
+    out.max = accum.max[lane] > out.max ? accum.max[lane] : out.max;
+  }
+  return out;
+}
+
+const Kernels& ScalarKernels() { return kScalarKernels; }
+
+const Kernels& KernelsFor(Tier tier) {
+  if (tier == Tier::kAvx2) {
+    const Kernels* avx2 = internal::Avx2KernelsOrNull();
+    if (avx2 != nullptr) return *avx2;
+  }
+  return kScalarKernels;
+}
+
+bool Avx2Available() {
+  if (internal::Avx2KernelsOrNull() == nullptr) return false;
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Tier ActiveTier() {
+  static const Tier tier = DetectTier();
+  return tier;
+}
+
+const Kernels& Active() {
+  static const Kernels& kernels = KernelsFor(ActiveTier());
+  return kernels;
+}
+
+void NoteValuesDecoded(size_t n) {
+  static obs::Counter& simd_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::kDecodeValuesSimdTotal);
+  static obs::Counter& scalar_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::kDecodeValuesScalarTotal);
+  (ActiveTier() == Tier::kScalar ? scalar_counter : simd_counter)
+      .Add(static_cast<int64_t>(n));
+}
+
+void NoteSpanFolded(size_t n) {
+  static obs::Counter& simd_counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeFoldsSimdTotal);
+  static obs::Counter& scalar_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::kDecodeFoldsScalarTotal);
+  (ActiveTier() == Tier::kScalar ? scalar_counter : simd_counter)
+      .Add(static_cast<int64_t>(n));
+}
+
+}  // namespace simd
+}  // namespace modelardb

@@ -1,0 +1,112 @@
+// Width-specialized decode and aggregate kernels with one-time runtime
+// dispatch (DESIGN.md §3f). Each kernel ships in two tiers — a portable
+// scalar reference and an AVX2 implementation confined to its own
+// translation unit — selected once per process by CPUID (overridable
+// with MODELARDB_FORCE_SCALAR=1 for the kernel-parity CI stage).
+//
+// Contract: for identical inputs every tier produces byte-identical
+// outputs. The bit-exact kernels (unpack/prefix) are integer-only; the
+// floating-point fold kernels share one canonical kFoldLanes-wide
+// reduction tree so the FP operations happen in the same order in every
+// tier (see FoldAccum below).
+
+#ifndef MODELARDB_UTIL_SIMD_KERNELS_H_
+#define MODELARDB_UTIL_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace modelardb {
+namespace simd {
+
+enum class Tier { kScalar = 0, kAvx2 = 1 };
+
+const char* TierName(Tier tier);
+
+// Lane count of the canonical fold reduction tree. Element i of a folded
+// span always lands in accumulator lane i % kFoldLanes, regardless of
+// tier, and FoldFinalize combines the lanes in fixed ascending order —
+// which is what makes SUM folds byte-identical between the scalar and
+// AVX2 tiers (the FP additions happen in exactly the same order).
+inline constexpr int kFoldLanes = 8;
+
+struct FoldAccum {
+  double sum[kFoldLanes];
+  double min[kFoldLanes];
+  double max[kFoldLanes];
+};
+
+struct FoldResult {
+  double sum;
+  double min;
+  double max;
+};
+
+// Resets the accumulator (sum 0, min +inf, max -inf per lane).
+void FoldInit(FoldAccum* accum);
+
+// Combines the lanes in ascending order. Shared scalar code, so the
+// cross-lane combine is identical no matter which tier filled the lanes.
+FoldResult FoldFinalize(const FoldAccum& accum);
+
+struct Kernels {
+  // Unpacks `n` fields of `num_bits` (in [0, 64]) each from the MSB-first
+  // bit stream `data`, starting at absolute bit offset `start_bit`.
+  // Requires start_bit + n * num_bits <= size_bytes * 8; callers split off
+  // any past-the-end tail themselves (BitReader::ReadBitsBulk does).
+  void (*unpack_bits)(const uint8_t* data, size_t size_bytes,
+                      size_t start_bit, int num_bits, size_t n,
+                      uint64_t* out);
+
+  // In-place inclusive prefix XOR:
+  //   values[i] <- seed ^ values[0] ^ ... ^ values[i]
+  // Reconstructs Gorilla values from their XOR deltas in one pass.
+  void (*xor_prefix32)(uint32_t* values, size_t n, uint32_t seed);
+
+  // In-place inclusive prefix sum (wrapping int64 arithmetic):
+  //   values[i] <- seed + values[0] + ... + values[i]
+  // Reconstructs timestamps from delta-of-delta streams in two passes.
+  void (*prefix_sum64)(int64_t* values, size_t n, int64_t seed);
+
+  // Folds values[0..n) into `accum` through the canonical reduction tree:
+  // element i goes to lane (i % kFoldLanes), each value widened to double
+  // and divided by `scaling` first (skipped bit-identically in every tier
+  // when scaling == 1.0). Callers that fold a span in chunks must use
+  // chunk sizes that are multiples of kFoldLanes (except the final chunk)
+  // so the element-to-lane mapping stays continuous across calls.
+  void (*fold_span)(const float* values, size_t n, double scaling,
+                    FoldAccum* accum);
+};
+
+// The portable reference tier (always available).
+const Kernels& ScalarKernels();
+
+// The kernel table for an explicit tier; kAvx2 falls back to scalar when
+// the AVX2 TU was compiled out (MODELARDB_SIMD=OFF or non-x86).
+const Kernels& KernelsFor(Tier tier);
+
+// True when the AVX2 tier was compiled in AND this CPU supports it
+// (ignores MODELARDB_FORCE_SCALAR; used by tests/benches to decide
+// whether a real cross-tier comparison is possible).
+bool Avx2Available();
+
+// One-time dispatch: MODELARDB_FORCE_SCALAR=1 pins kScalar; otherwise the
+// best tier this CPU supports. Cached after the first call.
+Tier ActiveTier();
+const Kernels& Active();
+
+// Dispatch-visibility counters (modelardb_decode_* in the obs catalog):
+// `n` values decoded / span elements folded through the active tier.
+void NoteValuesDecoded(size_t n);
+void NoteSpanFolded(size_t n);
+
+namespace internal {
+// Implemented in kernels_avx2.cc: the AVX2 table, or nullptr when that TU
+// was compiled without AVX2 support.
+const Kernels* Avx2KernelsOrNull();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_SIMD_KERNELS_H_

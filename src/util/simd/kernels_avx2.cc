@@ -1,0 +1,198 @@
+// AVX2 kernel tier. This is the only translation unit compiled with
+// -mavx2 (DESIGN.md §3f): confining the flag here keeps the rest of the
+// binary free of AVX2 instructions, so the one-time CPUID dispatch in
+// kernels.cc is the only place that decides whether this code runs.
+// Without MODELARDB_SIMD (or off x86) the TU degrades to a nullptr stub
+// and dispatch stays on the scalar tier.
+
+#include "util/simd/kernels.h"
+
+#if defined(MODELARDB_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace modelardb {
+namespace simd {
+namespace {
+
+// Byte-reverses each 64-bit lane: an MSB-first bit stream loaded as a
+// little-endian uint64 has its bytes in the wrong order.
+inline __m256i Bswap64(__m256i v) {
+  const __m256i shuffle = _mm256_setr_epi8(
+      7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8,  //
+      7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8);
+  return _mm256_shuffle_epi8(v, shuffle);
+}
+
+void UnpackBitsAvx2(const uint8_t* data, size_t size_bytes, size_t start_bit,
+                    int num_bits, size_t n, uint64_t* out) {
+  if (num_bits <= 0) {
+    std::fill(out, out + n, uint64_t{0});
+    return;
+  }
+  size_t done = 0;
+  if (num_bits == 64 && start_bit % 8 == 0) {
+    // Whole-word gulp (the Gorilla two-pass decode front end): 4 bswapped
+    // words per load. The in-bounds contract covers the loads exactly:
+    // byte-aligned 64-bit fields occupy precisely the bytes loaded.
+    const uint8_t* p = data + start_bit / 8;
+    for (; done + 4 <= n; done += 4) {
+      __m256i words = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(p + done * 8));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + done),
+                          Bswap64(words));
+    }
+  } else if (num_bits <= 57) {
+    // Each field spans at most ceil((57 + 7) / 8) == 8 bytes, so one
+    // 64-bit gather per lane covers it: load the 8 bytes at p >> 3,
+    // bswap, shift off the p & 7 leading bits, keep the top num_bits.
+    const int k = num_bits;
+    __m256i pos = _mm256_setr_epi64x(
+        static_cast<long long>(start_bit),
+        static_cast<long long>(start_bit) + k,
+        static_cast<long long>(start_bit) + 2 * k,
+        static_cast<long long>(start_bit) + 3 * k);
+    const __m256i step = _mm256_set1_epi64x(4 * k);
+    const __m256i seven = _mm256_set1_epi64x(7);
+    for (; done + 4 <= n; done += 4) {
+      // Gathers load 8 bytes; stop vectorizing once a lane's load could
+      // cross the end of the buffer and let the scalar tail finish.
+      size_t last_byte = (start_bit + (done + 3) * k) / 8;
+      if (last_byte + 8 > size_bytes) break;
+      __m256i byte_index = _mm256_srli_epi64(pos, 3);
+      __m256i words = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(data), byte_index, 1);
+      words = Bswap64(words);
+      words = _mm256_sllv_epi64(words, _mm256_and_si256(pos, seven));
+      words = _mm256_srli_epi64(words, 64 - k);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + done), words);
+      pos = _mm256_add_epi64(pos, step);
+    }
+  }
+  if (done < n) {
+    ScalarKernels().unpack_bits(data, size_bytes,
+                                start_bit + done * num_bits, num_bits,
+                                n - done, out + done);
+  }
+}
+
+void XorPrefix32Avx2(uint32_t* values, size_t n, uint32_t seed) {
+  size_t i = 0;
+  __m256i carry = _mm256_set1_epi32(static_cast<int>(seed));
+  const __m256i bcast_last = _mm256_set1_epi32(7);
+  for (; i + 8 <= n; i += 8) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    // In-lane log-step prefix XOR over each 128-bit half...
+    x = _mm256_xor_si256(x, _mm256_slli_si256(x, 4));
+    x = _mm256_xor_si256(x, _mm256_slli_si256(x, 8));
+    // ...then fold the low half's running value into the high half.
+    __m256i low = _mm256_permute2x128_si256(x, x, 0x08);  // [0, x.lo]
+    x = _mm256_xor_si256(x, _mm256_shuffle_epi32(low, 0xFF));
+    x = _mm256_xor_si256(x, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(values + i), x);
+    // The only loop-carried chain: one XOR + one in-vector broadcast of
+    // the last prefix (going through a GPR here would serialize worse).
+    carry = _mm256_permutevar8x32_epi32(x, bcast_last);
+  }
+  uint32_t acc = i == 0 ? seed : values[i - 1];
+  for (; i < n; ++i) {
+    acc ^= values[i];
+    values[i] = acc;
+  }
+}
+
+void PrefixSum64Avx2(int64_t* values, size_t n, int64_t seed) {
+  size_t i = 0;
+  __m256i carry = _mm256_set1_epi64x(seed);
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+    __m256i low = _mm256_permute2x128_si256(x, x, 0x08);  // [0, x.lo]
+    // Broadcast each half's upper 64 bits (0 in the low half, the low
+    // half's running sum in the high half) and add.
+    x = _mm256_add_epi64(x, _mm256_shuffle_epi32(low, 0xEE));
+    x = _mm256_add_epi64(x, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(values + i), x);
+    carry = _mm256_permute4x64_epi64(x, 0xFF);
+  }
+  uint64_t acc =
+      static_cast<uint64_t>(i == 0 ? seed : values[i - 1]);
+  for (; i < n; ++i) {
+    acc += static_cast<uint64_t>(values[i]);
+    values[i] = static_cast<int64_t>(acc);
+  }
+}
+
+void FoldSpanAvx2(const float* values, size_t n, double scaling,
+                  FoldAccum* accum) {
+  // Same reduction tree as the scalar tier: element i goes to lane
+  // i % kFoldLanes. Lanes 0-3 live in one vector accumulator, 4-7 in the
+  // other, so the per-lane FP operation sequence is identical.
+  static_assert(kFoldLanes == 8, "AVX2 fold assumes 8 lanes");
+  __m256d sum_lo = _mm256_loadu_pd(accum->sum);
+  __m256d sum_hi = _mm256_loadu_pd(accum->sum + 4);
+  __m256d min_lo = _mm256_loadu_pd(accum->min);
+  __m256d min_hi = _mm256_loadu_pd(accum->min + 4);
+  __m256d max_lo = _mm256_loadu_pd(accum->max);
+  __m256d max_hi = _mm256_loadu_pd(accum->max + 4);
+  const bool scale = scaling != 1.0;
+  const __m256d scale_v = _mm256_set1_pd(scaling);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 f = _mm256_loadu_ps(values + i);
+    __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(f));
+    __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(f, 1));
+    if (scale) {
+      lo = _mm256_div_pd(lo, scale_v);
+      hi = _mm256_div_pd(hi, scale_v);
+    }
+    sum_lo = _mm256_add_pd(sum_lo, lo);
+    sum_hi = _mm256_add_pd(sum_hi, hi);
+    // vminpd/vmaxpd return the second operand when either input is NaN;
+    // with the accumulator second, NaN values are skipped and a NaN
+    // accumulator sticks — exactly the scalar tier's (v < m) ? v : m.
+    min_lo = _mm256_min_pd(lo, min_lo);
+    min_hi = _mm256_min_pd(hi, min_hi);
+    max_lo = _mm256_max_pd(lo, max_lo);
+    max_hi = _mm256_max_pd(hi, max_hi);
+  }
+  _mm256_storeu_pd(accum->sum, sum_lo);
+  _mm256_storeu_pd(accum->sum + 4, sum_hi);
+  _mm256_storeu_pd(accum->min, min_lo);
+  _mm256_storeu_pd(accum->min + 4, min_hi);
+  _mm256_storeu_pd(accum->max, max_lo);
+  _mm256_storeu_pd(accum->max + 4, max_hi);
+  if (i < n) {
+    // Tail (< 8 elements) continues the lane mapping: i is a multiple of
+    // kFoldLanes here, so the scalar reference lands on the same lanes.
+    ScalarKernels().fold_span(values + i, n - i, scaling, accum);
+  }
+}
+
+constexpr Kernels kAvx2Kernels = {UnpackBitsAvx2, XorPrefix32Avx2,
+                                  PrefixSum64Avx2, FoldSpanAvx2};
+
+}  // namespace
+
+namespace internal {
+const Kernels* Avx2KernelsOrNull() { return &kAvx2Kernels; }
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace modelardb
+
+#else  // !(MODELARDB_SIMD_AVX2 && __AVX2__)
+
+namespace modelardb {
+namespace simd {
+namespace internal {
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace internal
+}  // namespace simd
+}  // namespace modelardb
+
+#endif

@@ -98,11 +98,35 @@ TEST(DecoderCorruptionTest, TruncatedParametersAreErrors) {
   EXPECT_FALSE(SwingModel::Decode(empty, 1, 10).ok());
   std::vector<uint8_t> short_swing(8, 0);
   EXPECT_FALSE(SwingModel::Decode(short_swing, 1, 10).ok());
-  // Gorilla reads past-the-end bits as zeros; a grossly short stream still
-  // decodes structurally, so the registry relies on the verified segment
-  // length. Sanity: decoding zero bytes for one value must not crash.
+  // Gorilla tracks overruns through BitReader::overran(): a stream too
+  // short for the requested count is Corruption, not silently zero-filled
+  // (distinguishing truncation from legitimate trailing zero bits).
   auto r = GorillaModel::Decode(empty, 1, 1);
-  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << r.status();
+}
+
+TEST(DecoderCorruptionTest, GorillaTruncationVsTrailingZeros) {
+  GorillaEncoder encoder;
+  for (float v : {1.0f, 1.0f, 2.5f, 2.5f, -7.75f}) encoder.Append(v);
+  std::vector<uint8_t> bytes = encoder.Finish();
+  // The full stream decodes; the writer's zero padding to a whole byte is
+  // legitimate and must NOT read as truncation.
+  EXPECT_TRUE(GorillaDecodeStream(bytes, 5).ok());
+  // Asking for more values than the stream holds reads past the padding.
+  EXPECT_EQ(GorillaDecodeStream(bytes, 50).status().code(),
+            StatusCode::kCorruption);
+  // Dropping bytes off the end truncates mid-value.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 2);
+  EXPECT_EQ(GorillaDecodeStream(truncated, 5).status().code(),
+            StatusCode::kCorruption);
+  // Both tiers agree (the scalar reference and the kernel two-pass path).
+  EXPECT_EQ(GorillaDecodeStreamScalar(truncated, 5).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(GorillaDecodeStreamWithKernels(truncated, 5,
+                                           simd::ScalarKernels())
+                .status()
+                .code(),
+            StatusCode::kCorruption);
 }
 
 TEST(DecoderCorruptionTest, RegistryRejectsUnknownMid) {

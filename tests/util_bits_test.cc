@@ -59,8 +59,67 @@ TEST(BitReaderTest, ReadPastEndYieldsZeros) {
   EXPECT_EQ(r.ReadBits(1), 1u);
   // The writer padded to a byte; past that, zeros.
   EXPECT_EQ(r.ReadBits(7), 0u);
+  EXPECT_FALSE(r.overran());  // Still inside the padded byte.
   EXPECT_EQ(r.ReadBits(16), 0u);
   EXPECT_TRUE(r.exhausted());
+  // The 16-bit read consumed bits past the buffer: latched.
+  EXPECT_TRUE(r.overran());
+}
+
+TEST(BitReaderTest, StraddlingReadSetsOverran) {
+  BitWriter w;
+  w.WriteBits(0xab, 8);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(4), 0xau);
+  // 4 bits remain; a 10-bit read straddles the end: in-bounds bits in the
+  // high positions, zero fill below, and the overrun is latched.
+  EXPECT_EQ(r.ReadBits(10), 0xbu << 6);
+  EXPECT_TRUE(r.overran());
+}
+
+TEST(BitReaderBulkTest, ZeroWidthAndZeroCount) {
+  std::vector<uint8_t> bytes = {0xff, 0xff};
+  BitReader r(bytes);
+  uint64_t out[4] = {7, 7, 7, 7};
+  r.ReadBitsBulk(64, 0, out);  // n == 0: no-op.
+  EXPECT_EQ(r.position_bits(), 0u);
+  r.ReadBitsBulk(0, 4, out);  // 0-bit fields: all-zero, consumes nothing.
+  EXPECT_EQ(r.position_bits(), 0u);
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(r.overran());
+}
+
+TEST(BitReaderBulkTest, SixtyFourBitFields) {
+  BitWriter w;
+  w.WriteBits(0xdeadbeefcafebabeull, 64);
+  w.WriteBits(0x0123456789abcdefull, 64);
+  w.WriteBits(0xa5, 8);  // Forces an unaligned final word.
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  uint64_t out[3];
+  r.ReadBitsBulk(64, 3, out);
+  EXPECT_EQ(out[0], 0xdeadbeefcafebabeull);
+  EXPECT_EQ(out[1], 0x0123456789abcdefull);
+  // The third word is the 8 real bits at the top, zero-filled below —
+  // and the reader reports the overrun.
+  EXPECT_EQ(out[2], 0xa5ull << 56);
+  EXPECT_TRUE(r.overran());
+}
+
+TEST(BitReaderBulkTest, BulkMatchesSingleReadsMidStream) {
+  BitWriter w;
+  for (int i = 0; i < 64; ++i) w.WriteBits(static_cast<uint64_t>(i), 11);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader single(bytes);
+  BitReader bulk(bytes);
+  EXPECT_EQ(single.ReadBits(5), bulk.ReadBits(5));  // Unaligned start.
+  uint64_t out[40];
+  bulk.ReadBitsBulk(11, 40, out);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(out[i], single.ReadBits(11)) << i;
+  }
+  EXPECT_EQ(single.position_bits(), bulk.position_bits());
 }
 
 TEST(BitRoundTripTest, RandomizedFields) {

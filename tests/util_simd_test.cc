@@ -1,0 +1,250 @@
+// Property tests for the SIMD kernel layer (DESIGN.md §3f): for random
+// bit widths, lengths (including 0, 1 and unaligned tails) and values
+// (including NaN and ±inf), every kernel tier must produce byte-identical
+// outputs. On hosts without AVX2 the cross-tier comparisons degenerate to
+// scalar-vs-scalar and the suite still passes (the parity CI stage covers
+// real hardware).
+
+#include "util/simd/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/models/gorilla.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace modelardb {
+namespace {
+
+using simd::FoldAccum;
+using simd::Kernels;
+
+const Kernels& OtherTier() {
+  return simd::Avx2Available() ? simd::KernelsFor(simd::Tier::kAvx2)
+                               : simd::ScalarKernels();
+}
+
+TEST(SimdDispatchTest, TierIsConsistent) {
+  // Dispatch is one-time: repeated queries agree, and the table matches
+  // the reported tier.
+  EXPECT_EQ(simd::ActiveTier(), simd::ActiveTier());
+  EXPECT_EQ(&simd::Active(), &simd::KernelsFor(simd::ActiveTier()));
+  EXPECT_STREQ(simd::TierName(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::TierName(simd::Tier::kAvx2), "avx2");
+}
+
+TEST(SimdUnpackTest, MatchesScalarForAllWidths) {
+  Random rng(11);
+  for (int width = 0; width <= 64; ++width) {
+    // Random payload with a little slack so start offsets vary.
+    std::vector<uint8_t> bytes(1024);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{17},
+                     size_t{64}, size_t{101}}) {
+      size_t start_bit = rng.NextBelow(17);
+      if (width > 0 &&
+          start_bit + n * static_cast<size_t>(width) > bytes.size() * 8) {
+        continue;
+      }
+      std::vector<uint64_t> expected(n + 1, 0xfeed),
+          actual(n + 1, 0xfeed);
+      simd::ScalarKernels().unpack_bits(bytes.data(), bytes.size(),
+                                        start_bit, width, n,
+                                        expected.data());
+      OtherTier().unpack_bits(bytes.data(), bytes.size(), start_bit, width,
+                              n, actual.data());
+      ASSERT_EQ(expected, actual)
+          << "width=" << width << " n=" << n << " start=" << start_bit;
+    }
+  }
+}
+
+TEST(SimdUnpackTest, UnalignedTailNearBufferEnd) {
+  // Fields whose 8-byte gather would cross the buffer end must still
+  // decode (the AVX2 tier hands them to its scalar tail).
+  Random rng(12);
+  for (int width = 1; width <= 64; ++width) {
+    std::vector<uint8_t> bytes(17);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+    size_t n = bytes.size() * 8 / static_cast<size_t>(width);
+    std::vector<uint64_t> expected(n), actual(n);
+    simd::ScalarKernels().unpack_bits(bytes.data(), bytes.size(), 0, width,
+                                      n, expected.data());
+    OtherTier().unpack_bits(bytes.data(), bytes.size(), 0, width, n,
+                            actual.data());
+    ASSERT_EQ(expected, actual) << "width=" << width;
+  }
+}
+
+TEST(SimdPrefixTest, XorPrefix32MatchesScalar) {
+  Random rng(13);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{100}, size_t{1021}}) {
+    std::vector<uint32_t> expected(n), actual(n);
+    for (size_t i = 0; i < n; ++i) {
+      expected[i] = static_cast<uint32_t>(rng.NextU64());
+    }
+    actual = expected;
+    uint32_t seed = static_cast<uint32_t>(rng.NextU64());
+    simd::ScalarKernels().xor_prefix32(expected.data(), n, seed);
+    OtherTier().xor_prefix32(actual.data(), n, seed);
+    ASSERT_EQ(expected, actual) << "n=" << n;
+  }
+}
+
+TEST(SimdPrefixTest, PrefixSum64MatchesScalar) {
+  Random rng(14);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{100}, size_t{1023}}) {
+    std::vector<int64_t> expected(n), actual(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Mix small deltas with values that wrap int64 on accumulation.
+      expected[i] = static_cast<int64_t>(rng.NextU64());
+      if (rng.NextBelow(2) == 0) expected[i] %= 1000;
+    }
+    actual = expected;
+    int64_t seed = static_cast<int64_t>(rng.NextU64());
+    simd::ScalarKernels().prefix_sum64(expected.data(), n, seed);
+    OtherTier().prefix_sum64(actual.data(), n, seed);
+    ASSERT_EQ(expected, actual) << "n=" << n;
+  }
+}
+
+void ExpectFoldBitIdentical(const std::vector<float>& values,
+                            double scaling) {
+  FoldAccum scalar_accum, other_accum;
+  simd::FoldInit(&scalar_accum);
+  simd::FoldInit(&other_accum);
+  simd::ScalarKernels().fold_span(values.data(), values.size(), scaling,
+                                  &scalar_accum);
+  OtherTier().fold_span(values.data(), values.size(), scaling,
+                        &other_accum);
+  // Bitwise comparison: NaN payloads and zero signs must agree too.
+  ASSERT_EQ(0, std::memcmp(&scalar_accum, &other_accum,
+                           sizeof(FoldAccum)))
+      << "n=" << values.size() << " scaling=" << scaling;
+  simd::FoldResult a = simd::FoldFinalize(scalar_accum);
+  simd::FoldResult b = simd::FoldFinalize(other_accum);
+  EXPECT_EQ(DoubleToBits(a.sum), DoubleToBits(b.sum));
+  EXPECT_EQ(DoubleToBits(a.min), DoubleToBits(b.min));
+  EXPECT_EQ(DoubleToBits(a.max), DoubleToBits(b.max));
+}
+
+TEST(SimdFoldTest, RandomSpansBitIdentical) {
+  Random rng(15);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{250}, size_t{1000}}) {
+    for (double scaling : {1.0, 10.0, 0.001}) {
+      std::vector<float> values(n);
+      for (auto& v : values) {
+        v = static_cast<float>(static_cast<int64_t>(rng.NextU64() % 2000) -
+                               1000) *
+            0.25f;
+      }
+      ExpectFoldBitIdentical(values, scaling);
+    }
+  }
+}
+
+TEST(SimdFoldTest, NanAndInfBitIdentical) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  ExpectFoldBitIdentical({nan, 1.0f, -2.0f, nan, inf, -inf, 0.0f, -0.0f,
+                          3.5f, nan},
+                         1.0);
+  ExpectFoldBitIdentical({nan, nan, nan}, 10.0);
+  ExpectFoldBitIdentical({inf, -inf, inf, -inf, inf, -inf, inf, -inf, inf},
+                         1.0);
+  ExpectFoldBitIdentical({-0.0f, 0.0f, -0.0f}, 1.0);
+}
+
+TEST(SimdFoldTest, ChunkedFoldMatchesSingleSpan) {
+  // The contiguous-span contract: folding in kFoldLanes-multiple chunks
+  // is byte-identical to one big fold (the query engine relies on this).
+  Random rng(16);
+  std::vector<float> values(1000);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextBelow(1000)) * 0.5f;
+  }
+  FoldAccum whole, chunked;
+  simd::FoldInit(&whole);
+  simd::FoldInit(&chunked);
+  const Kernels& kernels = simd::Active();
+  kernels.fold_span(values.data(), values.size(), 3.0, &whole);
+  for (size_t at = 0; at < values.size(); at += 512) {
+    size_t len = std::min<size_t>(512, values.size() - at);
+    kernels.fold_span(values.data() + at, len, 3.0, &chunked);
+  }
+  EXPECT_EQ(0, std::memcmp(&whole, &chunked, sizeof(FoldAccum)));
+}
+
+TEST(SimdGorillaTest, TwoPassDecodeMatchesScalarReference) {
+  Random rng(17);
+  for (int round = 0; round < 30; ++round) {
+    size_t count = rng.NextBelow(400);
+    GorillaEncoder encoder;
+    float v = 20.0f;
+    std::vector<float> original;
+    for (size_t i = 0; i < count; ++i) {
+      switch (rng.NextBelow(4)) {
+        case 0:
+          break;  // Repeat: control bit '0'.
+        case 1:
+          v += 0.5f;
+          break;
+        case 2:
+          v = static_cast<float>(rng.NextBelow(1 << 20)) * 0.125f;
+          break;
+        default:
+          v = BitsToFloat(static_cast<uint32_t>(rng.NextU64()));
+          break;
+      }
+      original.push_back(v);
+      encoder.Append(v);
+    }
+    std::vector<uint8_t> bytes = encoder.Finish();
+    auto reference = GorillaDecodeStreamScalar(bytes, count);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    for (const Kernels* kernels :
+         {&simd::ScalarKernels(), &OtherTier()}) {
+      auto decoded = GorillaDecodeStreamWithKernels(bytes, count, *kernels);
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      ASSERT_EQ(reference->size(), decoded->size());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(FloatToBits((*reference)[i]), FloatToBits((*decoded)[i]))
+            << "round=" << round << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdBulkReadTest, MatchesSingleReads) {
+  // ReadBitsBulk == n * ReadBits, including the zero-fill + overran()
+  // semantics when the reads pass the end of the buffer.
+  Random rng(18);
+  BitWriter w;
+  for (int i = 0; i < 100; ++i) w.WriteBits(rng.NextU64(), 37);
+  std::vector<uint8_t> bytes = w.Finish();
+  for (int width : {1, 5, 37, 57, 63, 64}) {
+    BitReader single(bytes);
+    BitReader bulk(bytes);
+    size_t n = bytes.size() * 8 / static_cast<size_t>(width) + 9;
+    std::vector<uint64_t> expected(n), actual(n);
+    for (size_t i = 0; i < n; ++i) {
+      expected[i] = single.ReadBits(width);
+    }
+    bulk.ReadBitsBulk(width, n, actual.data());
+    ASSERT_EQ(expected, actual) << "width=" << width;
+    EXPECT_EQ(single.position_bits(), bulk.position_bits());
+    EXPECT_TRUE(single.overran());
+    EXPECT_TRUE(bulk.overran());
+  }
+}
+
+}  // namespace
+}  // namespace modelardb

@@ -39,7 +39,7 @@ metric_hygiene() {
       echo "FAIL: metric '$name' is not in src/obs/metric_names.h" >&2
       unknown=1
     fi
-  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster)_[a-z0-9_]+' \
+  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode)_[a-z0-9_]+' \
              -- tests docs '*.md' ':!src/obs/metric_names.h' 2>/dev/null \
            | sort -u)
   return "$unknown"
@@ -89,6 +89,29 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+# Kernel parity: the dispatched SIMD tier and the forced-scalar tier must
+# produce byte-identical results (DESIGN.md §3f). Runs the full tier-1
+# suite a second time with MODELARDB_FORCE_SCALAR=1, then diffs the
+# bit-exact query output of tools/kernel_parity between the two tiers.
+# Only meaningful where the AVX2 tier can actually run; skips loudly
+# (but green) elsewhere, like the Clang-only gates.
+if [[ "$(uname -m)" == "x86_64" ]]; then
+  (cd build && MODELARDB_FORCE_SCALAR=1 ctest --output-on-failure -j "$JOBS")
+  ./build/tools/kernel_parity > /tmp/kernel_parity_dispatched.$$ 2>/dev/null
+  MODELARDB_FORCE_SCALAR=1 ./build/tools/kernel_parity \
+      > /tmp/kernel_parity_scalar.$$ 2>/dev/null
+  if ! diff -u /tmp/kernel_parity_dispatched.$$ /tmp/kernel_parity_scalar.$$
+  then
+    rm -f /tmp/kernel_parity_dispatched.$$ /tmp/kernel_parity_scalar.$$
+    echo "FAIL: dispatched and forced-scalar kernels diverge" >&2
+    exit 1
+  fi
+  rm -f /tmp/kernel_parity_dispatched.$$ /tmp/kernel_parity_scalar.$$
+  echo "ci: kernel-parity gate passed"
+else
+  echo "ci: SKIP kernel-parity gate (non-x86 host: $(uname -m))"
+fi
 
 # Tier 2: concurrency subset under ThreadSanitizer.
 cmake -B build-tsan -S . -DMODELARDB_SANITIZE=thread >/dev/null

@@ -1,0 +1,89 @@
+// Kernel-parity probe for the tools/ci.sh parity stage: ingests a
+// deterministic dataset and prints every query result cell with its exact
+// bit pattern. Run twice — dispatched and with MODELARDB_FORCE_SCALAR=1 —
+// and diff the outputs; any byte-level divergence between the kernel
+// tiers shows up as a diff (DESIGN.md §3f identical-results guarantee).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/bits.h"
+#include "util/simd/kernels.h"
+
+namespace modelardb {
+namespace {
+
+void PrintResult(const std::string& sql, const query::QueryResult& result) {
+  std::printf("query: %s\n", sql.c_str());
+  for (const auto& row : result.rows) {
+    std::string line;
+    for (const query::Cell& cell : row) {
+      if (!line.empty()) line += " | ";
+      if (const int64_t* i = std::get_if<int64_t>(&cell)) {
+        line += "i:" + std::to_string(*i);
+      } else if (const double* d = std::get_if<double>(&cell)) {
+        // Hex bit pattern: equal text means equal bytes, no rounding.
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "d:%016llx",
+                      static_cast<unsigned long long>(DoubleToBits(*d)));
+        line += buffer;
+      } else {
+        line += "s:" + std::get<std::string>(cell);
+      }
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+}
+
+int Run() {
+  bench::TempDir dir("kernel_parity");
+  workload::SyntheticDataset dataset = workload::SyntheticDataset::Ep(
+      /*entities=*/6, /*points_per_entity=*/4000);
+  auto instance = bench::BuildModelar(&dataset, /*v1=*/false,
+                                      /*error_pct=*/1.0, /*workers=*/2,
+                                      dir.Sub("storage"));
+  if (!instance.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+
+  // Exercises every fold path: whole-series SUM/AVG (exact-sum folds over
+  // Data Point View spans), COUNT/MIN/MAX (summary shortcuts), time
+  // ranges (partial-segment spans), value predicates (the must-filter
+  // per-point loop), GROUP BY, the Segment View, and raw point reads.
+  const std::vector<std::string> queries = {
+      "SELECT SUM(Value) FROM DataPoint",
+      "SELECT AVG(Value) FROM DataPoint",
+      "SELECT COUNT(Value), MIN(Value), MAX(Value) FROM DataPoint",
+      "SELECT Tid, SUM(Value), AVG(Value) FROM DataPoint GROUP BY Tid",
+      "SELECT SUM(Value), MIN(Value) FROM DataPoint WHERE TS >= 100000 "
+      "AND TS <= 2000000",
+      "SELECT AVG(Value) FROM DataPoint WHERE Value > 50",
+      "SELECT COUNT(Value) FROM DataPoint WHERE Value <= 55 AND Tid = 3",
+      "SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid",
+      "SELECT MIN_S(*), MAX_S(*) FROM Segment",
+      "SELECT Tid, TS, Value FROM DataPoint WHERE Tid = 2 LIMIT 32",
+  };
+  for (const std::string& sql : queries) {
+    auto result = instance->engine->Execute(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s: %s\n", sql.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(sql, *result);
+  }
+  // The tier itself is reported on stderr only, so the stdout diff stays
+  // clean across the two runs.
+  std::fprintf(stderr, "kernel_parity: active tier %s\n",
+               simd::TierName(simd::ActiveTier()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace modelardb
+
+int main() { return modelardb::Run(); }
