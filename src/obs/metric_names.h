@@ -6,7 +6,8 @@
 // catalog.
 //
 // Naming convention: modelardb_<layer>_<name>[_total|_seconds]
-//   <layer>  pool | ingest | store | query | cluster | decode
+//   <layer>  pool | ingest | store | query | cluster | decode | wal |
+//            recovery
 //   _total   monotonically increasing counters
 //   _seconds latency histograms (observed in seconds)
 // Per-instance breakdowns (per model type, per group) use a single label,
@@ -85,7 +86,27 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
   X(kDecodeFoldsSimdTotal, "modelardb_decode_folds_simd_total", kCounter,    \
     "Span elements folded through the dispatched SIMD aggregate kernels")    \
   X(kDecodeFoldsScalarTotal, "modelardb_decode_folds_scalar_total",          \
-    kCounter, "Span elements folded through the scalar aggregate kernels")
+    kCounter, "Span elements folded through the scalar aggregate kernels")   \
+  X(kWalAppendsTotal, "modelardb_wal_appends_total", kCounter,               \
+    "WAL blocks appended (v2, checksummed) across all stores")               \
+  X(kWalBytesTotal, "modelardb_wal_bytes_total", kCounter,                   \
+    "Bytes appended to WALs, framing included")                              \
+  X(kWalFsyncsTotal, "modelardb_wal_fsyncs_total", kCounter,                 \
+    "Durability barriers (fdatasync) issued by WAL writers")                 \
+  X(kWalGroupCommittedBlocksTotal,                                           \
+    "modelardb_wal_group_committed_blocks_total", kCounter,                  \
+    "WAL blocks made durable, counted at the sync that committed them")      \
+  X(kRecoveryBlocksReplayedTotal, "modelardb_recovery_blocks_replayed_total", \
+    kCounter, "Valid WAL blocks replayed during store opens")                \
+  X(kRecoverySegmentsReplayedTotal,                                          \
+    "modelardb_recovery_segments_replayed_total", kCounter,                  \
+    "Segments reconstructed from WAL blocks during store opens")             \
+  X(kRecoveryTornTailsTruncatedTotal,                                        \
+    "modelardb_recovery_torn_tails_truncated_total", kCounter,               \
+    "Torn WAL tails quarantined and truncated instead of failing Open")      \
+  X(kRecoveryQuarantinedBytesTotal,                                          \
+    "modelardb_recovery_quarantined_bytes_total", kCounter,                  \
+    "Crash-debris bytes moved to .corrupt sidecars during recovery")
 
 // Named constants: obs::kPoolTasksTotal == "modelardb_pool_tasks_total".
 #define MODELARDB_DECLARE_METRIC_NAME(ident, name, kind, help) \

@@ -1,13 +1,13 @@
 #include "storage/row_store.h"
 
 #include <filesystem>
-#include <fstream>
 
 #include "util/buffer.h"
 
 namespace modelardb {
 
 RowStore::RowStore(RowStoreOptions options) : options_(std::move(options)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
   if (!options_.directory.empty()) {
     log_path_ = options_.directory + "/rows.log";
     wal_path_ = options_.directory + "/commitlog.log";
@@ -17,18 +17,22 @@ RowStore::RowStore(RowStoreOptions options) : options_(std::move(options)) {
 Status RowStore::AppendToCommitLog(const DataPoint& point) {
   if (wal_path_.empty() || !options_.write_commit_log) return Status::OK();
   if (wal_ == nullptr) {
-    wal_ = std::make_unique<std::ofstream>(wal_path_, std::ios::binary);
-    if (!wal_->is_open()) return Status::IOError("cannot open " + wal_path_);
+    WalWriterOptions wal_options;
+    wal_options.sync_policy = options_.wal_sync_policy;
+    wal_options.sync_every_n_blocks = options_.wal_sync_every_n_blocks;
+    MODELARDB_ASSIGN_OR_RETURN(
+        wal_, WalWriter::Open(env_, wal_path_, wal_options));
   }
-  // (Tid, TS, Value): the mutation a Cassandra commit log records.
+  // (Tid, TS, Value): the mutation a Cassandra commit log records, framed
+  // as one checksummed v2 WAL block.
   BufferWriter writer;
   writer.WriteVarint(static_cast<uint64_t>(point.tid));
   writer.WriteI64(point.timestamp);
   writer.WriteFloat(point.value);
-  wal_->write(reinterpret_cast<const char*>(writer.bytes().data()),
-              static_cast<std::streamsize>(writer.size()));
-  if (!wal_->good()) return Status::IOError("commit log write failed");
-  wal_bytes_ += static_cast<int64_t>(writer.size());
+  const int64_t before = wal_->bytes_appended();
+  MODELARDB_RETURN_NOT_OK(
+      wal_->AppendBlock(writer.bytes().data(), writer.size()));
+  wal_bytes_ += wal_->bytes_appended() - before;
   return Status::OK();
 }
 
@@ -90,14 +94,14 @@ Status RowStore::SealBlock(Tid tid) {
 
 Status RowStore::WriteToDisk(const std::vector<uint8_t>& bytes) {
   if (log_path_.empty()) return Status::OK();
-  std::ofstream out(log_path_, std::ios::binary | std::ios::app);
-  if (!out.is_open()) return Status::IOError("cannot open " + log_path_);
-  uint32_t length = static_cast<uint32_t>(bytes.size());
-  out.write(reinterpret_cast<const char*>(&length), sizeof(length));
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out.good()) return Status::IOError("write failed: " + log_path_);
-  disk_bytes_ += static_cast<int64_t>(sizeof(length) + bytes.size());
+  if (log_ == nullptr) {
+    MODELARDB_ASSIGN_OR_RETURN(log_, env_->NewWritableLog(log_path_));
+  }
+  BufferWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(bytes.size()));
+  writer.WriteRaw(bytes.data(), bytes.size());
+  MODELARDB_RETURN_NOT_OK(log_->Append(writer.bytes().data(), writer.size()));
+  disk_bytes_ += static_cast<int64_t>(writer.size());
   return Status::OK();
 }
 
@@ -106,6 +110,10 @@ Status RowStore::FinishIngest() {
     (void)pending;
     MODELARDB_RETURN_NOT_OK(SealBlock(tid));
   }
+  // The periodic-sync barrier: everything written so far becomes durable
+  // (Cassandra's commitlog_sync_period, collapsed to the ingest boundary).
+  if (wal_ != nullptr) MODELARDB_RETURN_NOT_OK(wal_->Sync());
+  if (log_ != nullptr) MODELARDB_RETURN_NOT_OK(log_->Sync());
   return Status::OK();
 }
 

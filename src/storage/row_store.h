@@ -10,18 +10,21 @@
 #ifndef MODELARDB_STORAGE_ROW_STORE_H_
 #define MODELARDB_STORAGE_ROW_STORE_H_
 
-#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/data_point_store.h"
+#include "storage/wal.h"
+#include "util/env.h"
 
 namespace modelardb {
 
 struct RowStoreOptions {
   std::string directory;       // Empty: in-memory only.
+  // File I/O boundary; null uses Env::Default().
+  Env* env = nullptr;
   size_t rows_per_block = 4096;
   // Bytes of per-cell metadata (Cassandra stores a write timestamp and
   // flags per cell).
@@ -29,6 +32,11 @@ struct RowStoreOptions {
   // Cassandra appends every mutation to a commit log before acknowledging
   // it; disable only for tests.
   bool write_commit_log = true;
+  // Commit-log fsync cadence. kNone models Cassandra's default
+  // `commitlog_sync: periodic` (acknowledge before fsync; the barrier
+  // lands at FinishIngest/close); kEveryBlock models `batch`.
+  WalSyncPolicy wal_sync_policy = WalSyncPolicy::kNone;
+  size_t wal_sync_every_n_blocks = 8;
 };
 
 class RowStore : public DataPointStore {
@@ -59,9 +67,13 @@ class RowStore : public DataPointStore {
   Status AppendToCommitLog(const DataPoint& point);
 
   RowStoreOptions options_;
+  Env* env_ = nullptr;  // options_.env or Env::Default(); never null.
   std::string log_path_;
   std::string wal_path_;
-  std::unique_ptr<std::ofstream> wal_;
+  // Lazily opened; every append's Status is propagated to the caller
+  // (an unchecked stream write is how a "durable" baseline lies).
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<WritableLog> log_;
   int64_t wal_bytes_ = 0;
   std::map<Tid, std::vector<DataPoint>> pending_;
   std::map<Tid, std::vector<EncodedBlock>> blocks_;

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "util/buffer.h"
+#include "util/logging.h"
 
 namespace modelardb {
 namespace {
@@ -31,6 +31,26 @@ obs::Counter& StoreCowCopies() {
 obs::Counter& StoreBlockRebuilds() {
   static obs::Counter& counter =
       obs::MetricsRegistry::Global().GetCounter(obs::kStoreBlockRebuildsTotal);
+  return counter;
+}
+obs::Counter& RecoveryBlocksReplayed() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kRecoveryBlocksReplayedTotal);
+  return counter;
+}
+obs::Counter& RecoverySegmentsReplayed() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kRecoverySegmentsReplayedTotal);
+  return counter;
+}
+obs::Counter& RecoveryTornTails() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kRecoveryTornTailsTruncatedTotal);
+  return counter;
+}
+obs::Counter& RecoveryQuarantinedBytes() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kRecoveryQuarantinedBytesTotal);
   return counter;
 }
 
@@ -58,8 +78,6 @@ void RecordScanStats(const ScanStats& stats) {
 namespace modelardb {
 namespace {
 
-constexpr uint32_t kBlockMagic = 0x4d444253;  // "MDBS"
-
 bool SegmentLess(const Segment& a, const Segment& b) {
   return std::tie(a.end_time, a.gap_mask) < std::tie(b.end_time, b.gap_mask);
 }
@@ -68,14 +86,17 @@ bool SegmentLess(const Segment& a, const Segment& b) {
 
 SegmentStore::SegmentStore(SegmentStoreOptions options)
     : options_(std::move(options)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
   if (!options_.directory.empty()) {
     log_path_ = options_.directory + "/segments.log";
   }
 }
 
 SegmentStore::~SegmentStore() {
-  // Best effort: persist whatever is still buffered.
-  if (!write_buffer_.empty()) Flush().ok();
+  // Best effort: persist whatever is still buffered, then sync + close.
+  MutexLock lock(mutex_);
+  if (!write_buffer_.empty()) (void)FlushLocked();
+  if (wal_ != nullptr) (void)wal_->Close();
 }
 
 Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
@@ -98,24 +119,20 @@ Status SegmentStore::ReplayLog() {
   // store yet; the (uncontended) lock is taken anyway to satisfy the
   // GUARDED_BY(index_) contract rather than punching an analysis hole.
   MutexLock lock(mutex_);
-  std::ifstream in(log_path_, std::ios::binary);
-  if (!in.is_open()) return Status::OK();  // Fresh store.
-  std::vector<uint8_t> file((std::istreambuf_iterator<char>(in)),
-                            std::istreambuf_iterator<char>());
-  disk_bytes_ = static_cast<int64_t>(file.size());
-  BufferReader reader(file);
-  while (!reader.exhausted()) {
-    MODELARDB_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
-    if (magic != kBlockMagic) {
-      return Status::Corruption("bad block magic in " + log_path_);
-    }
-    MODELARDB_ASSIGN_OR_RETURN(uint32_t length, reader.ReadU32());
-    if (length > reader.remaining()) {
-      return Status::Corruption("truncated block in " + log_path_);
-    }
-    BufferReader block(file.data() + reader.position(), length);
+  if (!env_->FileExists(log_path_)) return Status::OK();  // Fresh store.
+  MODELARDB_ASSIGN_OR_RETURN(std::vector<uint8_t> file,
+                             env_->ReadFileBytes(log_path_));
+  // Parse the block sequence. Interior corruption fails the open here; a
+  // torn tail (crash debris) is reported and salvaged around below.
+  MODELARDB_ASSIGN_OR_RETURN(WalReadResult wal,
+                             ReadWalBlocks(file.data(), file.size(),
+                                           log_path_));
+  for (const WalBlockRef& ref : wal.blocks) {
+    BufferReader block(file.data() + ref.payload_offset, ref.payload_size);
     MODELARDB_ASSIGN_OR_RETURN(uint64_t count, block.ReadVarint());
     for (uint64_t i = 0; i < count; ++i) {
+      // A v2 block passed its CRC, so a payload that does not parse is a
+      // writer-side format bug, not disk damage — surface it loudly.
       MODELARDB_ASSIGN_OR_RETURN(Segment segment,
                                  Segment::Deserialize(&block));
       GroupSlot& slot = index_[segment.gid];
@@ -125,9 +142,17 @@ Status SegmentStore::ReplayLog() {
       }
       slot.data->segments.push_back(std::move(segment));
       num_segments_.fetch_add(1, std::memory_order_relaxed);
+      ++recovery_info_.segments_replayed;
     }
-    MODELARDB_RETURN_NOT_OK(reader.Skip(length));
+    ++recovery_info_.blocks_replayed;
   }
+  RecoveryBlocksReplayed().Add(recovery_info_.blocks_replayed);
+  RecoverySegmentsReplayed().Add(recovery_info_.segments_replayed);
+  if (wal.torn_tail) {
+    MODELARDB_RETURN_NOT_OK(
+        QuarantineTornTail(file, wal.valid_bytes, wal.torn_reason));
+  }
+  disk_bytes_ = static_cast<int64_t>(wal.valid_bytes);
   for (auto& [gid, slot] : index_) {
     std::sort(slot.data->segments.begin(), slot.data->segments.end(),
               SegmentLess);
@@ -142,6 +167,32 @@ Status SegmentStore::ReplayLog() {
       RebuildBlocks(slot.data.get());
     }
   }
+  return Status::OK();
+}
+
+Status SegmentStore::QuarantineTornTail(const std::vector<uint8_t>& file,
+                                        size_t valid_bytes,
+                                        const std::string& reason) {
+  const size_t tail_bytes = file.size() - valid_bytes;
+  // Preserve the debris for postmortems before destroying it: append the
+  // tail to the .corrupt sidecar, then truncate the log to the last whole
+  // block so the next append starts on a clean boundary.
+  MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableLog> sidecar,
+                             env_->NewWritableLog(CorruptSidecarPath()));
+  MODELARDB_RETURN_NOT_OK(
+      sidecar->Append(file.data() + valid_bytes, tail_bytes));
+  MODELARDB_RETURN_NOT_OK(sidecar->Sync());
+  MODELARDB_RETURN_NOT_OK(sidecar->Close());
+  MODELARDB_RETURN_NOT_OK(
+      env_->TruncateFile(log_path_, static_cast<int64_t>(valid_bytes)));
+  recovery_info_.torn_tail = true;
+  recovery_info_.quarantined_bytes = static_cast<int64_t>(tail_bytes);
+  recovery_info_.torn_reason = reason;
+  RecoveryTornTails().Add();
+  RecoveryQuarantinedBytes().Add(static_cast<int64_t>(tail_bytes));
+  MODELARDB_LOG(kWarn) << "salvaged torn WAL tail in " << log_path_ << ": "
+                       << reason << "; quarantined " << tail_bytes
+                       << " bytes to " << CorruptSidecarPath();
   return Status::OK();
 }
 
@@ -356,21 +407,20 @@ Status SegmentStore::PutBatch(const std::vector<Segment>& segments) {
 }
 
 Status SegmentStore::WriteBlock(const std::vector<Segment>& segments) {
+  if (wal_ == nullptr) {
+    WalWriterOptions wal_options;
+    wal_options.sync_policy = options_.wal_sync_policy;
+    wal_options.sync_every_n_blocks = options_.wal_sync_every_n_blocks;
+    MODELARDB_ASSIGN_OR_RETURN(wal_,
+                               WalWriter::Open(env_, log_path_, wal_options));
+  }
   BufferWriter payload;
   payload.WriteVarint(segments.size());
   for (const Segment& segment : segments) segment.SerializeTo(&payload);
-  BufferWriter header;
-  header.WriteU32(kBlockMagic);
-  header.WriteU32(static_cast<uint32_t>(payload.size()));
-
-  std::ofstream out(log_path_, std::ios::binary | std::ios::app);
-  if (!out.is_open()) return Status::IOError("cannot open " + log_path_);
-  out.write(reinterpret_cast<const char*>(header.bytes().data()),
-            static_cast<std::streamsize>(header.size()));
-  out.write(reinterpret_cast<const char*>(payload.bytes().data()),
-            static_cast<std::streamsize>(payload.size()));
-  if (!out.good()) return Status::IOError("write failed: " + log_path_);
-  disk_bytes_.fetch_add(static_cast<int64_t>(header.size() + payload.size()),
+  const int64_t before = wal_->bytes_appended();
+  MODELARDB_RETURN_NOT_OK(
+      wal_->AppendBlock(payload.bytes().data(), payload.size()));
+  disk_bytes_.fetch_add(wal_->bytes_appended() - before,
                         std::memory_order_relaxed);
   return Status::OK();
 }
@@ -380,8 +430,20 @@ Status SegmentStore::Flush() {
   return FlushLocked();
 }
 
+Status SegmentStore::SyncWal() {
+  MutexLock lock(mutex_);
+  MODELARDB_RETURN_NOT_OK(FlushLocked());
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
 Status SegmentStore::FlushLocked() {
   if (log_path_.empty() || write_buffer_.empty()) return Status::OK();
+  // The buffer is kept on failure: the segments stay queryable in memory
+  // and the caller sees exactly which flush failed. The WAL writer poisons
+  // itself after an I/O error (appending past a possibly-torn tail would
+  // turn salvageable damage into interior corruption), so durability for
+  // this store is over — recovery salvages up to the last good block.
   MODELARDB_RETURN_NOT_OK(WriteBlock(write_buffer_));
   write_buffer_.clear();
   StoreFlushTotal().Add();

@@ -9,9 +9,14 @@
 // rewriting needs (§6.2).
 //
 // Persistence is a log-structured append file: segments are buffered and
-// written in bulk (Table 1: Bulk Write Size 50,000) as length-prefixed
-// blocks; Open() replays the log. The full index is also kept in memory —
-// the paper co-locates storage and query processing for locality (Fig 4).
+// written in bulk (Table 1: Bulk Write Size 50,000) as checksummed v2 WAL
+// blocks (storage/wal.h) through the Env I/O boundary, group-committed per
+// the configured sync policy; Open() replays the log, salvaging a torn
+// tail (crash debris is quarantined to a .corrupt sidecar and the log is
+// truncated to the last whole block) while genuine interior corruption
+// still fails with Status::Corruption. The full index is also kept in
+// memory — the paper co-locates storage and query processing for locality
+// (Fig 4).
 //
 // On top of the per-group segment vectors the store maintains a two-level
 // *segment summary index* (the "model-exploiting index" the paper defers
@@ -37,6 +42,8 @@
 
 #include "core/model.h"
 #include "core/segment.h"
+#include "storage/wal.h"
+#include "util/env.h"
 #include "util/status.h"
 #include "util/sync.h"
 
@@ -45,6 +52,15 @@ namespace modelardb {
 struct SegmentStoreOptions {
   // Empty: purely in-memory (tests, ephemeral workers).
   std::string directory;
+  // File I/O boundary; null uses Env::Default() (POSIX). Tests and the
+  // crash harness substitute a FaultInjectionEnv here.
+  Env* env = nullptr;
+  // When the WAL fsyncs (DESIGN.md §3g). kEveryBlock makes every OK
+  // Flush() durable — the acknowledged-flush watermark crash recovery is
+  // verified against; kEveryNBlocks is group commit for ingest-heavy
+  // deployments that can afford to lose the last few blocks.
+  WalSyncPolicy wal_sync_policy = WalSyncPolicy::kEveryBlock;
+  size_t wal_sync_every_n_blocks = 8;
   // Segments buffered before a bulk write to disk.
   size_t bulk_write_size = 50000;
   // Segments per summary-index block; 0 disables the index entirely
@@ -160,6 +176,16 @@ struct IndexedScanCallbacks {
   std::function<Status(const Segment&, const SegmentSummary*)> on_segment;
 };
 
+// What Open()'s log replay found and did. Written once before Open
+// returns, immutable afterwards — readable without the store lock.
+struct RecoveryInfo {
+  int64_t blocks_replayed = 0;
+  int64_t segments_replayed = 0;
+  bool torn_tail = false;          // Crash debris was salvaged around.
+  int64_t quarantined_bytes = 0;   // Tail bytes moved to the sidecar.
+  std::string torn_reason;
+};
+
 // Thread-safety: Put/Flush/Scan may be called concurrently. Scans are
 // snapshot-based: the lock is held only while grabbing copy-on-write
 // references to the matching per-group data (segments + summary index);
@@ -183,8 +209,22 @@ class SegmentStore {
   Status Put(const Segment& segment);
   Status PutBatch(const std::vector<Segment>& segments);
 
-  // Forces buffered segments to disk.
+  // Forces buffered segments to disk. Durable on OK iff the sync policy is
+  // kEveryBlock; otherwise durability arrives with the group commit (or an
+  // explicit SyncWal()).
   Status Flush();
+
+  // Forces the WAL durability barrier for everything flushed so far
+  // (completes a pending group commit under kEveryNBlocks / kNone).
+  Status SyncWal();
+
+  // What replay salvaged/decided when this store was opened.
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
+  // The quarantine sidecar torn tails are appended to.
+  std::string CorruptSidecarPath() const {
+    return log_path_.empty() ? std::string() : log_path_ + ".corrupt";
+  }
 
   // Scans segments matching `filter`, grouped by Gid and ordered by
   // EndTime within each group. `fn` returning non-OK aborts the scan.
@@ -245,7 +285,12 @@ class SegmentStore {
   explicit SegmentStore(SegmentStoreOptions options);
 
   Status ReplayLog();
-  Status WriteBlock(const std::vector<Segment>& segments);
+  // Appends file[valid_bytes..] to the .corrupt sidecar, truncates the log
+  // and records the salvage in recovery_info_ + METRICS().
+  Status QuarantineTornTail(const std::vector<uint8_t>& file,
+                            size_t valid_bytes, const std::string& reason)
+      REQUIRES(mutex_);
+  Status WriteBlock(const std::vector<Segment>& segments) REQUIRES(mutex_);
   Status PutLocked(const Segment& segment) REQUIRES(mutex_);
   Status FlushLocked() REQUIRES(mutex_);
   // Grabs (and marks) the snapshots `filter` selects, in ascending Gid
@@ -265,8 +310,13 @@ class SegmentStore {
   static void UpdateSuffixFences(std::vector<SegmentBlock>* blocks);
 
   SegmentStoreOptions options_;
+  Env* env_ = nullptr;  // options_.env or Env::Default(); never null.
   std::string log_path_;
+  RecoveryInfo recovery_info_;  // Immutable after Open().
   mutable Mutex mutex_;
+  // Lazily opened on the first flush; poisoned (and flushes fail) after
+  // any append/sync error so a torn tail is never written over.
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(mutex_);
   // Index: per group, segments ordered by end_time (the clustering key).
   mutable std::map<Gid, GroupSlot> index_ GUARDED_BY(mutex_);
   std::vector<Segment> write_buffer_ GUARDED_BY(mutex_);

@@ -1,7 +1,6 @@
 #include "storage/tsm_store.h"
 
 #include <filesystem>
-#include <fstream>
 
 #include "core/models/gorilla.h"
 #include "util/buffer.h"
@@ -10,6 +9,7 @@
 namespace modelardb {
 
 TsmStore::TsmStore(TsmStoreOptions options) : options_(std::move(options)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
   if (!options_.directory.empty()) {
     log_path_ = options_.directory + "/tsm.log";
     wal_path_ = options_.directory + "/wal.log";
@@ -19,17 +19,20 @@ TsmStore::TsmStore(TsmStoreOptions options) : options_(std::move(options)) {
 Status TsmStore::AppendToWal(const DataPoint& point) {
   if (wal_path_.empty() || !options_.write_wal) return Status::OK();
   if (wal_ == nullptr) {
-    wal_ = std::make_unique<std::ofstream>(wal_path_, std::ios::binary);
-    if (!wal_->is_open()) return Status::IOError("cannot open " + wal_path_);
+    WalWriterOptions wal_options;
+    wal_options.sync_policy = options_.wal_sync_policy;
+    wal_options.sync_every_n_blocks = options_.wal_sync_every_n_blocks;
+    MODELARDB_ASSIGN_OR_RETURN(
+        wal_, WalWriter::Open(env_, wal_path_, wal_options));
   }
   BufferWriter writer;
   writer.WriteVarint(static_cast<uint64_t>(point.tid));
   writer.WriteI64(point.timestamp);
   writer.WriteFloat(point.value);
-  wal_->write(reinterpret_cast<const char*>(writer.bytes().data()),
-              static_cast<std::streamsize>(writer.size()));
-  if (!wal_->good()) return Status::IOError("wal write failed");
-  wal_bytes_ += static_cast<int64_t>(writer.size());
+  const int64_t before = wal_->bytes_appended();
+  MODELARDB_RETURN_NOT_OK(
+      wal_->AppendBlock(writer.bytes().data(), writer.size()));
+  wal_bytes_ += wal_->bytes_appended() - before;
   return Status::OK();
 }
 
@@ -92,6 +95,9 @@ Status TsmStore::SealBlock(Tid tid) {
 
 Status TsmStore::WriteToDisk(const EncodedBlock& block, Tid tid) {
   if (log_path_.empty()) return Status::OK();
+  if (log_ == nullptr) {
+    MODELARDB_ASSIGN_OR_RETURN(log_, env_->NewWritableLog(log_path_));
+  }
   BufferWriter writer;
   writer.WriteVarint(static_cast<uint64_t>(tid));
   writer.WriteVarint(block.count);
@@ -99,11 +105,7 @@ Status TsmStore::WriteToDisk(const EncodedBlock& block, Tid tid) {
   writer.WriteI64(block.max_time);
   writer.WriteBytes(block.timestamps);
   writer.WriteBytes(block.values);
-  std::ofstream out(log_path_, std::ios::binary | std::ios::app);
-  if (!out.is_open()) return Status::IOError("cannot open " + log_path_);
-  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
-            static_cast<std::streamsize>(writer.size()));
-  if (!out.good()) return Status::IOError("write failed: " + log_path_);
+  MODELARDB_RETURN_NOT_OK(log_->Append(writer.bytes().data(), writer.size()));
   disk_bytes_ += static_cast<int64_t>(writer.size());
   return Status::OK();
 }
@@ -113,6 +115,10 @@ Status TsmStore::FinishIngest() {
     (void)pending;
     MODELARDB_RETURN_NOT_OK(SealBlock(tid));
   }
+  // Deferred durability barrier (wal-fsync-delay batching collapsed to the
+  // ingest boundary).
+  if (wal_ != nullptr) MODELARDB_RETURN_NOT_OK(wal_->Sync());
+  if (log_ != nullptr) MODELARDB_RETURN_NOT_OK(log_->Sync());
   return Status::OK();
 }
 

@@ -12,21 +12,29 @@
 #ifndef MODELARDB_STORAGE_TSM_STORE_H_
 #define MODELARDB_STORAGE_TSM_STORE_H_
 
-#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/data_point_store.h"
+#include "storage/wal.h"
+#include "util/env.h"
 
 namespace modelardb {
 
 struct TsmStoreOptions {
   std::string directory;  // Empty: in-memory only.
+  // File I/O boundary; null uses Env::Default().
+  Env* env = nullptr;
   size_t points_per_block = 1024;
   // InfluxDB's TSM engine appends writes to a WAL before caching them.
   bool write_wal = true;
+  // WAL fsync cadence: kEveryBlock models InfluxDB's default
+  // `wal-fsync-delay = 0` (fsync per write); kNone defers the barrier to
+  // FinishIngest/close.
+  WalSyncPolicy wal_sync_policy = WalSyncPolicy::kNone;
+  size_t wal_sync_every_n_blocks = 8;
 };
 
 class TsmStore : public DataPointStore {
@@ -59,9 +67,12 @@ class TsmStore : public DataPointStore {
   Status AppendToWal(const DataPoint& point);
 
   TsmStoreOptions options_;
+  Env* env_ = nullptr;  // options_.env or Env::Default(); never null.
   std::string log_path_;
   std::string wal_path_;
-  std::unique_ptr<std::ofstream> wal_;
+  // Lazily opened; every append's Status is propagated to the caller.
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<WritableLog> log_;
   int64_t wal_bytes_ = 0;
   std::map<Tid, std::vector<DataPoint>> pending_;
   std::map<Tid, std::vector<EncodedBlock>> blocks_;

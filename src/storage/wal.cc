@@ -1,0 +1,235 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/crc32c.h"
+
+namespace modelardb {
+namespace {
+
+obs::Counter& WalAppends() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kWalAppendsTotal);
+  return counter;
+}
+obs::Counter& WalBytes() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kWalBytesTotal);
+  return counter;
+}
+obs::Counter& WalFsyncs() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kWalFsyncsTotal);
+  return counter;
+}
+obs::Counter& WalGroupCommitted() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kWalGroupCommittedBlocksTotal);
+  return counter;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU32(uint32_t v, std::vector<uint8_t>* out) {
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+// True when a structurally valid block starts exactly at `pos`. For v2 the
+// CRC must verify (a strong signal); for v1 the magic must match and the
+// length must fit (the best an unchecksummed format offers).
+bool ValidBlockAt(const uint8_t* data, size_t size, size_t pos) {
+  if (size - pos < kWalHeaderV1) return false;
+  const uint32_t magic = LoadU32(data + pos);
+  if (magic == kWalMagicV2) {
+    if (size - pos < kWalHeaderV2) return false;
+    const uint32_t length = LoadU32(data + pos + 4);
+    if (length > size - pos - kWalHeaderV2) return false;
+    const uint32_t stored_crc = LoadU32(data + pos + 8);
+    uint32_t crc = Crc32c(data + pos, 8);
+    crc = Crc32cExtend(crc, data + pos + kWalHeaderV2, length);
+    return crc == stored_crc;
+  }
+  if (magic == kWalMagicV1) {
+    const uint32_t length = LoadU32(data + pos + 4);
+    return length <= size - pos - kWalHeaderV1;
+  }
+  return false;
+}
+
+// Scans for any structurally valid block strictly after `from`. Damage
+// followed by a valid block is interior corruption; damage with nothing
+// valid after it is a torn tail.
+bool AnyValidBlockAfter(const uint8_t* data, size_t size, size_t from) {
+  if (size < kWalHeaderV1) return false;
+  for (size_t pos = from; pos + kWalHeaderV1 <= size; ++pos) {
+    if (ValidBlockAt(data, size, pos)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void EncodeWalBlockV2(const uint8_t* payload, size_t size,
+                      std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  StoreU32(kWalMagicV2, out);
+  StoreU32(static_cast<uint32_t>(size), out);
+  uint32_t crc = Crc32c(out->data() + start, 8);
+  crc = Crc32cExtend(crc, payload, size);
+  StoreU32(crc, out);
+  out->insert(out->end(), payload, payload + size);
+}
+
+Result<WalReadResult> ReadWalBlocks(const uint8_t* data, size_t size,
+                                    const std::string& path_for_errors) {
+  WalReadResult result;
+  size_t pos = 0;
+  // On damage at `pos`: interior (valid block later) -> Corruption; at the
+  // tail -> salvage the prefix and report why.
+  auto damaged = [&](const std::string& reason) -> Status {
+    if (AnyValidBlockAfter(data, size, pos + 1)) {
+      return Status::Corruption(reason + " at offset " + std::to_string(pos) +
+                                " in " + path_for_errors +
+                                " (valid blocks follow: interior corruption)");
+    }
+    result.torn_tail = true;
+    result.torn_reason = reason + " at offset " + std::to_string(pos);
+    return Status::OK();
+  };
+
+  while (pos < size) {
+    const size_t remaining = size - pos;
+    if (remaining < kWalHeaderV1) {
+      MODELARDB_RETURN_NOT_OK(damaged("truncated block header"));
+      break;
+    }
+    const uint32_t magic = LoadU32(data + pos);
+    WalBlockRef block;
+    block.offset = pos;
+    if (magic == kWalMagicV2) {
+      if (remaining < kWalHeaderV2) {
+        MODELARDB_RETURN_NOT_OK(damaged("truncated v2 block header"));
+        break;
+      }
+      const uint32_t length = LoadU32(data + pos + 4);
+      if (length > remaining - kWalHeaderV2) {
+        MODELARDB_RETURN_NOT_OK(damaged("v2 block payload past end of file"));
+        break;
+      }
+      const uint32_t stored_crc = LoadU32(data + pos + 8);
+      uint32_t crc = Crc32c(data + pos, 8);
+      crc = Crc32cExtend(crc, data + pos + kWalHeaderV2, length);
+      if (crc != stored_crc) {
+        MODELARDB_RETURN_NOT_OK(damaged("v2 block checksum mismatch"));
+        break;
+      }
+      block.version = 2;
+      block.payload_offset = pos + kWalHeaderV2;
+      block.payload_size = length;
+      pos += kWalHeaderV2 + length;
+    } else if (magic == kWalMagicV1) {
+      const uint32_t length = LoadU32(data + pos + 4);
+      if (length > remaining - kWalHeaderV1) {
+        MODELARDB_RETURN_NOT_OK(damaged("truncated v1 block"));
+        break;
+      }
+      block.version = 1;
+      block.payload_offset = pos + kWalHeaderV1;
+      block.payload_size = length;
+      pos += kWalHeaderV1 + length;
+    } else {
+      MODELARDB_RETURN_NOT_OK(damaged("bad block magic"));
+      break;
+    }
+    result.blocks.push_back(block);
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+WalWriter::WalWriter(std::unique_ptr<WritableLog> log, std::string path,
+                     WalWriterOptions options)
+    : log_(std::move(log)), path_(std::move(path)), options_(options) {}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string path,
+                                                   WalWriterOptions options) {
+  MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableLog> log,
+                             env->NewWritableLog(path));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(log), std::move(path), options));
+}
+
+Status WalWriter::AppendBlock(const uint8_t* payload, size_t size) {
+  if (poisoned_) {
+    return Status::IOError("wal writer poisoned by an earlier error: " +
+                           path_);
+  }
+  scratch_.clear();
+  EncodeWalBlockV2(payload, size, &scratch_);
+  // One Append per block: the block either lands whole or becomes the torn
+  // tail recovery salvages around (and one deterministic fault-env op).
+  Status append = log_->Append(scratch_.data(), scratch_.size());
+  if (!append.ok()) {
+    poisoned_ = true;  // The file tail is undefined now.
+    return append;
+  }
+  ++blocks_appended_;
+  bytes_appended_ += static_cast<int64_t>(scratch_.size());
+  ++unsynced_blocks_;
+  WalAppends().Add();
+  WalBytes().Add(static_cast<int64_t>(scratch_.size()));
+  switch (options_.sync_policy) {
+    case WalSyncPolicy::kEveryBlock:
+      return SyncInternal();
+    case WalSyncPolicy::kEveryNBlocks:
+      if (unsynced_blocks_ >= options_.sync_every_n_blocks) {
+        return SyncInternal();
+      }
+      return Status::OK();
+    case WalSyncPolicy::kNone:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::SyncInternal() {
+  if (unsynced_blocks_ == 0) return Status::OK();
+  Status sync = log_->Sync();
+  if (!sync.ok()) {
+    // fsyncgate: after a failed fsync the kernel may have dropped the
+    // dirty pages; retrying cannot make the data durable. Poison.
+    poisoned_ = true;
+    return sync;
+  }
+  WalFsyncs().Add();
+  WalGroupCommitted().Add(static_cast<int64_t>(unsynced_blocks_));
+  unsynced_blocks_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (poisoned_) {
+    return Status::IOError("wal writer poisoned by an earlier error: " +
+                           path_);
+  }
+  return SyncInternal();
+}
+
+Status WalWriter::Close() {
+  if (log_ == nullptr) return Status::OK();
+  Status sync = poisoned_ ? Status::OK() : SyncInternal();
+  Status close = log_->Close();
+  log_ = nullptr;
+  MODELARDB_RETURN_NOT_OK(sync);
+  return close;
+}
+
+}  // namespace modelardb

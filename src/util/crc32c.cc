@@ -1,0 +1,70 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <bit>
+
+namespace modelardb {
+namespace {
+
+// Eight slicing tables, generated once at first use. Table 0 is the plain
+// byte-at-a-time table; table k maps a byte processed k positions earlier.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // Reflected Castagnoli.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  const Crc32cTables& tb = Tables();
+  crc = ~crc;
+  // Head: align to 8 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
+    crc = tb.t[0][(crc ^ *data++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  // Body: slicing-by-8. The word-XOR trick folds the running CRC into the
+  // low bytes, which is only correct on little-endian hosts; big-endian
+  // falls through to the byte loop (correctness over speed there).
+  while (std::endian::native == std::endian::little && n >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, data, sizeof(word));
+    word ^= crc;  // Little-endian: low 4 bytes absorb the running CRC.
+    crc = tb.t[7][word & 0xff] ^ tb.t[6][(word >> 8) & 0xff] ^
+          tb.t[5][(word >> 16) & 0xff] ^ tb.t[4][(word >> 24) & 0xff] ^
+          tb.t[3][(word >> 32) & 0xff] ^ tb.t[2][(word >> 40) & 0xff] ^
+          tb.t[1][(word >> 48) & 0xff] ^ tb.t[0][(word >> 56) & 0xff];
+    data += 8;
+    n -= 8;
+  }
+  // Tail.
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *data++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace modelardb

@@ -1,0 +1,30 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding WAL blocks against torn writes and bit rot. Chosen over
+// CRC32 (zlib) for its better error-detection properties on short records
+// and because it is the checksum every comparable storage engine (LevelDB,
+// RocksDB, Kafka, ext4 metadata) settled on, so test vectors abound.
+//
+// The implementation is portable table-driven slicing-by-8 (~1 byte/cycle,
+// far faster than the WAL's fsync budget); a hardware SSE4.2 tier can slot
+// in behind the same function if profiles ever show it mattering.
+
+#ifndef MODELARDB_UTIL_CRC32C_H_
+#define MODELARDB_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace modelardb {
+
+// Continues a running CRC32C over `data[0, n)`. Pass the previous return
+// value as `crc` to checksum discontiguous spans as one logical buffer.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n);
+
+// CRC32C of one contiguous buffer.
+inline uint32_t Crc32c(const uint8_t* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_CRC32C_H_

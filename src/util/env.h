@@ -1,0 +1,72 @@
+// Env: the file-I/O boundary between the storage layer and the operating
+// system. Every byte the stores persist flows through an Env, so durability
+// semantics live in exactly one place — and tests/the crash harness can
+// substitute a FaultInjectionEnv (util/fault_env.h) to fail, short-write or
+// drop syscalls deterministically without touching store code.
+//
+// The contract mirrors what a write-ahead log actually needs and nothing
+// more: append-only logs with explicit Append/Sync/Close Status results
+// (an `ofstream` that "looks good" proves nothing about the disk), whole-
+// file reads for replay, and truncation for torn-tail repair. Sync() is a
+// real barrier: on return-OK the preceding appends have been handed to the
+// device (fdatasync), which is the acknowledgement boundary crash recovery
+// verifies against.
+
+#ifndef MODELARDB_UTIL_ENV_H_
+#define MODELARDB_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace modelardb {
+
+// An append-only log file. Not thread-safe: callers serialize access (the
+// stores append under their own mutex).
+class WritableLog {
+ public:
+  virtual ~WritableLog() = default;
+
+  // Appends `size` bytes at the end of the file. On a non-OK return the
+  // file tail is undefined (a short write may have landed), so callers
+  // must stop appending to the file — recovery salvages up to the last
+  // fully synced block.
+  virtual Status Append(const uint8_t* data, size_t size) = 0;
+
+  // Durability barrier: OK means every byte appended so far has been
+  // flushed through the OS to the device (fdatasync semantics).
+  virtual Status Sync() = 0;
+
+  // Closes the file. Does NOT imply Sync.
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // The production POSIX environment (process-wide singleton, stateless).
+  static Env* Default();
+
+  // Opens `path` for appending, creating it if absent.
+  virtual Result<std::unique_ptr<WritableLog>> NewWritableLog(
+      const std::string& path) = 0;
+
+  // Reads the whole file into memory (WAL replay reads logs once, forward).
+  virtual Result<std::vector<uint8_t>> ReadFileBytes(
+      const std::string& path) = 0;
+
+  virtual Result<int64_t> FileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  // Shrinks `path` to `size` bytes (torn-tail repair after salvage).
+  virtual Status TruncateFile(const std::string& path, int64_t size) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_ENV_H_

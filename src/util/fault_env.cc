@@ -1,0 +1,160 @@
+#include "util/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace modelardb {
+
+// Wraps the base log; all fault decisions are delegated to the env so the
+// op counter and per-file bookkeeping stay global and seeded.
+class FaultWritableLog final : public WritableLog {
+ public:
+  FaultWritableLog(FaultInjectionEnv* env, std::string path,
+                   std::unique_ptr<WritableLog> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const uint8_t* data, size_t size) override {
+    FaultInjectionEnv* env = env_;
+    MutexLock lock(env->mutex_);
+    const int64_t op = env->ops_++;
+    FaultInjectionEnv::FileState& state = env->files_[path_];
+    const auto& opts = env->options_;
+    if (opts.drop_writes_after >= 0 && op >= opts.drop_writes_after) {
+      // Acknowledged but never forwarded: buffered bytes a crash eats.
+      ++env->faults_;
+      return Status::OK();
+    }
+    if (op == opts.fail_append_at) {
+      ++env->faults_;
+      return Status::IOError("injected append failure at op " +
+                             std::to_string(op) + " on " + path_);
+    }
+    if (op == opts.short_write_at && size > 0) {
+      ++env->faults_;
+      const size_t prefix =
+          static_cast<size_t>(env->rng_.NextBelow(size));  // Strict prefix.
+      Status forward = base_->Append(data, prefix);
+      if (forward.ok()) state.forwarded_size += static_cast<int64_t>(prefix);
+      return Status::IOError("injected short write (" +
+                             std::to_string(prefix) + "/" +
+                             std::to_string(size) + " bytes) at op " +
+                             std::to_string(op) + " on " + path_);
+    }
+    MODELARDB_RETURN_NOT_OK(base_->Append(data, size));
+    state.forwarded_size += static_cast<int64_t>(size);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    FaultInjectionEnv* env = env_;
+    MutexLock lock(env->mutex_);
+    const int64_t op = env->ops_++;
+    FaultInjectionEnv::FileState& state = env->files_[path_];
+    const auto& opts = env->options_;
+    if (opts.drop_writes_after >= 0 && op >= opts.drop_writes_after) {
+      ++env->faults_;
+      return Status::OK();  // "Synced" data that never existed.
+    }
+    if (op == opts.fail_sync_at) {
+      ++env->faults_;
+      return Status::IOError("injected sync failure at op " +
+                             std::to_string(op) + " on " + path_);
+    }
+    MODELARDB_RETURN_NOT_OK(base_->Sync());
+    state.synced_size = state.forwarded_size;
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableLog> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, Options options)
+    : base_(base), options_(options), rng_(options.seed) {}
+
+Result<std::unique_ptr<WritableLog>> FaultInjectionEnv::NewWritableLog(
+    const std::string& path) {
+  MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableLog> base,
+                             base_->NewWritableLog(path));
+  {
+    MutexLock lock(mutex_);
+    if (files_.find(path) == files_.end()) {
+      // Appending to a pre-existing file: its current bytes are durable
+      // history, not unsynced tail.
+      int64_t size = 0;
+      if (base_->FileExists(path)) {
+        auto result = base_->FileSize(path);
+        if (result.ok()) size = *result;
+      }
+      files_[path] = FileState{size, size};
+    }
+  }
+  return std::unique_ptr<WritableLog>(
+      std::make_unique<FaultWritableLog>(this, path, std::move(base)));
+}
+
+Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFileBytes(
+    const std::string& path) {
+  return base_->ReadFileBytes(path);
+}
+
+Result<int64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path, int64_t size) {
+  MODELARDB_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  MutexLock lock(mutex_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.forwarded_size = size;
+    it->second.synced_size = std::min(it->second.synced_size, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  MODELARDB_RETURN_NOT_OK(base_->RemoveFile(path));
+  MutexLock lock(mutex_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SimulateCrash() {
+  MutexLock lock(mutex_);
+  for (auto& [path, state] : files_) {
+    const int64_t tail = state.forwarded_size - state.synced_size;
+    int64_t keep = state.synced_size;
+    if (tail > 0) {
+      // A power cut preserves an arbitrary prefix of the unsynced bytes
+      // (page-cache writeback order is not append order); seeded so the
+      // same run tears the same way.
+      keep += static_cast<int64_t>(
+          rng_.NextBelow(static_cast<uint64_t>(tail) + 1));
+    }
+    MODELARDB_RETURN_NOT_OK(base_->TruncateFile(path, keep));
+    state.forwarded_size = keep;
+    state.synced_size = keep;
+  }
+  return Status::OK();
+}
+
+int64_t FaultInjectionEnv::ops() const {
+  MutexLock lock(mutex_);
+  return ops_;
+}
+
+int64_t FaultInjectionEnv::faults_injected() const {
+  MutexLock lock(mutex_);
+  return faults_;
+}
+
+}  // namespace modelardb

@@ -1,0 +1,93 @@
+// FaultInjectionEnv: a deterministic, seeded chaos layer over any base Env.
+//
+// Every Append and Sync that flows through the env consumes one global op
+// index. The options pick op indices at which to inject a failure:
+//
+//   fail_append_at     Append returns IOError; nothing reaches the base.
+//   short_write_at     Append forwards only a seeded strict prefix and
+//                      returns IOError — the on-disk artifact of a crash or
+//                      full disk mid-record (a torn block).
+//   fail_sync_at       Sync returns IOError without syncing (fsyncgate).
+//   drop_writes_after  Every op with index >= N is acknowledged OK but
+//                      never forwarded: models writes the kernel buffered
+//                      but that never survived (combined with
+//                      SimulateCrash this is a sync cut).
+//
+// The env additionally tracks, per tracked log file, the byte size at the
+// last successful Sync vs the bytes actually forwarded. SimulateCrash()
+// then plays kill -9 / power loss in-process: each file is truncated back
+// to its synced size plus a seeded prefix of the unsynced tail (a torn
+// page). All decisions derive from the seed and the op sequence alone, so
+// a run reproduces bit-identically — the property the crash harness's
+// determinism check asserts.
+//
+// Thread-safety: guarded by a mutex so concurrent stores can share one
+// env; determinism is only meaningful when the op ORDER is deterministic,
+// i.e. single-threaded use (tests, the crash harness).
+
+#ifndef MODELARDB_UTIL_FAULT_ENV_H_
+#define MODELARDB_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/random.h"
+#include "util/sync.h"
+
+namespace modelardb {
+
+class FaultInjectionEnv final : public Env {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    int64_t fail_append_at = -1;
+    int64_t short_write_at = -1;
+    int64_t fail_sync_at = -1;
+    int64_t drop_writes_after = -1;
+  };
+
+  FaultInjectionEnv(Env* base, Options options);
+
+  Result<std::unique_ptr<WritableLog>> NewWritableLog(
+      const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) override;
+  Result<int64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status TruncateFile(const std::string& path, int64_t size) override;
+  Status RemoveFile(const std::string& path) override;
+
+  // Power cut: truncates every tracked log back to its last-synced size
+  // plus a seeded prefix of the unsynced (but forwarded) tail. The env
+  // stays usable; reopening the files afterwards observes exactly what a
+  // kill -9 would have left behind.
+  Status SimulateCrash();
+
+  // Ops consumed so far (Appends + Syncs).
+  int64_t ops() const;
+  // Faults actually injected so far.
+  int64_t faults_injected() const;
+
+ private:
+  friend class FaultWritableLog;
+
+  struct FileState {
+    int64_t synced_size = 0;     // Bytes durable at the last OK Sync.
+    int64_t forwarded_size = 0;  // Bytes actually handed to the base env.
+  };
+
+  Env* const base_;
+  const Options options_;
+  mutable Mutex mutex_;
+  Random rng_ GUARDED_BY(mutex_);
+  std::map<std::string, FileState> files_ GUARDED_BY(mutex_);
+  int64_t ops_ GUARDED_BY(mutex_) = 0;
+  int64_t faults_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace modelardb
+
+#endif  // MODELARDB_UTIL_FAULT_ENV_H_

@@ -26,35 +26,43 @@ class CorruptionTest : public ::testing::Test {
 
   std::string LogPath() const { return (dir_ / "segments.log").string(); }
 
-  void WriteValidStore(int segments) {
+  // Writes `segments` segments per flush, `flushes` times: one WAL block
+  // per flush.
+  void WriteValidStore(int segments, int flushes = 1) {
     SegmentStoreOptions options;
     options.directory = dir_.string();
     auto store = *SegmentStore::Open(options);
-    for (int i = 0; i < segments; ++i) {
-      Segment s;
-      s.gid = 1;
-      s.start_time = i * 1000;
-      s.end_time = i * 1000 + 900;
-      s.si = 100;
-      s.mid = kMidPmcMean;
-      s.parameters = {0, 0, 0x20, 0x41};
-      ASSERT_TRUE(store->Put(s).ok());
+    for (int f = 0; f < flushes; ++f) {
+      for (int i = 0; i < segments; ++i) {
+        Segment s;
+        s.gid = 1;
+        s.start_time = (f * segments + i) * 1000;
+        s.end_time = (f * segments + i) * 1000 + 900;
+        s.si = 100;
+        s.mid = kMidPmcMean;
+        s.parameters = {0, 0, 0x20, 0x41};
+        ASSERT_TRUE(store->Put(s).ok());
+      }
+      ASSERT_TRUE(store->Flush().ok());
     }
-    ASSERT_TRUE(store->Flush().ok());
   }
 
-  Status Reopen() {
+  Result<std::unique_ptr<SegmentStore>> ReopenStore() {
     SegmentStoreOptions options;
     options.directory = dir_.string();
-    return SegmentStore::Open(options).status();
+    return SegmentStore::Open(options);
   }
+
+  Status Reopen() { return ReopenStore().status(); }
 
   static inline int counter_ = 0;
   std::filesystem::path dir_;
 };
 
-TEST_F(CorruptionTest, GarbledMagicIsCorruption) {
-  WriteValidStore(3);
+TEST_F(CorruptionTest, GarbledInteriorMagicIsCorruption) {
+  // Damage in block 1 of 2 — a valid block follows, so this is interior
+  // corruption (rot), not a torn tail: Open must refuse.
+  WriteValidStore(3, /*flushes=*/2);
   {
     std::fstream f(LogPath(),
                    std::ios::binary | std::ios::in | std::ios::out);
@@ -65,16 +73,47 @@ TEST_F(CorruptionTest, GarbledMagicIsCorruption) {
   EXPECT_EQ(s.code(), StatusCode::kCorruption) << s;
 }
 
-TEST_F(CorruptionTest, TruncatedBlockIsDetected) {
-  WriteValidStore(3);
+TEST_F(CorruptionTest, GarbledLoneBlockMagicSalvagesEmpty) {
+  // The same damage with nothing valid after it reads as crash debris:
+  // Open succeeds, serves nothing, quarantines the bytes.
+  WriteValidStore(3, /*flushes=*/1);
   auto size = std::filesystem::file_size(LogPath());
-  std::filesystem::resize_file(LogPath(), size - 7);
-  Status s = Reopen();
-  EXPECT_FALSE(s.ok());
+  {
+    std::fstream f(LogPath(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f.write("XXXX", 4);
+  }
+  auto store = ReopenStore();
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->NumSegments(), 0);
+  EXPECT_TRUE((*store)->recovery_info().torn_tail);
+  EXPECT_EQ((*store)->recovery_info().quarantined_bytes,
+            static_cast<int64_t>(size));
+  EXPECT_TRUE(std::filesystem::exists((*store)->CorruptSidecarPath()));
 }
 
-TEST_F(CorruptionTest, FlippedLengthFieldIsDetected) {
-  WriteValidStore(3);
+TEST_F(CorruptionTest, TruncatedTailBlockIsSalvaged) {
+  // A crash mid-append leaves a truncated last block: recovery serves the
+  // whole blocks and truncates the torn tail instead of failing Open.
+  WriteValidStore(3, /*flushes=*/2);
+  auto size = std::filesystem::file_size(LogPath());
+  std::filesystem::resize_file(LogPath(), size - 7);
+  auto store = ReopenStore();
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->NumSegments(), 3);  // Block 1 intact, block 2 torn.
+  EXPECT_TRUE((*store)->recovery_info().torn_tail);
+  // The log was repaired: a second open is clean.
+  auto again = ReopenStore();
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ((*again)->NumSegments(), 3);
+  EXPECT_FALSE((*again)->recovery_info().torn_tail);
+}
+
+TEST_F(CorruptionTest, FlippedInteriorLengthFieldIsDetected) {
+  // A huge length field in block 1 of 2 claims a payload past EOF while a
+  // valid block follows: interior corruption.
+  WriteValidStore(3, /*flushes=*/2);
   {
     std::fstream f(LogPath(),
                    std::ios::binary | std::ios::in | std::ios::out);
@@ -83,7 +122,7 @@ TEST_F(CorruptionTest, FlippedLengthFieldIsDetected) {
     f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
   }
   Status s = Reopen();
-  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s;
 }
 
 TEST_F(CorruptionTest, EmptyFileIsFine) {

@@ -39,7 +39,7 @@ metric_hygiene() {
       echo "FAIL: metric '$name' is not in src/obs/metric_names.h" >&2
       unknown=1
     fi
-  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode)_[a-z0-9_]+' \
+  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode|wal|recovery)_[a-z0-9_]+' \
              -- tests docs '*.md' ':!src/obs/metric_names.h' 2>/dev/null \
            | sort -u)
   return "$unknown"
@@ -113,6 +113,14 @@ else
   echo "ci: SKIP kernel-parity gate (non-x86 host: $(uname -m))"
 fi
 
+# Crash-recovery gate: N rounds of kill -9 mid-ingest plus seeded
+# fault-injection rounds; every round must reopen and serve the
+# acknowledged-flush watermark byte-identically (DESIGN.md §3g). The
+# harness itself SKIPs loudly (but exits 0) on platforms without
+# fork/kill, so this stage stays runnable everywhere.
+./build/tools/crash_writer --rounds=25 --seed=7
+echo "ci: crash-recovery gate passed"
+
 # Tier 2: concurrency subset under ThreadSanitizer.
 cmake -B build-tsan -S . -DMODELARDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -152,9 +160,11 @@ fi
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DMODELARDB_FUZZ=ON >/dev/null
-  cmake --build build-fuzz -j "$JOBS" --target fuzz_parser
+  cmake --build build-fuzz -j "$JOBS" --target fuzz_parser fuzz_wal_replay
   ./build-fuzz/fuzz/fuzz_parser -max_total_time=30 -print_final_stats=1 \
       fuzz/corpus
+  ./build-fuzz/fuzz/fuzz_wal_replay -max_total_time=30 -print_final_stats=1 \
+      fuzz/corpus_wal
   echo "ci: fuzz smoke passed"
 else
   echo "ci: SKIP fuzz smoke (clang++ not on PATH)"

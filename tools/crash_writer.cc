@@ -1,0 +1,375 @@
+// Crash harness for the durability contract (DESIGN.md §3g, ISSUE PR 7).
+//
+// Two kinds of rounds, both seeded and both ending in reopen-and-verify:
+//
+//   kill -9   A forked child ingests deterministic segments into a
+//             SegmentStore under WalSyncPolicy::kEveryBlock and reports an
+//             "ACK n" line on the pipe after every OK Flush() — n segments
+//             are durable by the WAL contract. The parent SIGKILLs the
+//             child at a seeded point, drains the pipe, reopens the store
+//             and requires (a) Open succeeds, (b) the store serves exactly
+//             the first M deterministic segments for some M >= the last
+//             acknowledged n, (c) every served segment is byte-identical
+//             to what was ingested.
+//
+//   fault     The same ingest loop in-process under a FaultInjectionEnv
+//             with one seeded fault (failed/short append, failed sync, or
+//             a sync cut via drop_writes_after) followed by
+//             SimulateCrash(). Reopen-and-verify as above, plus each round
+//             is run twice with the same seed and every recovery decision
+//             (salvage vs corruption, blocks replayed, quarantined bytes,
+//             post-recovery log bytes) must reproduce bit-identically.
+//
+// Usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH]
+// Exit 0 only if every round passes. On platforms without fork/kill it
+// prints a loud SKIP and exits 0 so CI stays green but honest.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/models/pmc_mean.h"
+#include "storage/segment_store.h"
+#include "util/buffer.h"
+#include "util/fault_env.h"
+#include "util/random.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define MODELARDB_HAS_FORK 1
+#else
+#define MODELARDB_HAS_FORK 0
+#endif
+
+namespace modelardb {
+namespace {
+
+constexpr int kMaxSegments = 4000;
+constexpr int kFlushEvery = 20;
+
+// The i-th segment of the deterministic workload. Content is a pure
+// function of i so the verifier can regenerate the expected bytes without
+// any channel from the crashed writer.
+Segment MakeSegment(int i) {
+  Segment s;
+  s.gid = 1;
+  s.start_time = static_cast<Timestamp>(i) * 1000;
+  s.end_time = s.start_time + 900;
+  s.si = 100;
+  s.mid = kMidPmcMean;
+  s.error_bound_pct = 0.0f;
+  float value = 0.25f + 1.5f * static_cast<float>(i);
+  s.min_value = value;
+  s.max_value = value;
+  s.parameters.resize(sizeof(float));
+  std::memcpy(s.parameters.data(), &value, sizeof(float));
+  return s;
+}
+
+std::vector<uint8_t> SerializeSegment(const Segment& s) {
+  BufferWriter writer;
+  s.SerializeTo(&writer);
+  return writer.Finish();
+}
+
+// Reopens `dir` and checks the prefix property: Open must succeed and the
+// store must serve exactly MakeSegment(0..M-1) for some M >= min_acked,
+// byte-identical. Returns M, or -1 on failure (with a diagnostic).
+int64_t ReopenAndVerify(const std::string& dir, int64_t min_acked,
+                        RecoveryInfo* info_out = nullptr) {
+  SegmentStoreOptions options;
+  options.directory = dir;
+  auto store_or = SegmentStore::Open(options);
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "FAIL: reopen of %s: %s\n", dir.c_str(),
+                 store_or.status().ToString().c_str());
+    return -1;
+  }
+  std::unique_ptr<SegmentStore> store = std::move(*store_or);
+  if (info_out != nullptr) *info_out = store->recovery_info();
+
+  std::vector<Segment> served;
+  Status s = store->Scan(SegmentFilter{}, [&](const Segment& seg) {
+    served.push_back(seg);
+    return Status::OK();
+  });
+  if (!s.ok()) {
+    std::fprintf(stderr, "FAIL: scan of %s: %s\n", dir.c_str(),
+                 s.ToString().c_str());
+    return -1;
+  }
+  const int64_t m = static_cast<int64_t>(served.size());
+  if (m < min_acked) {
+    std::fprintf(stderr,
+                 "FAIL: %s serves %" PRId64 " segments but %" PRId64
+                 " were acknowledged durable\n",
+                 dir.c_str(), m, min_acked);
+    return -1;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    if (SerializeSegment(served[i]) != SerializeSegment(MakeSegment(i))) {
+      std::fprintf(stderr,
+                   "FAIL: %s segment %" PRId64
+                   " is not byte-identical to the ingested one\n",
+                   dir.c_str(), i);
+      return -1;
+    }
+  }
+  return m;
+}
+
+#if MODELARDB_HAS_FORK
+
+// Child body: ingest with per-flush durability, ACKing each durable
+// watermark on `fd`. Never returns.
+[[noreturn]] void RunChild(const std::string& dir, int fd) {
+  SegmentStoreOptions options;
+  options.directory = dir;
+  options.wal_sync_policy = WalSyncPolicy::kEveryBlock;
+  // Only explicit Flush() writes blocks, so the ACK watermark is exact.
+  options.bulk_write_size = static_cast<size_t>(kMaxSegments) + 1;
+  auto store_or = SegmentStore::Open(options);
+  if (!store_or.ok()) _exit(2);
+  std::unique_ptr<SegmentStore> store = std::move(*store_or);
+  for (int i = 0; i < kMaxSegments; ++i) {
+    if (!store->Put(MakeSegment(i)).ok()) _exit(3);
+    if ((i + 1) % kFlushEvery == 0) {
+      if (!store->Flush().ok()) _exit(4);
+      // kEveryBlock: the flush that just returned OK is on disk. Anything
+      // the parent reads from the pipe is a durable lower bound.
+      dprintf(fd, "ACK %d\n", i + 1);
+    }
+  }
+  if (!store->Flush().ok()) _exit(4);
+  dprintf(fd, "ACK %d\n", kMaxSegments);
+  _exit(0);
+}
+
+bool RunKillRound(int round, uint64_t seed, const std::string& dir) {
+  Random rng(seed);
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    return false;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    RunChild(dir, fds[1]);
+  }
+  close(fds[1]);
+
+  // Kill after a seeded number of ACKs plus a seeded dally, so the SIGKILL
+  // lands everywhere from "mid first block" to "mid byte of block N".
+  const int64_t target_acks = 1 + static_cast<int64_t>(rng.NextBelow(40));
+  const useconds_t dally =
+      static_cast<useconds_t>(rng.NextBelow(5000));  // Up to 5ms.
+  FILE* in = fdopen(fds[0], "r");
+  int64_t last_ack = 0;
+  int64_t acks = 0;
+  char line[64];
+  while (acks < target_acks && std::fgets(line, sizeof(line), in)) {
+    long n = 0;
+    if (std::sscanf(line, "ACK %ld", &n) == 1) {
+      last_ack = n;
+      ++acks;
+    }
+  }
+  usleep(dally);
+  kill(pid, SIGKILL);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0) {
+    std::fprintf(stderr, "FAIL: child writer exited with %d before the kill\n",
+                 WEXITSTATUS(wstatus));
+    fclose(in);
+    return false;
+  }
+  // ACKs already in the pipe were written after durable flushes too.
+  while (std::fgets(line, sizeof(line), in)) {
+    long n = 0;
+    if (std::sscanf(line, "ACK %ld", &n) == 1) last_ack = n;
+  }
+  fclose(in);
+
+  RecoveryInfo info;
+  const int64_t served = ReopenAndVerify(dir, last_ack, &info);
+  if (served < 0) return false;
+  std::printf("crash_writer: kill round %d: killed at ack %" PRId64
+              ", served %" PRId64 " segments%s\n",
+              round, last_ack, served, info.torn_tail ? " (tail salvaged)" : "");
+  return true;
+}
+
+#endif  // MODELARDB_HAS_FORK
+
+// What one fault round observed; two same-seed runs must compare equal.
+struct FaultRoundResult {
+  bool ok = false;
+  int64_t acked = 0;
+  int64_t served = 0;
+  int64_t blocks_replayed = 0;
+  bool torn_tail = false;
+  int64_t quarantined_bytes = 0;
+  std::vector<uint8_t> log_bytes;  // Post-recovery segments.log contents.
+
+  bool operator==(const FaultRoundResult&) const = default;
+};
+
+FaultRoundResult RunFaultRound(uint64_t seed, const std::string& dir) {
+  FaultRoundResult result;
+  Random rng(seed);
+  FaultInjectionEnv::Options fault_options;
+  fault_options.seed = seed;
+  const int64_t fault_op = 2 + static_cast<int64_t>(rng.NextBelow(120));
+  switch (rng.NextBelow(4)) {
+    case 0: fault_options.fail_append_at = fault_op; break;
+    case 1: fault_options.short_write_at = fault_op; break;
+    case 2: fault_options.fail_sync_at = fault_op; break;
+    default: fault_options.drop_writes_after = fault_op; break;
+  }
+  FaultInjectionEnv env(Env::Default(), fault_options);
+
+  int64_t acked = 0;
+  {
+    SegmentStoreOptions options;
+    options.directory = dir;
+    options.env = &env;
+    options.wal_sync_policy = WalSyncPolicy::kEveryBlock;
+    options.bulk_write_size = static_cast<size_t>(kMaxSegments) + 1;
+    auto store_or = SegmentStore::Open(options);
+    if (!store_or.ok()) {
+      std::fprintf(stderr, "FAIL: fault open of %s: %s\n", dir.c_str(),
+                   store_or.status().ToString().c_str());
+      return result;
+    }
+    std::unique_ptr<SegmentStore> store = std::move(*store_or);
+    for (int i = 0; i < 600; ++i) {
+      if (!store->Put(MakeSegment(i)).ok()) break;
+      if ((i + 1) % kFlushEvery == 0) {
+        if (!store->Flush().ok()) break;  // Writer poisoned from here on.
+        // drop_writes_after acknowledges appends and syncs without
+        // forwarding a byte (a lying disk): an OK flush is a durable
+        // watermark only while no fault has fired yet.
+        if (env.faults_injected() == 0) acked = i + 1;
+      }
+    }
+    // The store (and its fd) must be gone before the power cut: a real
+    // crash never runs destructors.
+  }
+  if (!env.SimulateCrash().ok()) {
+    std::fprintf(stderr, "FAIL: SimulateCrash on %s\n", dir.c_str());
+    return result;
+  }
+
+  RecoveryInfo info;
+  const int64_t served = ReopenAndVerify(dir, acked, &info);
+  if (served < 0) return result;
+
+  auto log_bytes = Env::Default()->ReadFileBytes(dir + "/segments.log");
+  result.ok = true;
+  result.acked = acked;
+  result.served = served;
+  result.blocks_replayed = info.blocks_replayed;
+  result.torn_tail = info.torn_tail;
+  result.quarantined_bytes = info.quarantined_bytes;
+  if (log_bytes.ok()) result.log_bytes = std::move(*log_bytes);
+  return result;
+}
+
+bool RunFaultRoundPair(int round, uint64_t seed, const std::string& base_dir) {
+  const std::string dir_a = base_dir + "/fault_" + std::to_string(round) + "_a";
+  const std::string dir_b = base_dir + "/fault_" + std::to_string(round) + "_b";
+  std::filesystem::create_directories(dir_a);
+  std::filesystem::create_directories(dir_b);
+  FaultRoundResult a = RunFaultRound(seed, dir_a);
+  if (!a.ok) return false;
+  FaultRoundResult b = RunFaultRound(seed, dir_b);
+  if (!b.ok) return false;
+  if (!(a == b)) {
+    std::fprintf(stderr,
+                 "FAIL: fault round %d is not deterministic for seed %" PRIu64
+                 " (a: acked=%" PRId64 " served=%" PRId64 " blocks=%" PRId64
+                 " torn=%d quarantined=%" PRId64 "; b: acked=%" PRId64
+                 " served=%" PRId64 " blocks=%" PRId64 " torn=%d"
+                 " quarantined=%" PRId64 ")\n",
+                 round, seed, a.acked, a.served, a.blocks_replayed,
+                 a.torn_tail ? 1 : 0, a.quarantined_bytes, b.acked, b.served,
+                 b.blocks_replayed, b.torn_tail ? 1 : 0, b.quarantined_bytes);
+    return false;
+  }
+  std::printf("crash_writer: fault round %d: acked %" PRId64 ", served %" PRId64
+              " segments%s, deterministic\n",
+              round, a.acked, a.served, a.torn_tail ? " (tail salvaged)" : "");
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  int rounds = 25;
+  uint64_t seed = 42;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else {
+      std::fprintf(stderr,
+                   "usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH]\n");
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("mdb_crash_" + std::to_string(::getpid())))
+              .string();
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  bool all_ok = true;
+#if MODELARDB_HAS_FORK
+  for (int r = 0; r < rounds && all_ok; ++r) {
+    const std::string round_dir = dir + "/kill_" + std::to_string(r);
+    std::filesystem::create_directories(round_dir);
+    all_ok = RunKillRound(r, seed + static_cast<uint64_t>(r), round_dir);
+  }
+#else
+  std::printf(
+      "crash_writer: SKIP kill -9 rounds (no fork/kill on this platform)\n");
+#endif
+  for (int r = 0; r < rounds && all_ok; ++r) {
+    all_ok = RunFaultRoundPair(r, seed * 1000003 + static_cast<uint64_t>(r),
+                               dir);
+  }
+
+  if (all_ok) {
+    std::filesystem::remove_all(dir);
+    std::printf("crash_writer: all %d kill + %d fault rounds passed\n",
+                MODELARDB_HAS_FORK ? rounds : 0, rounds);
+    return 0;
+  }
+  std::fprintf(stderr, "crash_writer: FAILED (artifacts kept in %s)\n",
+               dir.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace modelardb
+
+int main(int argc, char** argv) { return modelardb::Run(argc, argv); }
