@@ -1,0 +1,169 @@
+// Cold-scan benchmark for the mmap-backed slab layer (DESIGN.md §3h).
+//
+// Two stores ingest the identical segment workload. Store A stays
+// WAL-only; store B checkpoints into segments.slab before closing. The
+// bench then measures what the slab buys:
+//
+//   open        Reopen latency — A replays the whole WAL, B loads the cold
+//               index and replays only the post-checkpoint suffix.
+//   scan        Full-scan throughput — A from the heap, B zero-copy from
+//               the mapping — plus a byte-identity check (FNV over every
+//               served segment's serialized bytes must match).
+//
+// Writes BENCH_cold_scan.json with the latencies, speedups and the
+// modelardb_slab_* counters.
+
+#include <cinttypes>
+#include <cstring>
+
+#include "bench/harness.h"
+#include "core/models/pmc_mean.h"
+#include "storage/segment_store.h"
+#include "util/buffer.h"
+#include "util/stopwatch.h"
+
+namespace modelardb {
+namespace {
+
+constexpr int kGroups = 8;
+
+Segment MakeSegment(Gid gid, int i) {
+  Segment s;
+  s.gid = gid;
+  s.start_time = static_cast<Timestamp>(i) * 1000;
+  s.end_time = s.start_time + 900;
+  s.si = 100;
+  s.mid = kMidPmcMean;
+  s.error_bound_pct = 0.0f;
+  float value = static_cast<float>(gid) + 0.25f * static_cast<float>(i % 64);
+  s.min_value = value;
+  s.max_value = value;
+  s.parameters.resize(sizeof(float));
+  std::memcpy(s.parameters.data(), &value, sizeof(float));
+  return s;
+}
+
+void Ingest(SegmentStore* store, int per_group) {
+  std::vector<Segment> batch;
+  batch.reserve(1024);
+  for (int i = 0; i < per_group; ++i) {
+    for (Gid gid = 1; gid <= kGroups; ++gid) {
+      batch.push_back(MakeSegment(gid, i));
+      if (batch.size() == batch.capacity()) {
+        bench::CheckOk(store->PutBatch(batch), "PutBatch");
+        batch.clear();
+      }
+    }
+  }
+  if (!batch.empty()) bench::CheckOk(store->PutBatch(batch), "PutBatch");
+  bench::CheckOk(store->Flush(), "Flush");
+}
+
+struct ScanMeasurement {
+  double seconds = 0;
+  int64_t segments = 0;
+  uint64_t fnv = 1469598103934665603ull;
+};
+
+ScanMeasurement MeasureScan(SegmentStore* store) {
+  ScanMeasurement m;
+  Stopwatch stopwatch;
+  bench::CheckOk(store->Scan(
+                     SegmentFilter{},
+                     [&m](const Segment& s) {
+                       BufferWriter writer;
+                       s.SerializeTo(&writer);
+                       std::vector<uint8_t> bytes = writer.Finish();
+                       for (uint8_t b : bytes) {
+                         m.fnv = (m.fnv ^ b) * 1099511628211ull;
+                       }
+                       ++m.segments;
+                       return Status::OK();
+                     }),
+                 "Scan");
+  m.seconds = stopwatch.ElapsedSeconds();
+  return m;
+}
+
+int Run() {
+  const int per_group =
+      static_cast<int>(40000 * bench::Scale());  // x8 groups.
+  bench::PrintHeader("cold_scan",
+                     "mmap slab: suffix-only replay + zero-copy scans");
+  bench::TempDir dir("cold_scan");
+  bench::JsonReport report("cold_scan");
+  report.Add("segments_total", static_cast<int64_t>(per_group) * kGroups);
+
+  SegmentStoreOptions options;
+  options.env = Env::Default();
+
+  // Store A: WAL only.
+  options.directory = dir.Sub("wal_only");
+  {
+    auto store = bench::CheckOk(SegmentStore::Open(options), "open A");
+    Ingest(store.get(), per_group);
+  }
+  Stopwatch open_a;
+  auto store_a = bench::CheckOk(SegmentStore::Open(options), "reopen A");
+  const double open_wal_only = open_a.ElapsedSeconds();
+  ScanMeasurement heap = MeasureScan(store_a.get());
+  ScanMeasurement heap2 = MeasureScan(store_a.get());
+  if (heap2.seconds < heap.seconds) heap.seconds = heap2.seconds;
+  const int64_t replayed_a = store_a->recovery_info().segments_replayed;
+  store_a.reset();
+
+  // Store B: identical ingest, then one checkpoint before closing.
+  options.directory = dir.Sub("slab");
+  {
+    auto store = bench::CheckOk(SegmentStore::Open(options), "open B");
+    Ingest(store.get(), per_group);
+    Stopwatch checkpoint;
+    bench::CheckOk(store->Checkpoint(), "Checkpoint");
+    report.Add("checkpoint_seconds", checkpoint.ElapsedSeconds());
+  }
+  Stopwatch open_b;
+  auto store_b = bench::CheckOk(SegmentStore::Open(options), "reopen B");
+  const double open_slab = open_b.ElapsedSeconds();
+  ScanMeasurement cold = MeasureScan(store_b.get());
+  ScanMeasurement cold2 = MeasureScan(store_b.get());
+  if (cold2.seconds < cold.seconds) cold.seconds = cold2.seconds;
+  const int64_t replayed_b = store_b->recovery_info().segments_replayed;
+  const SlabStats slab = store_b->slab_stats();
+
+  if (heap.segments != cold.segments || heap.fnv != cold.fnv ||
+      heap.fnv != heap2.fnv || cold.fnv != cold2.fnv) {
+    std::fprintf(stderr,
+                 "FAIL: cold scan is not byte-identical to the heap scan "
+                 "(%" PRId64 "/%" PRIu64 " vs %" PRId64 "/%" PRIu64 ")\n",
+                 heap.segments, heap.fnv, cold.segments, cold.fnv);
+    return 1;
+  }
+
+  bench::PrintRow("open: WAL-only replay", open_wal_only * 1000.0, "ms");
+  bench::PrintRow("open: slab + WAL suffix", open_slab * 1000.0, "ms");
+  bench::PrintRow("open speedup", open_wal_only / open_slab, "x");
+  bench::PrintRow("scan: heap", heap.seconds * 1000.0, "ms");
+  bench::PrintRow("scan: zero-copy cold", cold.seconds * 1000.0, "ms");
+  bench::PrintRow("scan ratio (heap/cold)", heap.seconds / cold.seconds, "x");
+  bench::PrintNote("segments replayed at open: WAL-only " +
+                   std::to_string(replayed_a) + ", slab " +
+                   std::to_string(replayed_b));
+  bench::PrintNote("byte-identity: OK (FNV " + std::to_string(heap.fnv) + ")");
+
+  report.Add("open_wal_only_seconds", open_wal_only);
+  report.Add("open_slab_seconds", open_slab);
+  report.Add("open_speedup", open_wal_only / open_slab);
+  report.Add("scan_heap_seconds", heap.seconds);
+  report.Add("scan_cold_seconds", cold.seconds);
+  report.Add("segments_replayed_wal_only", replayed_a);
+  report.Add("segments_replayed_slab", replayed_b);
+  report.Add("slab_epoch", static_cast<int64_t>(slab.epoch));
+  report.Add("slab_blocks", static_cast<int64_t>(slab.block_count));
+  report.Add("slab_mapped_bytes", static_cast<int64_t>(slab.mapped_bytes));
+  return 0;
+}
+
+}  // namespace
+}  // namespace modelardb
+
+int main() { return modelardb::Run(); }

@@ -111,7 +111,7 @@ class StepDecoder : public SegmentDecoder {
 };
 
 Result<std::unique_ptr<SegmentDecoder>> DecodeStep(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   BufferReader reader(params);
   MODELARDB_ASSIGN_OR_RETURN(float low, reader.ReadFloat());
   MODELARDB_ASSIGN_OR_RETURN(float high, reader.ReadFloat());

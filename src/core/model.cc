@@ -141,8 +141,7 @@ Result<std::unique_ptr<Model>> ModelRegistry::CreateModel(
 }
 
 Result<std::unique_ptr<SegmentDecoder>> ModelRegistry::CreateDecoder(
-    Mid mid, const std::vector<uint8_t>& params, int num_series,
-    int length) const {
+    Mid mid, ByteSpan params, int num_series, int length) const {
   auto it = entries_.find(mid);
   if (it == entries_.end()) {
     return Status::NotFound("unknown Mid: " + std::to_string(mid));

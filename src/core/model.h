@@ -116,8 +116,12 @@ class SegmentDecoder {
 
 using ModelFactory =
     std::function<std::unique_ptr<Model>(const ModelConfig&)>;
+// Decoders take a non-owning view: the zero-copy slab path hands decoders
+// slices of the mapped file directly (pinned for the decoder's lifetime),
+// and owned vectors convert implicitly. A decoder that must retain the
+// parameter bytes beyond construction copies what it needs.
 using DecoderFactory = std::function<Result<std::unique_ptr<SegmentDecoder>>(
-    const std::vector<uint8_t>& params, int num_series, int length)>;
+    ByteSpan params, int num_series, int length)>;
 
 // Well-known Mids of the bundled models. User models must use Mids >= 100.
 inline constexpr Mid kMidPmcMean = 1;
@@ -166,8 +170,7 @@ class ModelRegistry {
   Result<std::unique_ptr<Model>> CreateModel(Mid mid,
                                              const ModelConfig& config) const;
   Result<std::unique_ptr<SegmentDecoder>> CreateDecoder(
-      Mid mid, const std::vector<uint8_t>& params, int num_series,
-      int length) const;
+      Mid mid, ByteSpan params, int num_series, int length) const;
 
   Result<std::string> ModelName(Mid mid) const;
   bool Contains(Mid mid) const { return entries_.count(mid) > 0; }

@@ -97,7 +97,7 @@ void GorillaEncoder::Append(Value v) {
 }
 
 Result<std::vector<Value>> GorillaDecodeStream(
-    const std::vector<uint8_t>& bytes, size_t count) {
+    ByteSpan bytes, size_t count) {
   // Scalar tier: the one-pass reference. Kernel tiers: the two-pass
   // decoder (identical bytes either way; the parity CI stage proves it).
   if (simd::ActiveTier() == simd::Tier::kScalar) {
@@ -107,7 +107,7 @@ Result<std::vector<Value>> GorillaDecodeStream(
 }
 
 Result<std::vector<Value>> GorillaDecodeStreamScalar(
-    const std::vector<uint8_t>& bytes, size_t count) {
+    ByteSpan bytes, size_t count) {
   std::vector<Value> out;
   out.reserve(count);
   BitReader reader(bytes);
@@ -152,7 +152,7 @@ Result<std::vector<Value>> GorillaDecodeStreamScalar(
 }
 
 Result<std::vector<Value>> GorillaDecodeStreamWithKernels(
-    const std::vector<uint8_t>& bytes, size_t count,
+    ByteSpan bytes, size_t count,
     const simd::Kernels& kernels) {
   // Pass 1: gulp the byte stream into big-endian uint64 words (the
   // ReadBitsBulk fast path) and parse the control fields into the XOR
@@ -245,7 +245,7 @@ void GorillaModel::Reset() {
 }
 
 Result<std::unique_ptr<SegmentDecoder>> GorillaModel::Decode(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   MODELARDB_ASSIGN_OR_RETURN(
       std::vector<Value> grid,
       GorillaDecodeStream(params,

@@ -40,13 +40,13 @@ class GorillaEncoder {
 // distinguished from legitimate trailing zero bits by BitReader's
 // overrun tracking.
 Result<std::vector<Value>> GorillaDecodeStream(
-    const std::vector<uint8_t>& bytes, size_t count);
+    ByteSpan bytes, size_t count);
 
 // The portable one-pass reference decoder (bit-at-a-time BitReader walk).
 // Selected when the scalar kernel tier is active; also the baseline the
 // parity tests and bench_decode_kernels compare against.
 Result<std::vector<Value>> GorillaDecodeStreamScalar(
-    const std::vector<uint8_t>& bytes, size_t count);
+    ByteSpan bytes, size_t count);
 
 // The two-pass kernel decoder: pass 1 gulps the stream into big-endian
 // words via BitReader::ReadBitsBulk and parses the control fields into an
@@ -55,7 +55,7 @@ Result<std::vector<Value>> GorillaDecodeStreamScalar(
 // every input (integer-only operations); exposed with an explicit kernel
 // table so tests can pin a tier regardless of dispatch.
 Result<std::vector<Value>> GorillaDecodeStreamWithKernels(
-    const std::vector<uint8_t>& bytes, size_t count,
+    ByteSpan bytes, size_t count,
     const simd::Kernels& kernels);
 
 class GorillaModel : public Model {
@@ -73,7 +73,7 @@ class GorillaModel : public Model {
 
   static std::unique_ptr<Model> Create(const ModelConfig& config);
   static Result<std::unique_ptr<SegmentDecoder>> Decode(
-      const std::vector<uint8_t>& params, int num_series, int length);
+      ByteSpan params, int num_series, int length);
 
  private:
   ModelConfig config_;

@@ -15,16 +15,18 @@ ModelConfig SingleSeriesConfig(const ModelConfig& config) {
 }
 
 Result<std::unique_ptr<SegmentDecoder>> DecodeWith(
-    const std::vector<uint8_t>& params, int num_series, int length,
+    ByteSpan params, int num_series, int length,
     const DecoderFactory& sub_decoder) {
   BufferReader reader(params);
   std::vector<std::unique_ptr<SegmentDecoder>> subs;
   subs.reserve(num_series);
   for (int i = 0; i < num_series; ++i) {
-    MODELARDB_ASSIGN_OR_RETURN(std::vector<uint8_t> sub_params,
-                               reader.ReadBytes());
-    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentDecoder> sub,
-                               sub_decoder(sub_params, 1, length));
+    // Borrow the sub-model bytes in place: the sub-decoders materialize
+    // their state during construction, so the view need not outlive it.
+    MODELARDB_ASSIGN_OR_RETURN(auto sub_params, reader.ReadBytesView());
+    MODELARDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<SegmentDecoder> sub,
+        sub_decoder(ByteSpan(sub_params.first, sub_params.second), 1, length));
     subs.push_back(std::move(sub));
   }
   return std::unique_ptr<SegmentDecoder>(
@@ -111,15 +113,15 @@ std::unique_ptr<Model> PerSeriesModel::CreateMultiGorilla(
 }
 
 Result<std::unique_ptr<SegmentDecoder>> PerSeriesModel::DecodeMultiPmc(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   return DecodeWith(params, num_series, length, PmcMeanModel::Decode);
 }
 Result<std::unique_ptr<SegmentDecoder>> PerSeriesModel::DecodeMultiSwing(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   return DecodeWith(params, num_series, length, SwingModel::Decode);
 }
 Result<std::unique_ptr<SegmentDecoder>> PerSeriesModel::DecodeMultiGorilla(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   return DecodeWith(params, num_series, length, GorillaModel::Decode);
 }
 

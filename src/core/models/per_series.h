@@ -38,11 +38,11 @@ class PerSeriesModel : public Model {
   static std::unique_ptr<Model> CreateMultiSwing(const ModelConfig& config);
   static std::unique_ptr<Model> CreateMultiGorilla(const ModelConfig& config);
   static Result<std::unique_ptr<SegmentDecoder>> DecodeMultiPmc(
-      const std::vector<uint8_t>& params, int num_series, int length);
+      ByteSpan params, int num_series, int length);
   static Result<std::unique_ptr<SegmentDecoder>> DecodeMultiSwing(
-      const std::vector<uint8_t>& params, int num_series, int length);
+      ByteSpan params, int num_series, int length);
   static Result<std::unique_ptr<SegmentDecoder>> DecodeMultiGorilla(
-      const std::vector<uint8_t>& params, int num_series, int length);
+      ByteSpan params, int num_series, int length);
 
  private:
   Mid mid_;

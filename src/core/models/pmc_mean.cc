@@ -68,7 +68,7 @@ void PmcMeanModel::Reset() {
 }
 
 Result<std::unique_ptr<SegmentDecoder>> PmcMeanModel::Decode(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   BufferReader reader(params);
   MODELARDB_ASSIGN_OR_RETURN(float value, reader.ReadFloat());
   return std::unique_ptr<SegmentDecoder>(

@@ -124,7 +124,7 @@ void PolynomialModel::Reset() {
 }
 
 Result<std::unique_ptr<SegmentDecoder>> PolynomialModel::Decode(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   BufferReader reader(params);
   MODELARDB_ASSIGN_OR_RETURN(double c0, reader.ReadDouble());
   MODELARDB_ASSIGN_OR_RETURN(double c1, reader.ReadDouble());

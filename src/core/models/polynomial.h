@@ -40,7 +40,7 @@ class PolynomialModel : public Model {
 
   static std::unique_ptr<Model> Create(const ModelConfig& config);
   static Result<std::unique_ptr<SegmentDecoder>> Decode(
-      const std::vector<uint8_t>& params, int num_series, int length);
+      ByteSpan params, int num_series, int length);
 
  private:
   // Solves the 3x3 least-squares system for the current midpoints.

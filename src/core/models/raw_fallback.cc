@@ -21,7 +21,7 @@ std::vector<uint8_t> RawFallbackModel::SerializeParameters(
 }
 
 Result<std::unique_ptr<SegmentDecoder>> RawFallbackModel::Decode(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   size_t expected = static_cast<size_t>(num_series) * length;
   if (params.size() != expected * sizeof(Value)) {
     return Status::Corruption("raw model: size mismatch");

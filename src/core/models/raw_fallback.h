@@ -35,7 +35,7 @@ class RawFallbackModel : public Model {
     return std::make_unique<RawFallbackModel>(config);
   }
   static Result<std::unique_ptr<SegmentDecoder>> Decode(
-      const std::vector<uint8_t>& params, int num_series, int length);
+      ByteSpan params, int num_series, int length);
 
  private:
   ModelConfig config_;

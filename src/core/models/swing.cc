@@ -82,7 +82,7 @@ void SwingModel::Reset() {
 }
 
 Result<std::unique_ptr<SegmentDecoder>> SwingModel::Decode(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   BufferReader reader(params);
   MODELARDB_ASSIGN_OR_RETURN(double intercept, reader.ReadDouble());
   MODELARDB_ASSIGN_OR_RETURN(double slope, reader.ReadDouble());

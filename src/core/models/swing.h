@@ -30,7 +30,7 @@ class SwingModel : public Model {
 
   static std::unique_ptr<Model> Create(const ModelConfig& config);
   static Result<std::unique_ptr<SegmentDecoder>> Decode(
-      const std::vector<uint8_t>& params, int num_series, int length);
+      ByteSpan params, int num_series, int length);
 
  private:
   // Intersection of the allowed intervals of the instant's values.

@@ -12,10 +12,14 @@ void Segment::SerializeTo(BufferWriter* writer) const {
   writer->WriteFloat(error_bound_pct);
   writer->WriteFloat(min_value);
   writer->WriteFloat(max_value);
-  writer->WriteBytes(parameters);
+  writer->WriteBytes(parameters.data(), parameters.size());
 }
 
-Result<Segment> Segment::Deserialize(BufferReader* reader) {
+namespace {
+
+// Shared header decode; the two entry points differ only in how the
+// trailing parameter bytes are taken (copied vs borrowed).
+Result<Segment> DeserializeHeader(BufferReader* reader) {
   Segment s;
   MODELARDB_ASSIGN_OR_RETURN(uint64_t gid, reader->ReadVarint());
   s.gid = static_cast<Gid>(gid);
@@ -31,7 +35,22 @@ Result<Segment> Segment::Deserialize(BufferReader* reader) {
   MODELARDB_ASSIGN_OR_RETURN(s.error_bound_pct, reader->ReadFloat());
   MODELARDB_ASSIGN_OR_RETURN(s.min_value, reader->ReadFloat());
   MODELARDB_ASSIGN_OR_RETURN(s.max_value, reader->ReadFloat());
-  MODELARDB_ASSIGN_OR_RETURN(s.parameters, reader->ReadBytes());
+  return s;
+}
+
+}  // namespace
+
+Result<Segment> Segment::Deserialize(BufferReader* reader) {
+  MODELARDB_ASSIGN_OR_RETURN(Segment s, DeserializeHeader(reader));
+  MODELARDB_ASSIGN_OR_RETURN(std::vector<uint8_t> params, reader->ReadBytes());
+  s.parameters = std::move(params);
+  return s;
+}
+
+Result<Segment> Segment::DeserializeBorrowed(BufferReader* reader) {
+  MODELARDB_ASSIGN_OR_RETURN(Segment s, DeserializeHeader(reader));
+  MODELARDB_ASSIGN_OR_RETURN(auto view, reader->ReadBytesView());
+  s.parameters = ParamBytes::Borrow(view.first, view.second);
   return s;
 }
 

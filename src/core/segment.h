@@ -9,7 +9,10 @@
 #define MODELARDB_CORE_SEGMENT_H_
 
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/model.h"
@@ -18,6 +21,77 @@
 #include "util/status.h"
 
 namespace modelardb {
+
+// The model-parameter bytes of a segment: owned by default, borrowed on the
+// zero-copy cold path. A borrowed ParamBytes views a slice of a pinned mmap
+// region (storage/slab_file.h) and is valid only while that pin is held —
+// which is why borrowing is explicit (Borrow) and COPYING ALWAYS DEEP-COPIES:
+// any Segment that is copied out of a scan callback owns its bytes and can
+// outlive the mapping. Everything else behaves like std::vector<uint8_t>
+// (implicit construction/assignment from vectors and initializer lists,
+// content equality, resize/data for builders).
+class ParamBytes {
+ public:
+  ParamBytes() = default;
+  ParamBytes(std::vector<uint8_t> owned) : owned_(std::move(owned)) {}
+  ParamBytes(std::initializer_list<uint8_t> il) : owned_(il) {}
+
+  // Non-owning view; caller guarantees [data, data + size) outlives every
+  // use (the cold scan path pins the backing mapping around delivery).
+  static ParamBytes Borrow(const uint8_t* data, size_t size) {
+    ParamBytes p;
+    p.borrowed_ = data;
+    p.borrowed_size_ = size;
+    return p;
+  }
+
+  ParamBytes(const ParamBytes& other)
+      : owned_(other.data(), other.data() + other.size()) {}
+  ParamBytes& operator=(const ParamBytes& other) {
+    if (this != &other) {
+      owned_.assign(other.data(), other.data() + other.size());
+      borrowed_ = nullptr;
+      borrowed_size_ = 0;
+    }
+    return *this;
+  }
+  ParamBytes(ParamBytes&&) noexcept = default;
+  ParamBytes& operator=(ParamBytes&&) noexcept = default;
+
+  const uint8_t* data() const { return borrowed_ ? borrowed_ : owned_.data(); }
+  size_t size() const { return borrowed_ ? borrowed_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  bool borrowed() const { return borrowed_ != nullptr; }
+
+  // Mutable access materializes ownership first (builders only).
+  uint8_t* data() {
+    MaterializeOwned();
+    return owned_.data();
+  }
+  void resize(size_t n) {
+    MaterializeOwned();
+    owned_.resize(n);
+  }
+
+  operator ByteSpan() const { return ByteSpan(data(), size()); }
+
+  bool operator==(const ParamBytes& other) const {
+    return size() == other.size() &&
+           (size() == 0 || std::memcmp(data(), other.data(), size()) == 0);
+  }
+
+ private:
+  void MaterializeOwned() {
+    if (borrowed_ == nullptr) return;
+    owned_.assign(borrowed_, borrowed_ + borrowed_size_);
+    borrowed_ = nullptr;
+    borrowed_size_ = 0;
+  }
+
+  std::vector<uint8_t> owned_;
+  const uint8_t* borrowed_ = nullptr;
+  size_t borrowed_size_ = 0;
+};
 
 struct Segment {
   Gid gid = 0;
@@ -29,7 +103,7 @@ struct Segment {
   // not represented). Matches the integer Gaps column of Fig 6.
   uint64_t gap_mask = 0;
   Mid mid = 0;
-  std::vector<uint8_t> parameters;
+  ParamBytes parameters;
   float error_bound_pct = 0.0f;    // The ε the segment was built under.
   // Value statistics over every represented series/instant (in stored,
   // i.e. scaled, units). Written at emission; they enable the
@@ -65,6 +139,11 @@ struct Segment {
   // Serialization used by the SegmentStore and the cluster transport.
   void SerializeTo(BufferWriter* writer) const;
   static Result<Segment> Deserialize(BufferReader* reader);
+
+  // Zero-copy variant: parameters BORROW the reader's underlying buffer
+  // instead of copying. The segment is only valid while those bytes are —
+  // the slab scan path pins the mapping; everyone else uses Deserialize.
+  static Result<Segment> DeserializeBorrowed(BufferReader* reader);
 
   bool operator==(const Segment&) const = default;
 };

@@ -4,11 +4,18 @@
 #define MODELARDB_CORE_TYPES_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/time_util.h"
 
 namespace modelardb {
+
+// Non-owning view of encoded bytes. Decode entry points take a ByteSpan so
+// the zero-copy slab path can hand out borrowed slices of the mmap region;
+// std::vector<uint8_t> converts implicitly, so owned buffers keep working.
+// Borrowed spans are only valid while the backing mapping is pinned.
+using ByteSpan = std::span<const uint8_t>;
 
 // Identifies a single time series. Tids start at 1 (the paper relies on this
 // for its array-based dimension hash-join, §6.1).

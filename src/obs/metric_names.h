@@ -7,7 +7,7 @@
 //
 // Naming convention: modelardb_<layer>_<name>[_total|_seconds]
 //   <layer>  pool | ingest | store | query | cluster | decode | wal |
-//            recovery
+//            recovery | slab
 //   _total   monotonically increasing counters
 //   _seconds latency histograms (observed in seconds)
 // Per-instance breakdowns (per model type, per group) use a single label,
@@ -106,7 +106,21 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
     "Torn WAL tails quarantined and truncated instead of failing Open")      \
   X(kRecoveryQuarantinedBytesTotal,                                          \
     "modelardb_recovery_quarantined_bytes_total", kCounter,                  \
-    "Crash-debris bytes moved to .corrupt sidecars during recovery")
+    "Crash-debris bytes moved to .corrupt sidecars during recovery")         \
+  X(kSlabMappedBytes, "modelardb_slab_mapped_bytes", kGauge,                 \
+    "Bytes of slab files currently memory-mapped across all stores")         \
+  X(kSlabRemapsTotal, "modelardb_slab_remaps_total", kCounter,               \
+    "Slab remap-on-grow events (old mappings stay pinned until released)")   \
+  X(kSlabCommitsTotal, "modelardb_slab_commits_total", kCounter,             \
+    "Slab checkpoint commits (atomic root flips)")                           \
+  X(kSlabCheckpointedBlocksTotal, "modelardb_slab_checkpointed_blocks_total", \
+    kCounter, "Blocks staged into slab files by checkpoints")                \
+  X(kSlabFreedBlocksTotal, "modelardb_slab_freed_blocks_total", kCounter,    \
+    "Slab blocks freed for extent reuse (coalescing, index rewrites)")       \
+  X(kSlabZeroCopyScanBytesTotal, "modelardb_slab_zero_copy_scan_bytes_total", \
+    kCounter, "Cold bytes served to scans straight from the mapping")        \
+  X(kSlabCopiedScanBytesTotal, "modelardb_slab_copied_scan_bytes_total",     \
+    kCounter, "Cold bytes materialized into heap copies (merge fallback)")
 
 // Named constants: obs::kPoolTasksTotal == "modelardb_pool_tasks_total".
 #define MODELARDB_DECLARE_METRIC_NAME(ident, name, kind, help) \

@@ -36,7 +36,7 @@ std::vector<uint8_t> EncodeTimestamps(const std::vector<DataPoint>& points) {
 }
 
 Result<std::vector<Timestamp>> DecodeTimestamps(
-    const std::vector<uint8_t>& bytes, uint32_t count) {
+    ByteSpan bytes, uint32_t count) {
   BufferReader reader(bytes);
   std::vector<Timestamp> out;
   out.reserve(count);
@@ -104,7 +104,7 @@ std::vector<uint8_t> ColumnarStore::EncodeValues(
 }
 
 Result<std::vector<Value>> ColumnarStore::DecodeValues(
-    const std::vector<uint8_t>& bytes, uint32_t count) const {
+    ByteSpan bytes, uint32_t count) const {
   BufferReader reader(bytes);
   std::vector<Value> out;
   out.reserve(count);

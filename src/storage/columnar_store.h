@@ -61,7 +61,7 @@ class ColumnarStore : public DataPointStore {
   Status SealRowGroup(Tid tid);
   Status WriteToDisk(const RowGroup& group, Tid tid);
   std::vector<uint8_t> EncodeValues(const std::vector<DataPoint>& points) const;
-  Result<std::vector<Value>> DecodeValues(const std::vector<uint8_t>& bytes,
+  Result<std::vector<Value>> DecodeValues(ByteSpan bytes,
                                           uint32_t count) const;
 
   ColumnarStoreOptions options_;

@@ -53,6 +53,11 @@ obs::Counter& RecoveryQuarantinedBytes() {
       obs::kRecoveryQuarantinedBytesTotal);
   return counter;
 }
+obs::Counter& SlabCopiedScanBytes() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      obs::kSlabCopiedScanBytesTotal);
+  return counter;
+}
 
 // Feeds one scan's pruning counters into the cumulative store metrics.
 void RecordScanStats(const ScanStats& stats) {
@@ -81,6 +86,10 @@ namespace {
 bool SegmentLess(const Segment& a, const Segment& b) {
   return std::tie(a.end_time, a.gap_mask) < std::tie(b.end_time, b.gap_mask);
 }
+
+// Slab tag of the cold-index block (real blocks are tagged with their Gid,
+// which is never negative, let alone all-ones).
+constexpr uint64_t kColdIndexTag = ~uint64_t{0};
 
 }  // namespace
 
@@ -119,9 +128,33 @@ Status SegmentStore::ReplayLog() {
   // store yet; the (uncontended) lock is taken anyway to satisfy the
   // GUARDED_BY(index_) contract rather than punching an analysis hole.
   MutexLock lock(mutex_);
+  // Cold half first: recover the slab's newest durable root, load the
+  // cold index, and take its WAL watermark — everything the slab covers
+  // never gets re-read, which is what makes cold opens cheap.
+  uint64_t watermark = 0;
+  if (env_->FileExists(SlabPath())) {
+    SlabFileOptions slab_options;
+    slab_options.env = env_;
+    slab_options.path = SlabPath();
+    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<SlabFile> slab,
+                               SlabFile::Open(slab_options));
+    slab_ = std::move(slab);
+    MODELARDB_RETURN_NOT_OK(LoadColdIndex());
+    watermark = slab_->wal_watermark();
+  }
+  wal_bytes_total_ = watermark;
   if (!env_->FileExists(log_path_)) return Status::OK();  // Fresh store.
+  MODELARDB_ASSIGN_OR_RETURN(int64_t log_size, env_->FileSize(log_path_));
+  if (static_cast<uint64_t>(log_size) < watermark) {
+    // The log lost an unsynced tail the slab already covers. Zero-extend
+    // to the watermark so future appends land past it and the next replay
+    // still starts exactly there (the zeros are never read back).
+    MODELARDB_RETURN_NOT_OK(
+        env_->TruncateFile(log_path_, static_cast<int64_t>(watermark)));
+  }
+  // Only the suffix the slab does not cover is read and replayed.
   MODELARDB_ASSIGN_OR_RETURN(std::vector<uint8_t> file,
-                             env_->ReadFileBytes(log_path_));
+                             env_->ReadFileRange(log_path_, watermark));
   // Parse the block sequence. Interior corruption fails the open here; a
   // torn tail (crash debris) is reported and salvaged around below.
   MODELARDB_ASSIGN_OR_RETURN(WalReadResult wal,
@@ -150,9 +183,11 @@ Status SegmentStore::ReplayLog() {
   RecoverySegmentsReplayed().Add(recovery_info_.segments_replayed);
   if (wal.torn_tail) {
     MODELARDB_RETURN_NOT_OK(
-        QuarantineTornTail(file, wal.valid_bytes, wal.torn_reason));
+        QuarantineTornTail(file, wal.valid_bytes, wal.torn_reason,
+                           watermark));
   }
-  disk_bytes_ = static_cast<int64_t>(wal.valid_bytes);
+  disk_bytes_ = static_cast<int64_t>(watermark + wal.valid_bytes);
+  wal_bytes_total_ = watermark + wal.valid_bytes;
   for (auto& [gid, slot] : index_) {
     std::sort(slot.data->segments.begin(), slot.data->segments.end(),
               SegmentLess);
@@ -172,19 +207,21 @@ Status SegmentStore::ReplayLog() {
 
 Status SegmentStore::QuarantineTornTail(const std::vector<uint8_t>& file,
                                         size_t valid_bytes,
-                                        const std::string& reason) {
+                                        const std::string& reason,
+                                        uint64_t base_offset) {
   const size_t tail_bytes = file.size() - valid_bytes;
   // Preserve the debris for postmortems before destroying it: append the
   // tail to the .corrupt sidecar, then truncate the log to the last whole
-  // block so the next append starts on a clean boundary.
+  // block so the next append starts on a clean boundary. `file` starts at
+  // base_offset (the slab watermark when replay skipped a covered prefix).
   MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableLog> sidecar,
                              env_->NewWritableLog(CorruptSidecarPath()));
   MODELARDB_RETURN_NOT_OK(
       sidecar->Append(file.data() + valid_bytes, tail_bytes));
   MODELARDB_RETURN_NOT_OK(sidecar->Sync());
   MODELARDB_RETURN_NOT_OK(sidecar->Close());
-  MODELARDB_RETURN_NOT_OK(
-      env_->TruncateFile(log_path_, static_cast<int64_t>(valid_bytes)));
+  MODELARDB_RETURN_NOT_OK(env_->TruncateFile(
+      log_path_, static_cast<int64_t>(base_offset + valid_bytes)));
   recovery_info_.torn_tail = true;
   recovery_info_.quarantined_bytes = static_cast<int64_t>(tail_bytes);
   recovery_info_.torn_reason = reason;
@@ -420,8 +457,9 @@ Status SegmentStore::WriteBlock(const std::vector<Segment>& segments) {
   const int64_t before = wal_->bytes_appended();
   MODELARDB_RETURN_NOT_OK(
       wal_->AppendBlock(payload.bytes().data(), payload.size()));
-  disk_bytes_.fetch_add(wal_->bytes_appended() - before,
-                        std::memory_order_relaxed);
+  const int64_t delta = wal_->bytes_appended() - before;
+  disk_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  wal_bytes_total_ += static_cast<uint64_t>(delta);
   return Status::OK();
 }
 
@@ -447,15 +485,339 @@ Status SegmentStore::FlushLocked() {
   MODELARDB_RETURN_NOT_OK(WriteBlock(write_buffer_));
   write_buffer_.clear();
   StoreFlushTotal().Add();
+  if (options_.slab_checkpoint_every_n_flushes > 0 && !checkpointing_ &&
+      ++flushes_since_checkpoint_ >= options_.slab_checkpoint_every_n_flushes) {
+    // Checkpoint failure is benign to this flush: the segments stay hot in
+    // memory and in the WAL, so durability and queries are unaffected —
+    // only the next open's replay stays longer.
+    Status checkpoint_status = CheckpointLocked();
+    if (!checkpoint_status.ok()) {
+      MODELARDB_LOG(kWarn) << "slab checkpoint failed (flush unaffected): "
+                           << checkpoint_status.ToString();
+    }
+  }
   return Status::OK();
 }
 
+Status SegmentStore::Checkpoint() {
+  MutexLock lock(mutex_);
+  return CheckpointLocked();
+}
+
+Status SegmentStore::CheckpointLocked() {
+  if (log_path_.empty()) return Status::OK();  // In-memory: nothing cold.
+  // Everything hot must be in the WAL before the watermark can claim to
+  // cover it. The guard keeps FlushLocked's auto-trigger from recursing.
+  checkpointing_ = true;
+  Status flush_status = FlushLocked();
+  checkpointing_ = false;
+  flushes_since_checkpoint_ = 0;
+  MODELARDB_RETURN_NOT_OK(flush_status);
+  if (slab_ == nullptr) {
+    SlabFileOptions slab_options;
+    slab_options.env = env_;
+    slab_options.path = SlabPath();
+    MODELARDB_ASSIGN_OR_RETURN(std::shared_ptr<SlabFile> slab,
+                               SlabFile::Open(slab_options));
+    slab_ = std::move(slab);
+  }
+  // Atomicity: every mutation below happens on private copies of the group
+  // data, published into index_ only after the slab root flip succeeds. Any
+  // failure before that aborts the slab transaction (staged extents return
+  // to the allocator, frees are restored) and discards the copies, leaving
+  // the store byte-for-byte where it started — a failed checkpoint is
+  // invisible except for the warning FlushLocked logs.
+  std::vector<std::pair<Gid, GroupSlot>> originals;
+  Status status = Status::OK();
+  for (auto& [gid, slot] : index_) {
+    if (!slot.data || slot.data->segments.empty()) continue;
+    auto updated = std::make_shared<GroupData>(*slot.data);
+    if (slot.snapshotted) StoreCowCopies().Add();
+    status = CheckpointGroupLocked(gid, updated.get());
+    if (!status.ok()) break;
+    originals.emplace_back(gid, slot);
+    slot.data = std::move(updated);
+    slot.snapshotted = false;
+  }
+  // The cold index travels with every checkpoint: free the previous copy,
+  // stage the new one, and flip the root. Even a checkpoint with no new
+  // segments advances the watermark and shortens the next open's replay.
+  const uint64_t previous_index_block = cold_index_block_id_;
+  if (status.ok() && previous_index_block != 0) {
+    status = slab_->FreeBlock(previous_index_block);
+  }
+  if (status.ok()) {
+    std::vector<uint8_t> index_bytes = SerializeColdIndex();
+    Result<uint64_t> staged = slab_->StageBlock(index_bytes, kColdIndexTag);
+    if (staged.ok()) {
+      cold_index_block_id_ = staged.value();
+    } else {
+      status = staged.status();
+    }
+  }
+  if (status.ok()) status = slab_->Commit(wal_bytes_total_);
+  if (!status.ok()) {
+    // Roll back to the pre-checkpoint state: the original group data (with
+    // its snapshot flags) returns to the index, the previous cold-index id
+    // is restored, and the slab transaction is aborted — staged extents go
+    // back to the allocator, frees go back to the table. Dropping the
+    // `updated` copies releases the leases on the blocks staged above.
+    for (auto& [gid, slot] : originals) index_[gid] = std::move(slot);
+    cold_index_block_id_ = previous_index_block;
+    slab_->AbortCheckpoint();
+    return status;
+  }
+  return Status::OK();
+}
+
+// Stages one group's hot segments into cold blocks. Mutates `data` (a
+// private copy) and the slab's *staged* state only — safe to unwind with
+// AbortCheckpoint if any later step of the checkpoint fails.
+Status SegmentStore::CheckpointGroupLocked(Gid gid, GroupData* data) {
+  if (!data->cold.empty() &&
+      data->segments.front().end_time <= data->cold.back()->max_end_time) {
+    MODELARDB_RETURN_NOT_OK(RewriteGroupLocked(data));
+  } else if (!data->cold.empty() &&
+             data->cold.back()->count < options_.slab_block_segments) {
+    // Coalesce the partial tail block into the hot run so repeated small
+    // checkpoints converge to full-size cold blocks instead of a long
+    // tail of slivers.
+    std::shared_ptr<const ColdBlock> tail = data->cold.back();
+    std::vector<Segment> tail_segments;
+    std::vector<SegmentSummary> tail_summaries;
+    MODELARDB_RETURN_NOT_OK(MaterializeColdBlock(
+        slab_.get(), *tail, &tail_segments, &tail_summaries));
+    MODELARDB_RETURN_NOT_OK(slab_->FreeBlock(tail->slab_id));
+    data->cold.pop_back();
+    if (MaterializeFor(gid)) {
+      int group_size = GroupSizeOf(gid);
+      for (size_t i = 0; i < tail_segments.size(); ++i) {
+        if (!tail_summaries[i].valid()) {
+          tail_summaries[i] = BuildSummary(tail_segments[i], group_size);
+        }
+      }
+      data->summaries.insert(data->summaries.begin(), tail_summaries.begin(),
+                             tail_summaries.end());
+    }
+    data->segments.insert(data->segments.begin(), tail_segments.begin(),
+                          tail_segments.end());
+  }
+  const bool materialize = !data->summaries.empty() &&
+                           data->summaries.size() == data->segments.size();
+  const size_t chunk = std::max<size_t>(options_.slab_block_segments, 1);
+  for (size_t begin = 0; begin < data->segments.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, data->segments.size());
+    BufferWriter payload;
+    payload.WriteVarint(end - begin);
+    auto block = std::make_shared<ColdBlock>();
+    block->count = static_cast<uint32_t>(end - begin);
+    block->has_summaries = materialize;
+    for (size_t i = begin; i < end; ++i) {
+      const Segment& segment = data->segments[i];
+      segment.SerializeTo(&payload);
+      block->min_start_time =
+          std::min(block->min_start_time, segment.start_time);
+      block->max_end_time = std::max(block->max_end_time, segment.end_time);
+      block->min_value = std::min(block->min_value, segment.min_value);
+      block->max_value = std::max(block->max_value, segment.max_value);
+      if (materialize) block->summaries.push_back(data->summaries[i]);
+    }
+    std::vector<uint8_t> bytes = payload.Finish();
+    MODELARDB_ASSIGN_OR_RETURN(block->slab_id, slab_->StageBlock(bytes, gid));
+    MODELARDB_ASSIGN_OR_RETURN(block->lease,
+                               slab_->LeaseBlock(block->slab_id));
+    data->cold.push_back(std::move(block));
+  }
+  data->segments.clear();
+  data->segments.shrink_to_fit();
+  data->summaries.clear();
+  data->summaries.shrink_to_fit();
+  data->blocks.clear();
+  RecomputeColdSuffixFences(&data->cold);
+  return Status::OK();
+}
+
+Status SegmentStore::RewriteGroupLocked(GroupData* data) {
+  std::vector<Segment> cold_segments;
+  std::vector<SegmentSummary> cold_summaries;
+  for (const std::shared_ptr<const ColdBlock>& block : data->cold) {
+    MODELARDB_RETURN_NOT_OK(MaterializeColdBlock(
+        slab_.get(), *block, &cold_segments, &cold_summaries));
+    MODELARDB_RETURN_NOT_OK(slab_->FreeBlock(block->slab_id));
+  }
+  data->cold.clear();
+  const bool want_summaries = MaterializeFor(data->gid);
+  if (want_summaries) {
+    int group_size = GroupSizeOf(data->gid);
+    for (size_t i = 0; i < cold_segments.size(); ++i) {
+      if (!cold_summaries[i].valid()) {
+        cold_summaries[i] = BuildSummary(cold_segments[i], group_size);
+      }
+    }
+  }
+  std::vector<Segment> merged;
+  merged.reserve(cold_segments.size() + data->segments.size());
+  std::vector<SegmentSummary> merged_summaries;
+  if (want_summaries) merged_summaries.reserve(merged.capacity());
+  size_t ci = 0, hi = 0;
+  while (ci < cold_segments.size() || hi < data->segments.size()) {
+    const bool take_cold =
+        hi >= data->segments.size() ||
+        (ci < cold_segments.size() &&
+         SegmentLess(cold_segments[ci], data->segments[hi]));
+    if (take_cold) {
+      if (want_summaries) merged_summaries.push_back(cold_summaries[ci]);
+      merged.push_back(std::move(cold_segments[ci++]));
+    } else {
+      if (want_summaries) merged_summaries.push_back(data->summaries[hi]);
+      merged.push_back(std::move(data->segments[hi++]));
+    }
+  }
+  data->segments = std::move(merged);
+  data->summaries = std::move(merged_summaries);
+  data->blocks.clear();
+  return Status::OK();
+}
+
+std::vector<uint8_t> SegmentStore::SerializeColdIndex() const {
+  BufferWriter writer;
+  writer.WriteVarint(1);  // Version.
+  size_t group_count = 0;
+  for (const auto& [gid, slot] : index_) {
+    if (slot.data && !slot.data->cold.empty()) ++group_count;
+  }
+  writer.WriteVarint(group_count);
+  for (const auto& [gid, slot] : index_) {
+    if (!slot.data || slot.data->cold.empty()) continue;
+    writer.WriteVarint(static_cast<uint64_t>(static_cast<uint32_t>(gid)));
+    writer.WriteVarint(slot.data->cold.size());
+    for (const std::shared_ptr<const ColdBlock>& block : slot.data->cold) {
+      writer.WriteVarint(block->slab_id);
+      writer.WriteVarint(block->count);
+      writer.WriteI64(block->min_start_time);
+      writer.WriteI64(block->max_end_time);
+      writer.WriteFloat(block->min_value);
+      writer.WriteFloat(block->max_value);
+      writer.WriteU8(block->has_summaries ? 1 : 0);
+      if (block->has_summaries) {
+        for (const SegmentSummary& summary : block->summaries) {
+          writer.WriteVarint(summary.agg.size());
+          for (double v : summary.agg) writer.WriteDouble(v);
+        }
+      }
+    }
+  }
+  return writer.Finish();
+}
+
+Status SegmentStore::LoadColdIndex() {
+  cold_index_block_id_ = 0;
+  for (const auto& [id, tag] : slab_->ListBlocks()) {
+    if (tag == kColdIndexTag && id > cold_index_block_id_) {
+      cold_index_block_id_ = id;
+    }
+  }
+  if (cold_index_block_id_ == 0) return Status::OK();  // Empty slab.
+  MODELARDB_ASSIGN_OR_RETURN(SlabFile::Pin pin,
+                             slab_->ReadBlock(cold_index_block_id_));
+  BufferReader reader(pin.bytes());
+  MODELARDB_ASSIGN_OR_RETURN(uint64_t version, reader.ReadVarint());
+  if (version != 1) {
+    return Status::Corruption("unknown cold index version " +
+                              std::to_string(version));
+  }
+  MODELARDB_ASSIGN_OR_RETURN(uint64_t group_count, reader.ReadVarint());
+  for (uint64_t g = 0; g < group_count; ++g) {
+    MODELARDB_ASSIGN_OR_RETURN(uint64_t gid_raw, reader.ReadVarint());
+    Gid gid = static_cast<Gid>(static_cast<uint32_t>(gid_raw));
+    MODELARDB_ASSIGN_OR_RETURN(uint64_t block_count, reader.ReadVarint());
+    GroupSlot& slot = index_[gid];
+    if (!slot.data) {
+      slot.data = std::make_shared<GroupData>();
+      slot.data->gid = gid;
+    }
+    for (uint64_t b = 0; b < block_count; ++b) {
+      auto block = std::make_shared<ColdBlock>();
+      MODELARDB_ASSIGN_OR_RETURN(block->slab_id, reader.ReadVarint());
+      MODELARDB_ASSIGN_OR_RETURN(block->lease,
+                                 slab_->LeaseBlock(block->slab_id));
+      MODELARDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      block->count = static_cast<uint32_t>(count);
+      MODELARDB_ASSIGN_OR_RETURN(block->min_start_time, reader.ReadI64());
+      MODELARDB_ASSIGN_OR_RETURN(block->max_end_time, reader.ReadI64());
+      MODELARDB_ASSIGN_OR_RETURN(block->min_value, reader.ReadFloat());
+      MODELARDB_ASSIGN_OR_RETURN(block->max_value, reader.ReadFloat());
+      MODELARDB_ASSIGN_OR_RETURN(uint8_t has_summaries, reader.ReadU8());
+      block->has_summaries = has_summaries != 0;
+      if (block->has_summaries) {
+        block->summaries.resize(block->count);
+        for (uint32_t i = 0; i < block->count; ++i) {
+          MODELARDB_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+          block->summaries[i].agg.resize(n);
+          for (uint64_t j = 0; j < n; ++j) {
+            MODELARDB_ASSIGN_OR_RETURN(block->summaries[i].agg[j],
+                                       reader.ReadDouble());
+          }
+        }
+      }
+      num_segments_.fetch_add(block->count, std::memory_order_relaxed);
+      slot.data->cold.push_back(std::move(block));
+    }
+    RecomputeColdSuffixFences(&slot.data->cold);
+  }
+  return Status::OK();
+}
+
+void SegmentStore::RecomputeColdSuffixFences(
+    std::vector<std::shared_ptr<const ColdBlock>>* cold) {
+  Timestamp suffix = std::numeric_limits<Timestamp>::max();
+  for (size_t i = cold->size(); i-- > 0;) {
+    suffix = std::min(suffix, (*cold)[i]->min_start_time);
+    if ((*cold)[i]->suffix_min_start_time != suffix) {
+      // Blocks may be shared with an older COW snapshot: clone, never
+      // mutate in place.
+      auto copy = std::make_shared<ColdBlock>(*(*cold)[i]);
+      copy->suffix_min_start_time = suffix;
+      (*cold)[i] = std::move(copy);
+    }
+  }
+}
+
+Status SegmentStore::MaterializeColdBlock(
+    SlabFile* slab, const ColdBlock& cold, std::vector<Segment>* segments,
+    std::vector<SegmentSummary>* summaries) const {
+  MODELARDB_ASSIGN_OR_RETURN(SlabFile::Pin pin, slab->ReadBlock(cold.slab_id));
+  BufferReader reader(pin.bytes());
+  MODELARDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  for (uint64_t i = 0; i < count; ++i) {
+    // Owned deserialization: these copies outlive the pin.
+    MODELARDB_ASSIGN_OR_RETURN(Segment segment, Segment::Deserialize(&reader));
+    segments->push_back(std::move(segment));
+    if (summaries != nullptr) {
+      summaries->push_back(cold.has_summaries && i < cold.summaries.size()
+                               ? cold.summaries[i]
+                               : SegmentSummary{});
+    }
+  }
+  SlabCopiedScanBytes().Add(static_cast<int64_t>(pin.bytes().size()));
+  return Status::OK();
+}
+
+SlabStats SegmentStore::slab_stats() const {
+  MutexLock lock(mutex_);
+  return slab_ == nullptr ? SlabStats{} : slab_->stats();
+}
+
 std::vector<SegmentStore::Snapshot> SegmentStore::SnapshotsFor(
-    const SegmentFilter& filter) const {
+    const SegmentFilter& filter, std::shared_ptr<SlabFile>* slab) const {
   std::vector<Snapshot> snapshots;
   MutexLock lock(mutex_);
+  if (slab != nullptr) *slab = slab_;
   auto grab = [&](GroupSlot& slot) {
-    if (!slot.data || slot.data->segments.empty()) return;
+    if (!slot.data ||
+        (slot.data->segments.empty() && slot.data->cold.empty())) {
+      return;
+    }
     slot.snapshotted = true;
     snapshots.push_back(slot.data);
   };
@@ -472,6 +834,87 @@ std::vector<SegmentStore::Snapshot> SegmentStore::SnapshotsFor(
   return snapshots;
 }
 
+Status SegmentStore::ScanGroupCold(SlabFile* slab, const GroupData& group,
+                                   const SegmentFilter& filter,
+                                   const IndexedScanCallbacks& callbacks,
+                                   ScanStats* stats) const {
+  for (size_t b = 0; b < group.cold.size(); ++b) {
+    const ColdBlock& block = *group.cold[b];
+    if (block.suffix_min_start_time > filter.max_time) {
+      // No segment in this or any later cold block starts early enough;
+      // the hot tail has its own fences and is checked by the caller.
+      stats->blocks_skipped += static_cast<int64_t>(group.cold.size() - b);
+      break;
+    }
+    if (block.max_end_time < filter.min_time ||
+        block.min_start_time > filter.max_time) {
+      ++stats->blocks_skipped;
+      continue;
+    }
+    // Zero-copy delivery: segments are deserialized with borrowed
+    // parameter views into the pinned mapping; callbacks that keep a
+    // Segment copy deep-copy the parameters (ParamBytes copy semantics).
+    MODELARDB_ASSIGN_OR_RETURN(SlabFile::Pin pin,
+                               slab->ReadBlock(block.slab_id));
+    BufferReader reader(pin.bytes());
+    MODELARDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    ++stats->blocks_scanned;
+    for (uint64_t i = 0; i < count; ++i) {
+      MODELARDB_ASSIGN_OR_RETURN(Segment segment,
+                                 Segment::DeserializeBorrowed(&reader));
+      if (!filter.Matches(segment)) continue;
+      ++stats->segments_scanned;
+      const SegmentSummary* summary =
+          block.has_summaries && i < block.summaries.size()
+              ? &block.summaries[i]
+              : nullptr;
+      MODELARDB_RETURN_NOT_OK(callbacks.on_segment(segment, summary));
+    }
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::ScanGroupMerged(SlabFile* slab, const GroupData& group,
+                                     const SegmentFilter& filter,
+                                     const IndexedScanCallbacks& callbacks,
+                                     ScanStats* stats) const {
+  // Out-of-order puts since the last checkpoint broke the "cold strictly
+  // before hot" clustering split, so per-group EndTime delivery order
+  // needs a real merge: materialize the cold segments (the copying slow
+  // path — counted in modelardb_slab_copied_scan_bytes_total) and walk
+  // both runs with two cursors. The next checkpoint rewrites the group
+  // and restores the fast path.
+  std::vector<Segment> cold_segments;
+  std::vector<SegmentSummary> cold_summaries;
+  for (const std::shared_ptr<const ColdBlock>& block : group.cold) {
+    MODELARDB_RETURN_NOT_OK(MaterializeColdBlock(slab, *block, &cold_segments,
+                                                 &cold_summaries));
+  }
+  stats->blocks_scanned += static_cast<int64_t>(group.cold.size());
+  stats->blocks_scanned += static_cast<int64_t>(group.blocks.size());
+  size_t ci = 0, hi = 0;
+  while (ci < cold_segments.size() || hi < group.segments.size()) {
+    const bool take_cold =
+        hi >= group.segments.size() ||
+        (ci < cold_segments.size() &&
+         SegmentLess(cold_segments[ci], group.segments[hi]));
+    const Segment& segment =
+        take_cold ? cold_segments[ci] : group.segments[hi];
+    const SegmentSummary* summary = nullptr;
+    if (take_cold) {
+      if (cold_summaries[ci].valid()) summary = &cold_summaries[ci];
+      ++ci;
+    } else {
+      if (!group.summaries.empty()) summary = &group.summaries[hi];
+      ++hi;
+    }
+    if (!filter.Matches(segment)) continue;
+    ++stats->segments_scanned;
+    MODELARDB_RETURN_NOT_OK(callbacks.on_segment(segment, summary));
+  }
+  return Status::OK();
+}
+
 Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
                                  const IndexedScanCallbacks& callbacks,
                                  ScanStats* stats) const {
@@ -481,9 +924,26 @@ Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
   // this scan's counts feed the cumulative metrics below.
   const ScanStats before = *stats;
   // The lock is only held inside SnapshotsFor; everything below runs
-  // lock-free on the immutable snapshots.
-  for (const Snapshot& snapshot : SnapshotsFor(filter)) {
+  // lock-free on the immutable snapshots (cold reads pin the slab mapping).
+  std::shared_ptr<SlabFile> slab;
+  for (const Snapshot& snapshot : SnapshotsFor(filter, &slab)) {
     const GroupData& group = *snapshot;
+    if (!group.cold.empty()) {
+      if (slab == nullptr) {
+        return Status::IOError("cold blocks present without a slab file");
+      }
+      const bool overlap =
+          !group.segments.empty() &&
+          group.segments.front().end_time <= group.cold.back()->max_end_time;
+      if (overlap) {
+        MODELARDB_RETURN_NOT_OK(
+            ScanGroupMerged(slab.get(), group, filter, callbacks, stats));
+        continue;  // The merge delivered the hot tail too.
+      }
+      MODELARDB_RETURN_NOT_OK(
+          ScanGroupCold(slab.get(), group, filter, callbacks, stats));
+      if (group.segments.empty()) continue;
+    }
     if (group.blocks.empty()) {
       // No index: the pre-index scan path (binary search to the first
       // EndTime candidate, then filter every remaining segment).
@@ -585,13 +1045,23 @@ int64_t SegmentStore::EstimateSurvivingSegments(
     snapshot = it->second.data;
   }
   const GroupData& group = *snapshot;
+  int64_t estimate = 0;
+  // Cold blocks estimate from their persisted fences — no page touched.
+  for (const std::shared_ptr<const ColdBlock>& cold : group.cold) {
+    const ColdBlock& block = *cold;
+    if (block.suffix_min_start_time > filter.max_time) break;
+    if (block.max_end_time < filter.min_time ||
+        block.min_start_time > filter.max_time) {
+      continue;
+    }
+    estimate += block.count;
+  }
   if (group.blocks.empty()) {
     auto it = std::lower_bound(
         group.segments.begin(), group.segments.end(), filter.min_time,
         [](const Segment& s, Timestamp t) { return s.end_time < t; });
-    return static_cast<int64_t>(group.segments.end() - it);
+    return estimate + static_cast<int64_t>(group.segments.end() - it);
   }
-  int64_t estimate = 0;
   for (const SegmentBlock& block : group.blocks) {
     if (block.suffix_min_start_time > filter.max_time) break;
     if (block.max_end_time < filter.min_time ||

@@ -42,6 +42,7 @@
 
 #include "core/model.h"
 #include "core/segment.h"
+#include "storage/slab_file.h"
 #include "storage/wal.h"
 #include "util/env.h"
 #include "util/status.h"
@@ -74,6 +75,15 @@ struct SegmentStoreOptions {
   // requires the group size to map gap_mask bits to decoder columns;
   // groups without an entry (or wider than 64 series) stay fence-only.
   std::map<Gid, int> group_sizes;
+  // Checkpoint flushed segments into the mmap-backed slab file
+  // (segments.slab, storage/slab_file.h) every N bulk flushes. 0 disables
+  // automatic checkpoints (Checkpoint() still works); an existing slab is
+  // always loaded by Open regardless. Checkpointed segments are served to
+  // scans zero-copy from the mapping, and Open replays only the WAL suffix
+  // past the slab's watermark.
+  size_t slab_checkpoint_every_n_flushes = 0;
+  // Segments per slab block (the cold unit of fence pruning and I/O).
+  size_t slab_block_segments = 1024;
 };
 
 // Push-down predicate for segment scans.
@@ -218,6 +228,23 @@ class SegmentStore {
   // (completes a pending group commit under kEveryNBlocks / kNone).
   Status SyncWal();
 
+  // Moves every in-memory (hot) segment into the slab file with one atomic
+  // root flip and advances the WAL watermark, so the next Open replays only
+  // the WAL suffix written after this call. Flushes the write buffer first.
+  // No-op for in-memory stores. Scans keep working throughout: cold blocks
+  // are served zero-copy from the mapping, hot segments from memory, and
+  // results are byte-identical to the heap path.
+  Status Checkpoint();
+
+  // Stats of the slab file backing cold segments (zeros when none exists).
+  SlabStats slab_stats() const;
+
+  // The slab file cold segments checkpoint into ("" for in-memory stores).
+  std::string SlabPath() const {
+    return log_path_.empty() ? std::string()
+                             : options_.directory + "/segments.slab";
+  }
+
   // What replay salvaged/decided when this store was opened.
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
 
@@ -262,12 +289,39 @@ class SegmentStore {
   std::vector<Gid> Gids() const;
 
  private:
+  // One checkpointed block of a group's segments, resident in the slab
+  // file. Carries the same fences/zone map as a hot SegmentBlock plus the
+  // per-segment summaries, so cold blocks prune and answer aggregate scans
+  // without touching their (possibly evicted) pages. Immutable once built;
+  // shared between COW copies of the group.
+  struct ColdBlock {
+    uint64_t slab_id = 0;
+    uint32_t count = 0;
+    Timestamp min_start_time = std::numeric_limits<Timestamp>::max();
+    Timestamp max_end_time = std::numeric_limits<Timestamp>::min();
+    // Smallest start_time of this and every later cold block of the group
+    // (hot segments have their own suffix fences).
+    Timestamp suffix_min_start_time = std::numeric_limits<Timestamp>::max();
+    float min_value = std::numeric_limits<float>::max();
+    float max_value = std::numeric_limits<float>::lowest();
+    bool has_summaries = false;
+    std::vector<SegmentSummary> summaries;  // Per segment, iff above.
+    // Keeps the slab block readable (and its extent unreused) for as long
+    // as any GroupData — or scan snapshot of one — references it, even
+    // after a later checkpoint frees the id.
+    SlabFile::BlockLease lease;
+  };
+
   // One group's segments plus its summary index. Immutable from the moment
   // a snapshot references it; the next write under the store lock replaces
   // it with a copy (copy-on-write).
   struct GroupData {
     Gid gid = 0;
-    std::vector<Segment> segments;  // Ordered by (end_time, gap_mask).
+    // Checkpointed blocks in (end_time, gap_mask) order, all clustering
+    // strictly before `segments` except after out-of-order puts (the scan
+    // falls back to a materializing merge until the next checkpoint).
+    std::vector<std::shared_ptr<const ColdBlock>> cold;
+    std::vector<Segment> segments;  // Hot tail, (end_time, gap_mask) order.
     // Parallel to `segments` when materialization is on; empty otherwise.
     std::vector<SegmentSummary> summaries;
     std::vector<SegmentBlock> blocks;  // Empty when the index is disabled.
@@ -285,17 +339,50 @@ class SegmentStore {
   explicit SegmentStore(SegmentStoreOptions options);
 
   Status ReplayLog();
-  // Appends file[valid_bytes..] to the .corrupt sidecar, truncates the log
-  // and records the salvage in recovery_info_ + METRICS().
+  // `file` holds log bytes from `base_offset` on: appends
+  // file[valid_bytes..] to the .corrupt sidecar, truncates the log to
+  // base_offset + valid_bytes and records the salvage in recovery_info_.
   Status QuarantineTornTail(const std::vector<uint8_t>& file,
-                            size_t valid_bytes, const std::string& reason)
-      REQUIRES(mutex_);
+                            size_t valid_bytes, const std::string& reason,
+                            uint64_t base_offset) REQUIRES(mutex_);
   Status WriteBlock(const std::vector<Segment>& segments) REQUIRES(mutex_);
   Status PutLocked(const Segment& segment) REQUIRES(mutex_);
   Status FlushLocked() REQUIRES(mutex_);
+  Status CheckpointLocked() REQUIRES(mutex_);
+  // Stages one group's hot segments into cold slab blocks, mutating `data`
+  // (a private working copy) and the slab's staged state only.
+  Status CheckpointGroupLocked(Gid gid, GroupData* data) REQUIRES(mutex_);
+  // Folds every cold block back into the hot run (out-of-order puts since
+  // the last checkpoint broke the cold/hot clustering split).
+  Status RewriteGroupLocked(GroupData* data) REQUIRES(mutex_);
+  // Reads the slab's cold-index block into the per-group cold lists.
+  Status LoadColdIndex() REQUIRES(mutex_);
+  std::vector<uint8_t> SerializeColdIndex() const REQUIRES(mutex_);
+  // Reads + deserializes one cold block into owned segments/summaries
+  // (the copying path: merges, checkpoint rewrites).
+  Status MaterializeColdBlock(SlabFile* slab, const ColdBlock& cold,
+                              std::vector<Segment>* segments,
+                              std::vector<SegmentSummary>* summaries) const;
+  // Cold phase of one group's indexed scan (fence skip, early break,
+  // zero-copy per-segment delivery).
+  Status ScanGroupCold(SlabFile* slab, const GroupData& group,
+                       const SegmentFilter& filter,
+                       const IndexedScanCallbacks& callbacks,
+                       ScanStats* stats) const;
+  // Materializing two-cursor merge of cold and hot for groups whose hot
+  // tail overlaps the cold frontier (out-of-order puts since the last
+  // checkpoint).
+  Status ScanGroupMerged(SlabFile* slab, const GroupData& group,
+                         const SegmentFilter& filter,
+                         const IndexedScanCallbacks& callbacks,
+                         ScanStats* stats) const;
+  static void RecomputeColdSuffixFences(
+      std::vector<std::shared_ptr<const ColdBlock>>* cold);
   // Grabs (and marks) the snapshots `filter` selects, in ascending Gid
   // order for the empty-gids case and in `filter.gids` order otherwise.
-  std::vector<Snapshot> SnapshotsFor(const SegmentFilter& filter) const;
+  // `slab` (may be null) receives the store's slab under the same lock.
+  std::vector<Snapshot> SnapshotsFor(const SegmentFilter& filter,
+                                     std::shared_ptr<SlabFile>* slab) const;
 
   int GroupSizeOf(Gid gid) const;
   bool MaterializeFor(Gid gid) const;
@@ -317,6 +404,17 @@ class SegmentStore {
   // Lazily opened on the first flush; poisoned (and flushes fail) after
   // any append/sync error so a torn tail is never written over.
   std::unique_ptr<WalWriter> wal_ GUARDED_BY(mutex_);
+  // Cold segment storage; opened by Open when segments.slab exists, or by
+  // the first Checkpoint. shared_ptr so scans can use it lock-free (the
+  // SlabFile is internally synchronized and pins keep reads valid).
+  std::shared_ptr<SlabFile> slab_ GUARDED_BY(mutex_);
+  // Logical WAL length: slab watermark at open + suffix replayed + bytes
+  // appended since. What Checkpoint stamps into the slab root.
+  uint64_t wal_bytes_total_ GUARDED_BY(mutex_) = 0;
+  size_t flushes_since_checkpoint_ GUARDED_BY(mutex_) = 0;
+  bool checkpointing_ GUARDED_BY(mutex_) = false;  // Recursion guard.
+  // Slab id of the current cold-index block (0: none written yet).
+  uint64_t cold_index_block_id_ GUARDED_BY(mutex_) = 0;
   // Index: per group, segments ordered by end_time (the clustering key).
   mutable std::map<Gid, GroupSlot> index_ GUARDED_BY(mutex_);
   std::vector<Segment> write_buffer_ GUARDED_BY(mutex_);

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,8 @@ class BitReader {
   BitReader(const uint8_t* data, size_t size_bytes)
       : data_(data), size_bits_(size_bytes * 8) {}
   explicit BitReader(const std::vector<uint8_t>& data)
+      : BitReader(data.data(), data.size()) {}
+  explicit BitReader(std::span<const uint8_t> data)
       : BitReader(data.data(), data.size()) {}
   // The reader borrows the buffer; constructing from a temporary would
   // dangle immediately.

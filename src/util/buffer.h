@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -84,6 +86,8 @@ class BufferReader {
   BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   explicit BufferReader(const std::vector<uint8_t>& data)
       : BufferReader(data.data(), data.size()) {}
+  explicit BufferReader(std::span<const uint8_t> data)
+      : BufferReader(data.data(), data.size()) {}
 
   Result<uint8_t> ReadU8() {
     uint8_t v;
@@ -146,6 +150,17 @@ class BufferReader {
     std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return out;
+  }
+
+  // Non-owning view into the underlying buffer: valid only as long as the
+  // bytes BufferReader was constructed over (the zero-copy decode path pins
+  // the backing mmap for the duration).
+  Result<std::pair<const uint8_t*, size_t>> ReadBytesView() {
+    MODELARDB_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (pos_ + n > size_) return Status::OutOfRange("bytes past end");
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return std::make_pair(p, static_cast<size_t>(n));
   }
 
   Result<std::string> ReadString() {

@@ -1,6 +1,7 @@
 #include "util/env.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -75,6 +76,132 @@ class PosixWritableLog final : public WritableLog {
   std::string path_;
 };
 
+// POSIX positional-write file: pwrite(2) with EINTR/short-write retry,
+// fdatasync barrier. The slab commit protocol (slab_file.cc) interleaves
+// WriteAt and Sync to order data < table < root on the device.
+class PosixRandomRWFile final : public RandomRWFile {
+ public:
+  explicit PosixRandomRWFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixRandomRWFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status WriteAt(uint64_t offset, const uint8_t* data, size_t size) override {
+    if (fd_ < 0) return Status::IOError("write on closed file " + path_);
+    while (size > 0) {
+      ssize_t n = ::pwrite(fd_, data, size, static_cast<off_t>(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pwrite " + path_, errno));
+      }
+      data += n;
+      size -= static_cast<size_t>(n);
+      offset += static_cast<uint64_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync on closed file " + path_);
+    int rc;
+#if defined(__linux__)
+    do {
+      rc = ::fdatasync(fd_);
+    } while (rc < 0 && errno == EINTR);
+#else
+    do {
+      rc = ::fsync(fd_);
+    } while (rc < 0 && errno == EINTR);
+#endif
+    if (rc < 0) return Status::IOError(ErrnoMessage("fdatasync " + path_, errno));
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) < 0 && errno != EINTR) {
+      return Status::IOError(ErrnoMessage("close " + path_, errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixMmapFile final : public MmapFile {
+ public:
+  PosixMmapFile(void* base, size_t size, bool writable, std::string path)
+      : base_(base), size_(size), writable_(writable), path_(std::move(path)) {}
+
+  ~PosixMmapFile() override {
+    if (base_ != nullptr && size_ > 0) ::munmap(base_, size_);
+  }
+
+  const uint8_t* data() const override {
+    return static_cast<const uint8_t*>(base_);
+  }
+
+  size_t size() const override { return size_; }
+
+  Status Advise(size_t offset, size_t length, Access access) override {
+    if (length == 0 || offset >= size_) return Status::OK();
+    if (length > size_ - offset) length = size_ - offset;
+    int advice = MADV_NORMAL;
+    switch (access) {
+      case Access::kNormal:
+        advice = MADV_NORMAL;
+        break;
+      case Access::kSequential:
+        advice = MADV_SEQUENTIAL;
+        break;
+      case Access::kRandom:
+        advice = MADV_RANDOM;
+        break;
+      case Access::kWillNeed:
+        advice = MADV_WILLNEED;
+        break;
+      case Access::kDontNeed:
+        advice = MADV_DONTNEED;
+        break;
+    }
+    // madvise needs a page-aligned address; widen to the enclosing pages.
+    size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    size_t begin = offset & ~(page - 1);
+    size_t end = offset + length;
+    // Best-effort hint: EINVAL/ENOMEM here cannot corrupt anything.
+    (void)::madvise(static_cast<uint8_t*>(base_) + begin, end - begin, advice);
+    return Status::OK();
+  }
+
+  Status Sync(size_t offset, size_t length) override {
+    if (!writable_) {
+      return Status::InvalidArgument("msync on read-only mapping " + path_);
+    }
+    if (length == 0 || offset >= size_) return Status::OK();
+    if (length > size_ - offset) length = size_ - offset;
+    size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    size_t begin = offset & ~(page - 1);
+    size_t end = offset + length;
+    if (::msync(static_cast<uint8_t*>(base_) + begin, end - begin, MS_SYNC) <
+        0) {
+      return Status::IOError(ErrnoMessage("msync " + path_, errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  void* base_;
+  size_t size_;
+  bool writable_;
+  std::string path_;
+};
+
 class PosixEnv final : public Env {
  public:
   Result<std::unique_ptr<WritableLog>> NewWritableLog(
@@ -87,6 +214,48 @@ class PosixEnv final : public Env {
     if (fd < 0) return Status::IOError(ErrnoMessage("open " + path, errno));
     return std::unique_ptr<WritableLog>(
         std::make_unique<PosixWritableLog>(fd, path));
+  }
+
+  Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open " + path, errno));
+    return std::unique_ptr<RandomRWFile>(
+        std::make_unique<PosixRandomRWFile>(fd, path));
+  }
+
+  Result<std::unique_ptr<MmapFile>> NewMmapFile(const std::string& path,
+                                                bool writable) override {
+    int flags = writable ? O_RDWR : O_RDONLY;
+    int fd;
+    do {
+      fd = ::open(path.c_str(), flags | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open " + path, errno));
+    struct stat st;
+    if (::fstat(fd, &st) < 0) {
+      int err = errno;
+      ::close(fd);
+      return Status::IOError(ErrnoMessage("fstat " + path, err));
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    void* base = nullptr;
+    if (size > 0) {
+      int prot = PROT_READ | (writable ? PROT_WRITE : 0);
+      base = ::mmap(nullptr, size, prot, MAP_SHARED, fd, 0);
+      if (base == MAP_FAILED) {
+        int err = errno;
+        ::close(fd);
+        return Status::IOError(ErrnoMessage("mmap " + path, err));
+      }
+    }
+    // The mapping keeps the pages alive; the descriptor is not needed.
+    ::close(fd);
+    return std::unique_ptr<MmapFile>(
+        std::make_unique<PosixMmapFile>(base, size, writable, path));
   }
 
   Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) override {
@@ -111,6 +280,37 @@ class PosixEnv final : public Env {
       }
       if (n == 0) break;
       out.insert(out.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<uint8_t>> ReadFileRange(const std::string& path,
+                                             uint64_t offset) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open " + path, errno));
+    std::vector<uint8_t> out;
+    struct stat st;
+    if (::fstat(fd, &st) == 0 &&
+        static_cast<uint64_t>(st.st_size) > offset) {
+      out.reserve(static_cast<size_t>(st.st_size - offset));
+    }
+    uint8_t buf[1 << 16];
+    off_t pos = static_cast<off_t>(offset);
+    while (true) {
+      ssize_t n = ::pread(fd, buf, sizeof(buf), pos);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return Status::IOError(ErrnoMessage("pread " + path, err));
+      }
+      if (n == 0) break;
+      out.insert(out.end(), buf, buf + n);
+      pos += n;
     }
     ::close(fd);
     return out;

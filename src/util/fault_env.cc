@@ -73,6 +73,77 @@ class FaultWritableLog final : public WritableLog {
   std::unique_ptr<WritableLog> base_;
 };
 
+// Buffering wrapper over a positional-write file: WriteAt is held in the
+// env's per-path pending list until Sync forwards it, so SimulateCrash can
+// drop a seeded suffix of unsynced writes (overwrites cannot be undone by
+// truncation the way log appends can).
+class FaultRandomRWFile final : public RandomRWFile {
+ public:
+  FaultRandomRWFile(FaultInjectionEnv* env, std::string path,
+                    std::unique_ptr<RandomRWFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status WriteAt(uint64_t offset, const uint8_t* data, size_t size) override {
+    FaultInjectionEnv* env = env_;
+    MutexLock lock(env->mutex_);
+    const int64_t op = env->ops_++;
+    const auto& opts = env->options_;
+    auto& pending = env->rw_files_[path_].pending;
+    if (opts.drop_writes_after >= 0 && op >= opts.drop_writes_after) {
+      // Acknowledged but never buffered: gone even if Sync follows.
+      ++env->faults_;
+      return Status::OK();
+    }
+    if (op == opts.fail_append_at) {
+      ++env->faults_;
+      return Status::IOError("injected write failure at op " +
+                             std::to_string(op) + " on " + path_);
+    }
+    if (op == opts.short_write_at && size > 0) {
+      // Only a seeded strict prefix ever becomes eligible for sync.
+      ++env->faults_;
+      const size_t prefix = static_cast<size_t>(env->rng_.NextBelow(size));
+      pending.push_back({offset, std::vector<uint8_t>(data, data + prefix)});
+      return Status::IOError("injected short write (" +
+                             std::to_string(prefix) + "/" +
+                             std::to_string(size) + " bytes) at op " +
+                             std::to_string(op) + " on " + path_);
+    }
+    pending.push_back({offset, std::vector<uint8_t>(data, data + size)});
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    FaultInjectionEnv* env = env_;
+    MutexLock lock(env->mutex_);
+    const int64_t op = env->ops_++;
+    const auto& opts = env->options_;
+    if (opts.drop_writes_after >= 0 && op >= opts.drop_writes_after) {
+      ++env->faults_;
+      return Status::OK();  // "Synced" writes that never reach the device.
+    }
+    if (op == opts.fail_sync_at) {
+      ++env->faults_;
+      return Status::IOError("injected sync failure at op " +
+                             std::to_string(op) + " on " + path_);
+    }
+    auto& pending = env->rw_files_[path_].pending;
+    for (const auto& write : pending) {
+      MODELARDB_RETURN_NOT_OK(
+          base_->WriteAt(write.offset, write.bytes.data(), write.bytes.size()));
+    }
+    pending.clear();
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomRWFile> base_;
+};
+
 FaultInjectionEnv::FaultInjectionEnv(Env* base, Options options)
     : base_(base), options_(options), rng_(options.seed) {}
 
@@ -97,9 +168,34 @@ Result<std::unique_ptr<WritableLog>> FaultInjectionEnv::NewWritableLog(
       std::make_unique<FaultWritableLog>(this, path, std::move(base)));
 }
 
+Result<std::unique_ptr<RandomRWFile>> FaultInjectionEnv::NewRandomRWFile(
+    const std::string& path) {
+  MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<RandomRWFile> base,
+                             base_->NewRandomRWFile(path));
+  {
+    MutexLock lock(mutex_);
+    rw_files_.try_emplace(path);
+  }
+  return std::unique_ptr<RandomRWFile>(
+      std::make_unique<FaultRandomRWFile>(this, path, std::move(base)));
+}
+
+Result<std::unique_ptr<MmapFile>> FaultInjectionEnv::NewMmapFile(
+    const std::string& path, bool writable) {
+  // Mappings observe only the base file, i.e. only synced bytes — pending
+  // positional writes are invisible, which is the crash semantics the slab
+  // commit protocol assumes (it never reads what it has not synced).
+  return base_->NewMmapFile(path, writable);
+}
+
 Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFileBytes(
     const std::string& path) {
   return base_->ReadFileBytes(path);
+}
+
+Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFileRange(
+    const std::string& path, uint64_t offset) {
+  return base_->ReadFileRange(path, offset);
 }
 
 Result<int64_t> FaultInjectionEnv::FileSize(const std::string& path) {
@@ -118,6 +214,8 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path, int64_t size) {
     it->second.forwarded_size = size;
     it->second.synced_size = std::min(it->second.synced_size, size);
   }
+  auto rw = rw_files_.find(path);
+  if (rw != rw_files_.end()) rw->second.pending.clear();
   return Status::OK();
 }
 
@@ -125,6 +223,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   MODELARDB_RETURN_NOT_OK(base_->RemoveFile(path));
   MutexLock lock(mutex_);
   files_.erase(path);
+  rw_files_.erase(path);
   return Status::OK();
 }
 
@@ -143,6 +242,32 @@ Status FaultInjectionEnv::SimulateCrash() {
     MODELARDB_RETURN_NOT_OK(base_->TruncateFile(path, keep));
     state.forwarded_size = keep;
     state.synced_size = keep;
+  }
+  // Positional-write files: the page cache flushed a seeded prefix of the
+  // unsynced write sequence; the first dropped write landed seeded-torn.
+  for (auto& [path, state] : rw_files_) {
+    if (state.pending.empty()) continue;
+    const uint64_t total = state.pending.size();
+    const uint64_t survive = rng_.NextBelow(total + 1);
+    MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<RandomRWFile> file,
+                               base_->NewRandomRWFile(path));
+    for (uint64_t i = 0; i < survive; ++i) {
+      const PendingWrite& write = state.pending[i];
+      MODELARDB_RETURN_NOT_OK(
+          file->WriteAt(write.offset, write.bytes.data(), write.bytes.size()));
+    }
+    if (survive < total) {
+      const PendingWrite& torn = state.pending[survive];
+      if (!torn.bytes.empty()) {
+        const size_t prefix =
+            static_cast<size_t>(rng_.NextBelow(torn.bytes.size()));
+        MODELARDB_RETURN_NOT_OK(
+            file->WriteAt(torn.offset, torn.bytes.data(), prefix));
+      }
+    }
+    MODELARDB_RETURN_NOT_OK(file->Sync());
+    MODELARDB_RETURN_NOT_OK(file->Close());
+    state.pending.clear();
   }
   return Status::OK();
 }

@@ -21,6 +21,17 @@
 // a run reproduces bit-identically — the property the crash harness's
 // determinism check asserts.
 //
+// Positional-write files (RandomRWFile, the slab layer) use a buffering
+// crash model instead: WriteAt is held in memory until the next OK Sync,
+// which forwards the pending writes and fsyncs. SimulateCrash() forwards
+// only a seeded prefix of the pending write sequence — the first dropped
+// write seeded-torn — so the file is left at "last sync plus whatever the
+// page cache happened to flush". Buffering (rather than forward + undo)
+// is sound here because overwrites cannot be truncated away, and it is
+// faithful for the slab because SlabFile never reads a byte it has not
+// synced: reads (including mmap) observing only synced state is exactly
+// the conservative crash semantics the commit protocol is built on.
+//
 // Thread-safety: guarded by a mutex so concurrent stores can share one
 // env; determinism is only meaningful when the op ORDER is deterministic,
 // i.e. single-threaded use (tests, the crash harness).
@@ -54,7 +65,13 @@ class FaultInjectionEnv final : public Env {
 
   Result<std::unique_ptr<WritableLog>> NewWritableLog(
       const std::string& path) override;
+  Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<MmapFile>> NewMmapFile(const std::string& path,
+                                                bool writable) override;
   Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadFileRange(const std::string& path,
+                                             uint64_t offset) override;
   Result<int64_t> FileSize(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status TruncateFile(const std::string& path, int64_t size) override;
@@ -73,10 +90,21 @@ class FaultInjectionEnv final : public Env {
 
  private:
   friend class FaultWritableLog;
+  friend class FaultRandomRWFile;
 
   struct FileState {
     int64_t synced_size = 0;     // Bytes durable at the last OK Sync.
     int64_t forwarded_size = 0;  // Bytes actually handed to the base env.
+  };
+
+  // One buffered positional write, held until Sync forwards it.
+  struct PendingWrite {
+    uint64_t offset = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  struct RWFileState {
+    std::vector<PendingWrite> pending;  // Written but not yet synced.
   };
 
   Env* const base_;
@@ -84,6 +112,7 @@ class FaultInjectionEnv final : public Env {
   mutable Mutex mutex_;
   Random rng_ GUARDED_BY(mutex_);
   std::map<std::string, FileState> files_ GUARDED_BY(mutex_);
+  std::map<std::string, RWFileState> rw_files_ GUARDED_BY(mutex_);
   int64_t ops_ GUARDED_BY(mutex_) = 0;
   int64_t faults_ GUARDED_BY(mutex_) = 0;
 };

@@ -72,7 +72,7 @@ class SmallIntConstantDecoder : public SegmentDecoder {
 };
 
 Result<std::unique_ptr<SegmentDecoder>> DecodeSmallInt(
-    const std::vector<uint8_t>& params, int num_series, int length) {
+    ByteSpan params, int num_series, int length) {
   BufferReader reader(params);
   MODELARDB_ASSIGN_OR_RETURN(uint8_t value, reader.ReadU8());
   return std::unique_ptr<SegmentDecoder>(

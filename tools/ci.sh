@@ -39,7 +39,7 @@ metric_hygiene() {
       echo "FAIL: metric '$name' is not in src/obs/metric_names.h" >&2
       unknown=1
     fi
-  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode|wal|recovery)_[a-z0-9_]+' \
+  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode|wal|recovery|slab)_[a-z0-9_]+' \
              -- tests docs '*.md' ':!src/obs/metric_names.h' 2>/dev/null \
            | sort -u)
   return "$unknown"
@@ -120,6 +120,13 @@ fi
 # fork/kill, so this stage stays runnable everywhere.
 ./build/tools/crash_writer --rounds=25 --seed=7
 echo "ci: crash-recovery gate passed"
+
+# Slab-recovery gate: the same kill -9 + fault-injection rounds with slab
+# checkpoints every 3 flushes, so crashes land across the checkpoint
+# pipeline — mid data sync, mid root flip, between flip and the next WAL
+# append (DESIGN.md §3h). Same verifier, same watermark contract.
+./build/tools/crash_writer --rounds=25 --seed=11 --slab
+echo "ci: slab-recovery gate passed"
 
 # Tier 2: concurrency subset under ThreadSanitizer.
 cmake -B build-tsan -S . -DMODELARDB_SANITIZE=thread >/dev/null

@@ -20,9 +20,18 @@
 //             (salvage vs corruption, blocks replayed, quarantined bytes,
 //             post-recovery log bytes) must reproduce bit-identically.
 //
-// Usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH]
+// Usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH] [--slab]
 // Exit 0 only if every round passes. On platforms without fork/kill it
 // prints a loud SKIP and exits 0 so CI stays green but honest.
+//
+// --slab runs the same rounds with slab checkpoints every 3 flushes
+// (storage/slab_file.h), so kills and faults land everywhere across the
+// checkpoint pipeline — mid data sync, mid root flip, between the flip and
+// the next WAL append. The durability contract is unchanged (a checkpoint
+// that dies leaves the previous root in charge and the WAL replays the
+// rest), so the verifier is byte-for-byte the same; fault rounds
+// additionally require the post-recovery slab file to reproduce
+// bit-identically across same-seed runs.
 
 #include <cinttypes>
 #include <cstdint>
@@ -54,6 +63,10 @@ namespace {
 
 constexpr int kMaxSegments = 4000;
 constexpr int kFlushEvery = 20;
+
+// --slab: every round ingests with slab checkpoints every 3 flushes.
+// A file-scope flag so the forked kill-round child inherits it.
+bool g_slab_mode = false;
 
 // The i-th segment of the deterministic workload. Content is a pure
 // function of i so the verifier can regenerate the expected bytes without
@@ -136,6 +149,7 @@ int64_t ReopenAndVerify(const std::string& dir, int64_t min_acked,
   options.wal_sync_policy = WalSyncPolicy::kEveryBlock;
   // Only explicit Flush() writes blocks, so the ACK watermark is exact.
   options.bulk_write_size = static_cast<size_t>(kMaxSegments) + 1;
+  if (g_slab_mode) options.slab_checkpoint_every_n_flushes = 3;
   auto store_or = SegmentStore::Open(options);
   if (!store_or.ok()) _exit(2);
   std::unique_ptr<SegmentStore> store = std::move(*store_or);
@@ -223,7 +237,8 @@ struct FaultRoundResult {
   int64_t blocks_replayed = 0;
   bool torn_tail = false;
   int64_t quarantined_bytes = 0;
-  std::vector<uint8_t> log_bytes;  // Post-recovery segments.log contents.
+  std::vector<uint8_t> log_bytes;   // Post-recovery segments.log contents.
+  std::vector<uint8_t> slab_bytes;  // Post-recovery segments.slab (--slab).
 
   bool operator==(const FaultRoundResult&) const = default;
 };
@@ -249,6 +264,7 @@ FaultRoundResult RunFaultRound(uint64_t seed, const std::string& dir) {
     options.env = &env;
     options.wal_sync_policy = WalSyncPolicy::kEveryBlock;
     options.bulk_write_size = static_cast<size_t>(kMaxSegments) + 1;
+    if (g_slab_mode) options.slab_checkpoint_every_n_flushes = 3;
     auto store_or = SegmentStore::Open(options);
     if (!store_or.ok()) {
       std::fprintf(stderr, "FAIL: fault open of %s: %s\n", dir.c_str(),
@@ -279,6 +295,10 @@ FaultRoundResult RunFaultRound(uint64_t seed, const std::string& dir) {
   if (served < 0) return result;
 
   auto log_bytes = Env::Default()->ReadFileBytes(dir + "/segments.log");
+  if (g_slab_mode) {
+    auto slab_bytes = Env::Default()->ReadFileBytes(dir + "/segments.slab");
+    if (slab_bytes.ok()) result.slab_bytes = std::move(*slab_bytes);
+  }
   result.ok = true;
   result.acked = acked;
   result.served = served;
@@ -328,9 +348,12 @@ int Run(int argc, char** argv) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--dir=", 0) == 0) {
       dir = arg.substr(6);
+    } else if (arg == "--slab") {
+      g_slab_mode = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH]\n");
+      std::fprintf(
+          stderr,
+          "usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH] [--slab]\n");
       return 2;
     }
   }
@@ -360,8 +383,9 @@ int Run(int argc, char** argv) {
 
   if (all_ok) {
     std::filesystem::remove_all(dir);
-    std::printf("crash_writer: all %d kill + %d fault rounds passed\n",
-                MODELARDB_HAS_FORK ? rounds : 0, rounds);
+    std::printf("crash_writer: all %d kill + %d fault rounds passed%s\n",
+                MODELARDB_HAS_FORK ? rounds : 0, rounds,
+                g_slab_mode ? " (slab checkpoints on)" : "");
     return 0;
   }
   std::fprintf(stderr, "crash_writer: FAILED (artifacts kept in %s)\n",
