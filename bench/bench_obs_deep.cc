@@ -1,0 +1,115 @@
+// Deep-observability overhead: the PR 9 instrumentation on its hot paths.
+//
+// Three measurements, all against the "≤2% on the hot path" budget:
+//   1. EventRing::Record() cost in isolation (ns/event, single thread and
+//      hammered from every hardware thread) — the flight recorder is on
+//      permanently, so its unit cost bounds what any call site can add.
+//   2. Whole-range SUM_S with the full deep-obs pass (flight recorder +
+//      per-query resource accounting + slow-query check) on vs off — the
+//      end-to-end ratio EXPERIMENTS.md tracks.
+//   3. Watchdog::Check() latency — HEALTH() and the background tick both
+//      pay it; it reads every heartbeat plus one ring snapshot.
+
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs/watchdog.h"
+
+int main() {
+  using namespace modelardb;
+  bench::PrintHeader("Deep obs overhead",
+                     "flight recorder, accounting, watchdog");
+  bench::JsonReport json("obs_deep");
+  bench::TempDir dir("obs_deep");
+
+  // 1. Flight recorder unit cost.
+  {
+    obs::SetEnabled(true);
+    obs::EventRing ring(1024);
+    constexpr int kRecords = 2000000;
+    Stopwatch stopwatch;
+    for (int i = 0; i < kRecords; ++i) {
+      ring.Record(obs::EventKind::kWalSync, i, i, "bench");
+    }
+    const double single_ns =
+        stopwatch.ElapsedSeconds() * 1e9 / kRecords;
+    bench::PrintRow("Record() single thread", single_ns, "ns/event");
+    json.Add("record_ns_single", single_ns);
+
+    const int threads =
+        static_cast<int>(ThreadPool::DefaultParallelism());
+    Stopwatch contended;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < threads; ++t) {
+      writers.emplace_back([&ring] {
+        for (int i = 0; i < kRecords / 4; ++i) {
+          ring.Record(obs::EventKind::kFlush, i, i, "bench");
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+    const double contended_ns = contended.ElapsedSeconds() * 1e9 /
+                                (static_cast<double>(threads) * kRecords / 4);
+    bench::PrintRow("Record() all threads", contended_ns, "ns/event");
+    json.Add("record_ns_contended", contended_ns);
+  }
+
+  // 2. End-to-end query ratio with the whole deep-obs pass.
+  auto ep = bench::MakeEp();
+  auto instance = bench::CheckOk(
+      bench::BuildModelar(&ep, /*v1=*/false, 1.0, 1, dir.Sub("v2")),
+      "ingest");
+  const std::string sql = "SELECT SUM_S(*) FROM Segment";
+  const int kWarmup = 5;
+  const int kIters = 200;
+  auto run = [&](bool enabled) {
+    obs::SetEnabled(enabled);
+    for (int i = 0; i < kWarmup; ++i) {
+      bench::CheckOk(instance.engine->Execute(sql), "warmup query");
+    }
+    Stopwatch stopwatch;
+    for (int i = 0; i < kIters; ++i) {
+      bench::CheckOk(instance.engine->Execute(sql), "query");
+    }
+    return stopwatch.ElapsedSeconds();
+  };
+  double seconds_on = 0;
+  double seconds_off = 0;
+  for (int round = 0; round < 4; ++round) {
+    seconds_off += run(false);
+    seconds_on += run(true);
+  }
+  obs::SetEnabled(true);
+  const double ratio = seconds_off > 0 ? seconds_on / seconds_off : 1.0;
+  bench::PrintRow("deep obs disabled", 4 * kIters / seconds_off,
+                  "queries/s");
+  bench::PrintRow("deep obs enabled", 4 * kIters / seconds_on, "queries/s");
+  bench::PrintRow("overhead", (ratio - 1.0) * 100.0, "%");
+  json.Add("queries_per_second_off", 4 * kIters / seconds_off);
+  json.Add("queries_per_second_on", 4 * kIters / seconds_on);
+  json.Add("overhead_pct", (ratio - 1.0) * 100.0);
+
+  // 3. Watchdog verdict latency.
+  {
+    constexpr int kChecks = 20000;
+    obs::HeartbeatScope flush("flush");
+    obs::HeartbeatScope checkpoint("checkpoint");
+    Stopwatch stopwatch;
+    for (int i = 0; i < kChecks; ++i) {
+      obs::Watchdog::Global().Check();
+    }
+    const double check_us =
+        stopwatch.ElapsedSeconds() * 1e6 / kChecks;
+    bench::PrintRow("Watchdog::Check()", check_us, "us/check");
+    json.Add("watchdog_check_us", check_us);
+  }
+
+  bench::PrintNote("target: enabled/disabled <= 1.02 end to end; "
+                   "Record() is the per-event floor every call site pays "
+                   "(see EXPERIMENTS.md)");
+  return 0;
+}

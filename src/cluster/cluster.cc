@@ -5,6 +5,7 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "obs/watchdog.h"
 #include "query/parser.h"
 #include "util/strings.h"
 
@@ -45,6 +46,20 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Create(
   engine->config_ = config;
   engine->catalog_ = catalog;
   engine->registry_ = registry;
+  // Observability knobs configure the process-wide obs singletons (0 keeps
+  // the env/default value, see ClusterConfig).
+  if (config.trace_ring_capacity > 0) {
+    obs::Tracer::Global().SetCapacity(config.trace_ring_capacity);
+  }
+  if (config.trace_sample_every > 0) {
+    obs::Tracer::Global().SetSampleEvery(config.trace_sample_every);
+  }
+  if (config.slow_query_ms != 0) {
+    obs::SetSlowQueryThresholdMs(config.slow_query_ms);
+  }
+  if (config.start_watchdog) {
+    obs::Watchdog::Global().Start();
+  }
   if (config.parallelism == 1) {
     engine->pool_ = nullptr;  // Fully sequential.
   } else if (config.parallelism > 1) {
@@ -198,7 +213,8 @@ Result<query::PartialResult> ClusterEngine::ExecuteOnWorker(
 Result<query::QueryResult> ClusterEngine::Execute(const query::Query& ast,
                                                   obs::Trace* trace) const {
   if (ast.view == query::View::kMetrics ||
-      ast.view == query::View::kTraces) {
+      ast.view == query::View::kTraces ||
+      ast.view == query::View::kHealth) {
     // Introspection views are process-wide; the single-source engine
     // answers them without touching any store.
     query::StoreSegmentSource source(workers_[0]->store());
@@ -304,14 +320,22 @@ Result<query::QueryResult> ClusterEngine::Execute(const query::Query& ast,
   for (const Status& status : statuses) {
     MODELARDB_RETURN_NOT_OK(status);
   }
+  ScanStats scan_stats;
+  for (const query::PartialResult& partial : partials) {
+    scan_stats.Merge(partial.scan);
+  }
   obs::ScopedSpan merge_span(trace, "merge");
   Result<query::QueryResult> result =
       query_engine_->MergeFinalize(compiled, std::move(partials));
   merge_span.End();
   ClusterQueriesTotal().Add();
   if (timed) {
-    ClusterSeconds().Observe(
-        static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9);
+    const int64_t latency_ns = obs::MonotonicNanos() - start_ns;
+    ClusterSeconds().Observe(static_cast<double>(latency_ns) * 1e-9);
+    if (result.ok()) {
+      query::MaybeLogSlowQuery("cluster", latency_ns, scan_stats,
+                               static_cast<int64_t>(result->rows.size()));
+    }
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 
+#include "obs/event_ring.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
@@ -129,6 +130,10 @@ Result<IngestReport> RunPipeline(
         static_cast<double>(stats.values_ingested) * kRawPointBytes /
         static_cast<double>(stats.bytes_emitted);
   }
+
+  obs::EventRing::Global().Record(
+      obs::EventKind::kIngestRun, report.rows,
+      static_cast<int64_t>(report.seconds * 1e9), "pipeline");
 
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter(obs::kIngestRowsTotal).Add(report.rows);

@@ -1,0 +1,223 @@
+#include "obs/bundle.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/event_ring.h"
+#include "obs/export.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace modelardb {
+namespace obs {
+
+namespace {
+
+// Everything the signal handler touches is static, fixed-size and
+// lock-free: no allocation, no locks, no stdio.
+constexpr size_t kMaxDirLen = 512;
+char g_bundle_dir[kMaxDirLen] = {0};
+std::atomic<bool> g_handler_installed{false};
+
+// Pre-rendered metrics + traces, double-buffered so the handler never
+// reads a buffer mid-refresh: the refresher writes the inactive buffer,
+// then flips `g_snapshot_active`.
+constexpr size_t kSnapshotCap = 256 * 1024;
+char g_snapshot[2][kSnapshotCap];
+std::atomic<size_t> g_snapshot_len[2] = {{0}, {0}};
+std::atomic<int> g_snapshot_active{-1};  // -1: never rendered.
+
+// Handler-side event staging. 4096 records bounds the dump; rings larger
+// than this (MODELARDB_EVENT_RING) dump only their newest 4096 records.
+constexpr size_t kMaxDumpEvents = 4096;
+EventRecord g_dump_events[kMaxDumpEvents];
+
+// --- async-signal-safe formatting ------------------------------------
+
+void SafeWrite(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = write(fd, data, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void SafeWriteStr(int fd, const char* s) { SafeWrite(fd, s, strlen(s)); }
+
+// Decimal render of `v` into `buf` (cap >= 21); returns the length.
+size_t FormatDec(int64_t v, char* buf) {
+  char tmp[24];
+  size_t n = 0;
+  const bool negative = v < 0;
+  uint64_t u = negative ? ~static_cast<uint64_t>(v) + 1
+                        : static_cast<uint64_t>(v);
+  do {
+    tmp[n++] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0);
+  size_t out = 0;
+  if (negative) buf[out++] = '-';
+  while (n > 0) buf[out++] = tmp[--n];
+  buf[out] = '\0';
+  return out;
+}
+
+void SafeWriteDec(int fd, int64_t v) {
+  char buf[24];
+  SafeWrite(fd, buf, FormatDec(v, buf));
+}
+
+void WriteEventLine(int fd, const EventRecord& record) {
+  SafeWriteStr(fd, "seq=");
+  SafeWriteDec(fd, record.seq);
+  SafeWriteStr(fd, " t_ns=");
+  SafeWriteDec(fd, record.mono_ns);
+  SafeWriteStr(fd, " kind=");
+  SafeWriteStr(fd, EventKindName(record.kind));
+  SafeWriteStr(fd, " a=");
+  SafeWriteDec(fd, record.a);
+  SafeWriteStr(fd, " b=");
+  SafeWriteDec(fd, record.b);
+  SafeWriteStr(fd, " detail=");
+  SafeWriteStr(fd, record.detail);
+  SafeWriteStr(fd, "\n");
+}
+
+// Writes the whole bundle to `fd`. Safe from a signal handler when
+// `snapshot` points at the pre-rendered buffer (may be null).
+void WriteBundleTo(int fd, int signal_number, const EventRecord* events,
+                   size_t event_count, const char* snapshot,
+                   size_t snapshot_len) {
+  SafeWriteStr(fd, "MODELARDB DIAGNOSTICS BUNDLE v1\n");
+  SafeWriteStr(fd, "signal=");
+  SafeWriteDec(fd, signal_number);
+  SafeWriteStr(fd, "\nevents=");
+  SafeWriteDec(fd, static_cast<int64_t>(event_count));
+  SafeWriteStr(fd, "\n== events ==\n");
+  for (size_t i = 0; i < event_count; ++i) WriteEventLine(fd, events[i]);
+  if (snapshot != nullptr && snapshot_len > 0) {
+    SafeWrite(fd, snapshot, snapshot_len);
+  } else {
+    SafeWriteStr(fd, "== metrics ==\n(no snapshot rendered)\n== traces ==\n");
+  }
+  SafeWriteStr(fd, "== end of bundle ==\n");
+}
+
+// Builds "<dir>/crash_bundle_<pid>_<mono_ns>.txt" without snprintf.
+size_t FormatBundlePath(const char* dir, char* out, size_t cap) {
+  size_t pos = 0;
+  const size_t dir_len = strlen(dir);
+  if (dir_len + 64 > cap) return 0;
+  memcpy(out, dir, dir_len);
+  pos = dir_len;
+  const char* stem = "/crash_bundle_";
+  memcpy(out + pos, stem, strlen(stem));
+  pos += strlen(stem);
+  pos += FormatDec(static_cast<int64_t>(getpid()), out + pos);
+  out[pos++] = '_';
+  pos += FormatDec(MonotonicNanos(), out + pos);
+  memcpy(out + pos, ".txt", 5);
+  return pos + 4;
+}
+
+void CrashSignalHandler(int signal_number) {
+  char path[kMaxDirLen + 80];
+  if (FormatBundlePath(g_bundle_dir, path, sizeof(path)) > 0) {
+    const int fd = open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const size_t count =
+          EventRing::Global().SnapshotInto(g_dump_events, kMaxDumpEvents);
+      const int active = g_snapshot_active.load(std::memory_order_acquire);
+      const char* snapshot = active >= 0 ? g_snapshot[active] : nullptr;
+      const size_t snapshot_len =
+          active >= 0 ? g_snapshot_len[active].load(std::memory_order_acquire)
+                      : 0;
+      WriteBundleTo(fd, signal_number, g_dump_events, count, snapshot,
+                    snapshot_len);
+      close(fd);
+    }
+  }
+  // Die with the original signal so waitpid() still reports it.
+  signal(signal_number, SIG_DFL);
+  raise(signal_number);
+}
+
+obs::Counter& BundleDumps() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kEventBundleDumpsTotal);
+  return counter;
+}
+
+// Renders the "== metrics ==" + "== traces ==" sections (non-signal).
+std::string RenderSnapshotSections() {
+  std::string out = "== metrics ==\n";
+  out += RenderPrometheus();
+  out += "== traces ==\n";
+  for (const TraceRecord& record : Tracer::Global().Recent()) {
+    out += "trace ";
+    out += std::to_string(record.trace_id);
+    out += ": ";
+    out += record.label;
+    out += "\n";
+    out += RenderSpanTree(record.spans, "  ");
+  }
+  return out;
+}
+
+}  // namespace
+
+void RefreshCrashSnapshot() {
+  const std::string rendered = RenderSnapshotSections();
+  const int active = g_snapshot_active.load(std::memory_order_acquire);
+  const int target = active == 0 ? 1 : 0;
+  const size_t len =
+      rendered.size() < kSnapshotCap ? rendered.size() : kSnapshotCap;
+  memcpy(g_snapshot[target], rendered.data(), len);
+  g_snapshot_len[target].store(len, std::memory_order_release);
+  g_snapshot_active.store(target, std::memory_order_release);
+}
+
+std::string WriteDiagnosticsBundle(const std::string& dir, int signal_number) {
+  char path[kMaxDirLen + 80];
+  if (dir.size() >= kMaxDirLen) return "";
+  if (FormatBundlePath(dir.c_str(), path, sizeof(path)) == 0) return "";
+  const int fd = open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return "";
+  EventRing::Global().Record(EventKind::kBundleDump, signal_number);
+  std::vector<EventRecord> events = EventRing::Global().Snapshot();
+  const std::string snapshot = RenderSnapshotSections();
+  WriteBundleTo(fd, signal_number, events.data(), events.size(),
+                snapshot.data(), snapshot.size());
+  close(fd);
+  BundleDumps().Add();
+  return path;
+}
+
+void InstallCrashHandler(const std::string& dir) {
+  if (dir.size() >= kMaxDirLen) return;
+  memcpy(g_bundle_dir, dir.c_str(), dir.size() + 1);
+  RefreshCrashSnapshot();
+  if (g_handler_installed.exchange(true)) return;
+  struct sigaction action;
+  memset(&action, 0, sizeof(action));
+  action.sa_handler = CrashSignalHandler;
+  sigemptyset(&action.sa_mask);
+  for (int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+    sigaction(sig, &action, nullptr);
+  }
+}
+
+}  // namespace obs
+}  // namespace modelardb

@@ -1,0 +1,51 @@
+// Black-box diagnostics bundle (DESIGN.md §3i): one text file capturing
+// the flight-recorder event ring, a metrics snapshot, and the most recent
+// traces — written on demand, or automatically from a fatal-signal
+// handler so a crashed process leaves its last few thousand events behind
+// for the postmortem.
+//
+// Bundle format (v1), asserted by tests and tools/ci.sh:
+//   MODELARDB DIAGNOSTICS BUNDLE v1
+//   signal=<n>            0 when dumped on demand
+//   events=<n>
+//   == events ==
+//   seq=.. t_ns=.. kind=<name> a=.. b=.. detail=<tag>   (oldest -> newest)
+//   == metrics ==
+//   <Prometheus text exposition>
+//   == traces ==
+//   <RenderSpanTree output per retained trace>
+//   == end of bundle ==
+//
+// Signal-safety: the handler only reads lock-free atomics (the event
+// ring), formats with its own integer printer, and write(2)s. Metrics and
+// traces cannot be rendered from a handler (locks, allocation), so the
+// handler emits the most recent *pre-rendered* snapshot — refreshed by
+// the watchdog every tick via RefreshCrashSnapshot() and primed by
+// InstallCrashHandler().
+
+#ifndef MODELARDB_OBS_BUNDLE_H_
+#define MODELARDB_OBS_BUNDLE_H_
+
+#include <string>
+
+namespace modelardb {
+namespace obs {
+
+// Writes a bundle into `dir` right now (non-signal path: metrics and
+// traces are rendered live). Returns the path written, or "" on failure.
+std::string WriteDiagnosticsBundle(const std::string& dir, int signal = 0);
+
+// Installs handlers for SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL that write a
+// bundle into `dir`, then restore the default disposition and re-raise so
+// the process still dies with the original signal. Primes the
+// pre-rendered snapshot. Idempotent; the last `dir` wins.
+void InstallCrashHandler(const std::string& dir);
+
+// Re-renders the metrics + traces text the signal handler will emit.
+// Cheap; called from the watchdog tick. Never call from a handler.
+void RefreshCrashSnapshot();
+
+}  // namespace obs
+}  // namespace modelardb
+
+#endif  // MODELARDB_OBS_BUNDLE_H_

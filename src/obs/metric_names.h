@@ -7,7 +7,7 @@
 //
 // Naming convention: modelardb_<layer>_<name>[_total|_seconds]
 //   <layer>  pool | ingest | store | query | cluster | decode | wal |
-//            recovery | slab
+//            recovery | slab | event | health
 //   _total   monotonically increasing counters
 //   _seconds latency histograms (observed in seconds)
 // Per-instance breakdowns (per model type, per group) use a single label,
@@ -120,7 +120,21 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
   X(kSlabZeroCopyScanBytesTotal, "modelardb_slab_zero_copy_scan_bytes_total", \
     kCounter, "Cold bytes served to scans straight from the mapping")        \
   X(kSlabCopiedScanBytesTotal, "modelardb_slab_copied_scan_bytes_total",     \
-    kCounter, "Cold bytes materialized into heap copies (merge fallback)")
+    kCounter, "Cold bytes materialized into heap copies (merge fallback)")   \
+  X(kWalSyncSeconds, "modelardb_wal_sync_seconds", kHistogram,               \
+    "Latency of WAL durability barriers (fdatasync), per sync")              \
+  X(kSlabCheckpointSeconds, "modelardb_slab_checkpoint_seconds", kHistogram, \
+    "End-to-end latency of slab checkpoints (stage + commit)")               \
+  X(kEventRecordsTotal, "modelardb_event_records_total", kCounter,           \
+    "Structured events recorded into the flight-recorder ring")              \
+  X(kEventBundleDumpsTotal, "modelardb_event_bundle_dumps_total", kCounter,  \
+    "Diagnostics bundles written (on demand or on fatal signal)")            \
+  X(kHealthStatus, "modelardb_health_status", kGauge,                        \
+    "Watchdog verdict: 0 ok, 1 degraded, 2 stalled")                         \
+  X(kHealthChecksTotal, "modelardb_health_checks_total", kCounter,           \
+    "Health verdicts computed (watchdog ticks + HEALTH() queries)")          \
+  X(kQuerySlowTotal, "modelardb_query_slow_total", kCounter,                 \
+    "Queries exceeding the slow-query threshold, logged with their cost")
 
 // Named constants: obs::kPoolTasksTotal == "modelardb_pool_tasks_total".
 #define MODELARDB_DECLARE_METRIC_NAME(ident, name, kind, help) \

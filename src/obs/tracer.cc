@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 
@@ -56,9 +57,33 @@ std::vector<SpanRecord> Trace::Spans() const {
   return spans;
 }
 
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    const long long parsed = std::strtoll(env, nullptr, 10);
+    if (parsed > 0) return static_cast<int64_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
 Tracer& Tracer::Global() {
-  static Tracer* global = new Tracer(32, Tracer::kDefaultSampleEvery);
+  static Tracer* global = new Tracer(
+      static_cast<size_t>(EnvInt64(
+          "MODELARDB_TRACE_RING",
+          static_cast<int64_t>(Tracer::kDefaultCapacity))),
+      EnvInt64("MODELARDB_TRACE_SAMPLE", Tracer::kDefaultSampleEvery));
   return *global;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  if (capacity < 1) capacity = 1;
+  capacity_.store(capacity, std::memory_order_relaxed);
+  MutexLock lock(mutex_);
+  while (finished_.size() > capacity) finished_.pop_front();
 }
 
 std::unique_ptr<Trace> Tracer::StartTrace(std::string label) {
@@ -81,10 +106,11 @@ int64_t Tracer::Finish(std::unique_ptr<Trace> trace) {
   TraceRecord record;
   record.label = trace->label();
   record.spans = trace->Spans();
+  const size_t capacity = capacity_.load(std::memory_order_relaxed);
   MutexLock lock(mutex_);
   record.trace_id = next_trace_id_++;
   finished_.push_back(std::move(record));
-  while (finished_.size() > capacity_) finished_.pop_front();
+  while (finished_.size() > capacity) finished_.pop_front();
   return finished_.back().trace_id;
 }
 

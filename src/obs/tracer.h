@@ -115,21 +115,39 @@ struct TraceRecord {
 // in kDefaultSampleEvery StartTrace calls records a trace. The counter
 // starts at zero, so the first query after startup (or ResetForTest) is
 // always traced. EXPLAIN ANALYZE bypasses sampling via StartForcedTrace.
+//
+// Both knobs are runtime-configurable: Global() seeds them from the
+// MODELARDB_TRACE_RING / MODELARDB_TRACE_SAMPLE environment variables,
+// and ClusterConfig{trace_ring_capacity, trace_sample_every} overrides
+// them at ClusterEngine::Create via SetCapacity/SetSampleEvery.
 class Tracer {
  public:
   static Tracer& Global();
 
   // Every call traced by default; Global() is constructed with
-  // kDefaultSampleEvery.
+  // kDefaultSampleEvery (or MODELARDB_TRACE_SAMPLE when set).
   static constexpr int64_t kDefaultSampleEvery = 64;
-  explicit Tracer(size_t capacity = 32, int64_t sample_every = 1)
-      : capacity_(capacity), sample_every_(sample_every) {}
+  // Finished traces retained by default (or MODELARDB_TRACE_RING).
+  static constexpr size_t kDefaultCapacity = 32;
+  explicit Tracer(size_t capacity = kDefaultCapacity,
+                  int64_t sample_every = 1)
+      : capacity_(capacity < 1 ? 1 : capacity), sample_every_(sample_every) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   // Trace 1 in every `n` StartTrace calls; 1 traces every call.
   void SetSampleEvery(int64_t n) {
     sample_every_.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+  }
+  int64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  // Resizes the finished-trace ring (clamped to >= 1); shrinking evicts
+  // the oldest retained traces immediately.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
   }
 
   // Null when tracing is disabled via obs::SetEnabled(false) or this call
@@ -151,10 +169,12 @@ class Tracer {
   void ResetForTest();
 
  private:
-  const size_t capacity_;
-  // Lock-free by design: the sampling draw is a relaxed fetch_add on the
-  // StartTrace hot path; an imprecise interleaving only shifts which call
-  // wins the draw, so neither field is GUARDED_BY the ring-buffer mutex.
+  // Lock-free by design: capacity and the sampling draw are relaxed
+  // atomics read on the StartTrace/Finish paths; an imprecise
+  // interleaving only shifts which call wins the draw or lets the ring
+  // briefly hold one extra trace, so none are GUARDED_BY the ring-buffer
+  // mutex.
+  std::atomic<size_t> capacity_;
   std::atomic<int64_t> sample_every_;
   std::atomic<int64_t> start_calls_{0};
   mutable Mutex mutex_;

@@ -1,0 +1,213 @@
+#include "obs/watchdog.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/bundle.h"
+#include "obs/event_ring.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace modelardb {
+namespace obs {
+
+namespace {
+
+obs::Gauge& HealthStatusGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge(obs::kHealthStatus);
+  return gauge;
+}
+obs::Counter& HealthChecks() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kHealthChecksTotal);
+  return counter;
+}
+
+void Escalate(HealthStatus to, HealthStatus* status) {
+  if (static_cast<int>(to) > static_cast<int>(*status)) *status = to;
+}
+
+std::atomic<int64_t>& SlowQueryNs() {
+  static std::atomic<int64_t> threshold_ns = [] {
+    int64_t ms = 1000;
+    if (const char* env = std::getenv("MODELARDB_SLOW_QUERY_MS")) {
+      ms = std::atoll(env);
+    }
+    return ms <= 0 ? int64_t{-1} : ms * 1000000;
+  }();
+  return threshold_ns;
+}
+
+}  // namespace
+
+int64_t SlowQueryThresholdNs() {
+  return SlowQueryNs().load(std::memory_order_relaxed);
+}
+
+void SetSlowQueryThresholdMs(int64_t ms) {
+  SlowQueryNs().store(ms <= 0 ? int64_t{-1} : ms * 1000000,
+                      std::memory_order_relaxed);
+}
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
+Watchdog& Watchdog::Global() {
+  static Watchdog* global = new Watchdog();
+  return *global;
+}
+
+void Watchdog::Start(const WatchdogOptions& options) {
+  MutexLock lock(mutex_);
+  options_ = options;
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Watchdog::Stop() {
+  std::thread joinable;
+  {
+    MutexLock lock(mutex_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    wake_.NotifyAll();
+    joinable = std::move(thread_);
+  }
+  joinable.join();
+}
+
+bool Watchdog::running() const {
+  MutexLock lock(mutex_);
+  return thread_.joinable();
+}
+
+void Watchdog::Run() {
+  for (;;) {
+    Check();
+    // The crash-bundle snapshot rides the watchdog cadence: a fatal
+    // signal emits metrics/traces at most one tick stale.
+    RefreshCrashSnapshot();
+    MutexLock lock(mutex_);
+    if (stop_) return;
+    wake_.WaitFor(mutex_, options_.poll_interval_ms);
+    if (stop_) return;
+  }
+}
+
+std::shared_ptr<Watchdog::Operation> Watchdog::RegisterOperation(
+    std::string name) {
+  auto op = std::make_shared<Operation>();
+  op->name = std::move(name);
+  op->start_ns = MonotonicNanos();
+  op->last_beat_ns.store(op->start_ns, std::memory_order_relaxed);
+  MutexLock lock(mutex_);
+  const int64_t id = next_op_id_++;
+  ops_[id] = op;
+  op_ids_[op.get()] = id;
+  return op;
+}
+
+void Watchdog::UnregisterOperation(const std::shared_ptr<Operation>& op) {
+  if (op == nullptr) return;
+  MutexLock lock(mutex_);
+  auto it = op_ids_.find(op.get());
+  if (it == op_ids_.end()) return;
+  ops_.erase(it->second);
+  op_ids_.erase(it);
+}
+
+HealthReport Watchdog::Check() {
+  const WatchdogOptions opts = options_;
+  HealthReport report;
+  const int64_t now_ns = MonotonicNanos();
+
+  // Heartbeats: a live operation that stopped beating is the strongest
+  // signal we have — degraded when late, stalled when very late.
+  {
+    MutexLock lock(mutex_);
+    report.inflight_ops = static_cast<int64_t>(ops_.size());
+    for (const auto& [id, op] : ops_) {
+      const int64_t age_ms =
+          (now_ns - op->last_beat_ns.load(std::memory_order_relaxed)) /
+          1000000;
+      if (age_ms >= opts.stalled_after_ms) {
+        Escalate(HealthStatus::kStalled, &report.status);
+        report.reasons.push_back(op->name + " heartbeat stalled for " +
+                                 std::to_string(age_ms) + " ms");
+      } else if (age_ms >= opts.degraded_after_ms) {
+        Escalate(HealthStatus::kDegraded, &report.status);
+        report.reasons.push_back(op->name + " heartbeat late by " +
+                                 std::to_string(age_ms) + " ms");
+      }
+    }
+  }
+
+  // Pool backlog.
+  report.queue_depth =
+      MetricsRegistry::Global().GetGauge(kPoolQueueDepth).Value();
+  if (report.queue_depth >= opts.queue_depth_degraded) {
+    Escalate(HealthStatus::kDegraded, &report.status);
+    report.reasons.push_back(
+        "pool queue depth " +
+        std::to_string(static_cast<int64_t>(report.queue_depth)));
+  }
+
+  // Newest finished checkpoint / WAL sync from the flight recorder.
+  for (const EventRecord& record : EventRing::Global().Snapshot()) {
+    if (record.kind == EventKind::kCheckpointEnd) {
+      report.last_checkpoint_ns = record.b;
+    } else if (record.kind == EventKind::kWalSync) {
+      report.last_wal_sync_ns = record.b;
+    }
+  }
+  if (report.last_checkpoint_ns >= 0 &&
+      report.last_checkpoint_ns / 1000000 >= opts.checkpoint_warn_ms) {
+    Escalate(HealthStatus::kDegraded, &report.status);
+    report.reasons.push_back(
+        "last checkpoint took " +
+        std::to_string(report.last_checkpoint_ns / 1000000) + " ms");
+  }
+  if (report.last_wal_sync_ns >= 0 &&
+      report.last_wal_sync_ns / 1000000 >= opts.wal_sync_warn_ms) {
+    Escalate(HealthStatus::kDegraded, &report.status);
+    report.reasons.push_back(
+        "last wal sync took " +
+        std::to_string(report.last_wal_sync_ns / 1000000) + " ms");
+  }
+
+  report.checks = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  HealthStatusGauge().Set(static_cast<double>(report.status));
+  HealthChecks().Add();
+  return report;
+}
+
+void Watchdog::ResetForTest() {
+  Stop();
+  MutexLock lock(mutex_);
+  ops_.clear();
+  op_ids_.clear();
+  next_op_id_ = 1;
+  checks_.store(0, std::memory_order_relaxed);
+  options_ = WatchdogOptions();
+}
+
+void HeartbeatScope::Beat() {
+  if (op_ != nullptr) {
+    op_->last_beat_ns.store(MonotonicNanos(), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace modelardb

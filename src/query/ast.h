@@ -22,9 +22,10 @@
 namespace modelardb {
 namespace query {
 
-// kMetrics/kTraces are introspection views over the obs subsystem
-// (SELECT * FROM METRICS() / TRACES()); they bypass the scan machinery.
-enum class View { kSegment, kDataPoint, kMetrics, kTraces };
+// kMetrics/kTraces/kHealth are introspection views over the obs subsystem
+// (SELECT * FROM METRICS() / TRACES() / HEALTH()); they bypass the scan
+// machinery.
+enum class View { kSegment, kDataPoint, kMetrics, kTraces, kHealth };
 
 enum class AggregateFunction { kCount, kMin, kMax, kSum, kAvg };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "obs/event_ring.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "query/parser.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace modelardb {
@@ -150,6 +153,65 @@ QueryResult TracesTable(const std::optional<int64_t>& limit) {
   return result;
 }
 
+// SELECT * FROM HEALTH(): one field/value row per verdict component, from
+// a fresh watchdog check (works whether or not the background thread runs).
+QueryResult HealthTable(const std::optional<int64_t>& limit) {
+  obs::HealthReport report = obs::Watchdog::Global().Check();
+  QueryResult result;
+  result.columns = {"field", "value"};
+  result.rows.push_back({Cell(std::string("status")),
+                         Cell(std::string(obs::HealthStatusName(
+                             report.status)))});
+  for (const std::string& reason : report.reasons) {
+    result.rows.push_back({Cell(std::string("reason")), Cell(reason)});
+  }
+  result.rows.push_back(
+      {Cell(std::string("inflight_ops")), Cell(report.inflight_ops)});
+  result.rows.push_back(
+      {Cell(std::string("queue_depth")), Cell(report.queue_depth)});
+  result.rows.push_back({Cell(std::string("checks")), Cell(report.checks)});
+  if (report.last_checkpoint_ns >= 0) {
+    result.rows.push_back(
+        {Cell(std::string("last_checkpoint_ms")),
+         Cell(static_cast<double>(report.last_checkpoint_ns) * 1e-6)});
+  }
+  if (report.last_wal_sync_ns >= 0) {
+    result.rows.push_back(
+        {Cell(std::string("last_wal_sync_ms")),
+         Cell(static_cast<double>(report.last_wal_sync_ns) * 1e-6)});
+  }
+  ApplyLimit(limit, &result);
+  return result;
+}
+
+}  // namespace
+
+// Logs queries slower than the threshold with their resource breakdown and
+// records them in the flight recorder; `where` names the caller for the log
+// line ("engine" or "cluster").
+void MaybeLogSlowQuery(const char* where, int64_t latency_ns,
+                       const ScanStats& scan, int64_t rows) {
+  const int64_t threshold_ns = obs::SlowQueryThresholdNs();
+  if (threshold_ns < 0 || latency_ns < threshold_ns) return;
+  static obs::Counter& slow = obs::MetricsRegistry::Global().GetCounter(
+      obs::kQuerySlowTotal);
+  slow.Add();
+  obs::EventRing::Global().Record(obs::EventKind::kSlowQuery, latency_ns,
+                                  rows, where);
+  MODELARDB_LOG(kWarn) << "slow query (" << where << "): "
+                       << (latency_ns / 1000000) << " ms, rows=" << rows
+                       << ", segments scanned=" << scan.segments_scanned
+                       << ", segments decoded=" << scan.segments_decoded
+                       << ", bytes decoded=" << scan.bytes_decoded
+                       << ", cold pins=" << scan.cold_pins
+                       << ", hot pins=" << scan.hot_pins
+                       << ", morsel cpu=" << (scan.cpu_ns / 1000000)
+                       << " ms, queue wait=" << (scan.queue_wait_ns / 1000000)
+                       << " ms";
+}
+
+namespace {
+
 // Appends the trace's rendered span tree to an EXPLAIN ANALYZE result.
 void AppendSpanTree(const obs::Trace* trace, QueryResult* result) {
   if (trace == nullptr) return;
@@ -185,6 +247,11 @@ std::vector<std::string> ScanStatsLines(const ScanStats& stats) {
       "blocks scanned: " + std::to_string(stats.blocks_scanned),
       "segments scanned: " + std::to_string(stats.segments_scanned),
       "segments decoded: " + std::to_string(stats.segments_decoded),
+      "bytes decoded: " + std::to_string(stats.bytes_decoded),
+      "cold pins: " + std::to_string(stats.cold_pins),
+      "hot pins: " + std::to_string(stats.hot_pins),
+      "morsel cpu ms: " + std::to_string(stats.cpu_ns / 1000000),
+      "queue wait ms: " + std::to_string(stats.queue_wait_ns / 1000000),
   };
 }
 
@@ -232,11 +299,13 @@ Result<std::pair<int, int>> QueryEngine::ResolveDimensionColumn(
 }
 
 Result<CompiledQuery> QueryEngine::Compile(const Query& ast) const {
-  if (ast.view == View::kMetrics || ast.view == View::kTraces) {
+  if (ast.view == View::kMetrics || ast.view == View::kTraces ||
+      ast.view == View::kHealth) {
     // Introspection views never touch the scan pipeline; Execute answers
     // them directly from the obs subsystem.
     return Status::InvalidArgument(
-        "METRICS()/TRACES() cannot be compiled for distributed execution");
+        "METRICS()/TRACES()/HEALTH() cannot be compiled for distributed "
+        "execution");
   }
   CompiledQuery compiled;
   compiled.ast = ast;
@@ -570,6 +639,8 @@ Result<PartialResult> QueryEngine::SegmentViewPartial(
           if (!decoder_result.ok()) return decoder_result.status();
           decoder = std::move(*decoder_result);
           ++partial.scan.segments_decoded;
+          partial.scan.bytes_decoded +=
+              static_cast<int64_t>(segment.StorageBytes());
           return Status::OK();
         };
 
@@ -692,6 +763,8 @@ Result<PartialResult> QueryEngine::DataPointViewPartial(
           if (!decoder_result.ok()) return decoder_result.status();
           decoder = std::move(*decoder_result);
           ++partial.scan.segments_decoded;
+          partial.scan.bytes_decoded +=
+              static_cast<int64_t>(segment.StorageBytes());
           return Status::OK();
         };
 
@@ -807,14 +880,23 @@ Result<PartialResult> QueryEngine::ExecutePartialParallel(
   obs::ScopedSpan fan_out(trace, "morsel fan-out", parent_span);
   TaskGroup group(pool);
   for (size_t i = 0; i < n; ++i) {
+    // Per-query resource accounting: submit-to-start wait and thread CPU
+    // time of each morsel land in its partial's ScanStats (summed by the
+    // deterministic merge below into the query's totals).
+    const int64_t submit_ns = obs::MonotonicNanos();
     group.Submit([this, &compiled, &source, &morsel_gids, &partials,
-                  &statuses, trace, fan_out_id = fan_out.id(), i] {
+                  &statuses, trace, fan_out_id = fan_out.id(), submit_ns,
+                  i] {
+      const int64_t start_ns = obs::MonotonicNanos();
+      const int64_t cpu_begin_ns = obs::ThreadCpuNanos();
       obs::ScopedSpan span(
           trace, "morsel gid=" + std::to_string(morsel_gids[i]), fan_out_id);
       GidRestrictedSource morsel(&source, morsel_gids[i]);
       auto result = ExecutePartial(compiled, morsel);
       if (result.ok()) {
         partials[i] = std::move(*result);
+        partials[i].scan.queue_wait_ns = start_ns - submit_ns;
+        partials[i].scan.cpu_ns = obs::ThreadCpuNanos() - cpu_begin_ns;
       } else {
         statuses[i] = result.status();
       }
@@ -997,6 +1079,7 @@ Result<QueryResult> QueryEngine::Execute(const Query& ast,
   // Introspection views are answered straight from the obs subsystem.
   if (ast.view == View::kMetrics) return MetricsTable(ast.limit);
   if (ast.view == View::kTraces) return TracesTable(ast.limit);
+  if (ast.view == View::kHealth) return HealthTable(ast.limit);
   if (ast.explain) {
     MODELARDB_ASSIGN_OR_RETURN(std::string text, Explain(ast));
     QueryResult result;
@@ -1064,6 +1147,7 @@ Result<QueryResult> QueryEngine::Execute(const Query& ast,
   MODELARDB_ASSIGN_OR_RETURN(PartialResult partial,
                              ExecutePartial(compiled, source));
   scan_span.End();
+  const ScanStats scan_stats = partial.scan;
   std::vector<PartialResult> partials;
   partials.push_back(std::move(partial));
   obs::ScopedSpan merge_span(trace, "merge");
@@ -1072,8 +1156,12 @@ Result<QueryResult> QueryEngine::Execute(const Query& ast,
 
   queries.Add();
   if (timed) {
-    latency.Observe(static_cast<double>(obs::MonotonicNanos() - start_ns) *
-                    1e-9);
+    const int64_t latency_ns = obs::MonotonicNanos() - start_ns;
+    latency.Observe(static_cast<double>(latency_ns) * 1e-9);
+    if (result.ok()) {
+      MaybeLogSlowQuery("engine", latency_ns, scan_stats,
+                        static_cast<int64_t>(result->rows.size()));
+    }
   }
   return result;
 }

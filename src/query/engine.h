@@ -176,6 +176,13 @@ struct PartialResult {
 // for a scan's summary-index pruning statistics.
 std::vector<std::string> ScanStatsLines(const ScanStats& stats);
 
+// Slow-query log: when `latency_ns` exceeds obs::SlowQueryThresholdNs(),
+// logs a kWarn line with the query's resource breakdown (`where` names the
+// caller), bumps modelardb_query_slow_total and records a kSlowQuery
+// flight-recorder event. No-op below the threshold or when disabled.
+void MaybeLogSlowQuery(const char* where, int64_t latency_ns,
+                       const ScanStats& scan, int64_t rows);
+
 class QueryEngine {
  public:
   // `catalog` and `registry` must outlive the engine; `groups` comes from

@@ -112,17 +112,19 @@ class Parser {
     } else if (EqualsIgnoreCase(table, "DataPoint")) {
       q.view = View::kDataPoint;
     } else if (EqualsIgnoreCase(table, "METRICS") ||
-               EqualsIgnoreCase(table, "TRACES")) {
-      // Introspection table functions: METRICS() / TRACES().
-      q.view = EqualsIgnoreCase(table, "METRICS") ? View::kMetrics
-                                                  : View::kTraces;
+               EqualsIgnoreCase(table, "TRACES") ||
+               EqualsIgnoreCase(table, "HEALTH")) {
+      // Introspection table functions: METRICS() / TRACES() / HEALTH().
+      q.view = EqualsIgnoreCase(table, "METRICS")  ? View::kMetrics
+               : EqualsIgnoreCase(table, "TRACES") ? View::kTraces
+                                                   : View::kHealth;
       if (!ConsumeSymbol("(") || !ConsumeSymbol(")")) {
         return Status::InvalidArgument("expected () after " + ToUpper(table));
       }
     } else {
       return Status::InvalidArgument(
           "unknown view: " + table +
-          " (expected Segment, DataPoint, METRICS() or TRACES())");
+          " (expected Segment, DataPoint, METRICS(), TRACES() or HEALTH())");
     }
     if (ConsumeKeyword("WHERE")) {
       do {
@@ -393,9 +395,12 @@ class Parser {
 
   static Status Validate(const Query& q) {
     bool has_agg = q.HasAggregates();
-    if (q.view == View::kMetrics || q.view == View::kTraces) {
+    if (q.view == View::kMetrics || q.view == View::kTraces ||
+        q.view == View::kHealth) {
       // Introspection views support only `SELECT * ... [LIMIT n]`.
-      const char* name = q.view == View::kMetrics ? "METRICS()" : "TRACES()";
+      const char* name = q.view == View::kMetrics   ? "METRICS()"
+                         : q.view == View::kTraces  ? "TRACES()"
+                                                    : "HEALTH()";
       if (q.select.size() != 1 ||
           q.select[0].kind != SelectItem::Kind::kStar) {
         return Status::InvalidArgument(std::string(name) +

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/event_ring.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs/watchdog.h"
 #include "util/buffer.h"
 #include "util/logging.h"
 
@@ -57,6 +60,11 @@ obs::Counter& SlabCopiedScanBytes() {
   static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
       obs::kSlabCopiedScanBytesTotal);
   return counter;
+}
+obs::Histogram& SlabCheckpointSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kSlabCheckpointSeconds);
+  return histogram;
 }
 
 // Feeds one scan's pruning counters into the cumulative store metrics.
@@ -181,6 +189,9 @@ Status SegmentStore::ReplayLog() {
   }
   RecoveryBlocksReplayed().Add(recovery_info_.blocks_replayed);
   RecoverySegmentsReplayed().Add(recovery_info_.segments_replayed);
+  obs::EventRing::Global().Record(obs::EventKind::kRecovery,
+                                  recovery_info_.blocks_replayed,
+                                  recovery_info_.segments_replayed, "replay");
   if (wal.torn_tail) {
     MODELARDB_RETURN_NOT_OK(
         QuarantineTornTail(file, wal.valid_bytes, wal.torn_reason,
@@ -227,6 +238,9 @@ Status SegmentStore::QuarantineTornTail(const std::vector<uint8_t>& file,
   recovery_info_.torn_reason = reason;
   RecoveryTornTails().Add();
   RecoveryQuarantinedBytes().Add(static_cast<int64_t>(tail_bytes));
+  obs::EventRing::Global().Record(obs::EventKind::kQuarantine,
+                                  static_cast<int64_t>(tail_bytes), 0,
+                                  "torn_tail");
   MODELARDB_LOG(kWarn) << "salvaged torn WAL tail in " << log_path_ << ": "
                        << reason << "; quarantined " << tail_bytes
                        << " bytes to " << CorruptSidecarPath();
@@ -344,6 +358,10 @@ void SegmentStore::RebuildBlocks(GroupData* data) const {
   data->blocks.clear();
   if (options_.index_block_size == 0) return;
   StoreBlockRebuilds().Add();
+  obs::EventRing::Global().Record(obs::EventKind::kBlockRebuild,
+                                  static_cast<int64_t>(data->gid),
+                                  static_cast<int64_t>(data->segments.size()),
+                                  "cow_rebuild");
   const bool materialize = MaterializeFor(data->gid);
   int group_size = GroupSizeOf(data->gid);
   data->blocks.reserve(
@@ -477,6 +495,11 @@ Status SegmentStore::SyncWal() {
 
 Status SegmentStore::FlushLocked() {
   if (log_path_.empty() || write_buffer_.empty()) return Status::OK();
+  // The watchdog sees this flush as a live operation: if the WAL append or
+  // fsync below wedges, the heartbeat goes stale and HEALTH() reports it.
+  obs::HeartbeatScope heartbeat("flush");
+  const int64_t flush_begin_ns = obs::MonotonicNanos();
+  const int64_t flushed = static_cast<int64_t>(write_buffer_.size());
   // The buffer is kept on failure: the segments stay queryable in memory
   // and the caller sees exactly which flush failed. The WAL writer poisons
   // itself after an I/O error (appending past a possibly-torn tail would
@@ -485,6 +508,8 @@ Status SegmentStore::FlushLocked() {
   MODELARDB_RETURN_NOT_OK(WriteBlock(write_buffer_));
   write_buffer_.clear();
   StoreFlushTotal().Add();
+  obs::EventRing::Global().Record(obs::EventKind::kFlush, flushed,
+                                  obs::MonotonicNanos() - flush_begin_ns);
   if (options_.slab_checkpoint_every_n_flushes > 0 && !checkpointing_ &&
       ++flushes_since_checkpoint_ >= options_.slab_checkpoint_every_n_flushes) {
     // Checkpoint failure is benign to this flush: the segments stay hot in
@@ -506,6 +531,13 @@ Status SegmentStore::Checkpoint() {
 
 Status SegmentStore::CheckpointLocked() {
   if (log_path_.empty()) return Status::OK();  // In-memory: nothing cold.
+  obs::HeartbeatScope heartbeat("checkpoint");
+  const int64_t checkpoint_begin_ns = obs::MonotonicNanos();
+  auto phase = [this](const char* name, int64_t a) {
+    obs::EventRing::Global().Record(obs::EventKind::kCheckpointPhase, a, 0,
+                                    name);
+    if (options_.checkpoint_phase_hook) options_.checkpoint_phase_hook(name);
+  };
   // Everything hot must be in the WAL before the watermark can claim to
   // cover it. The guard keeps FlushLocked's auto-trigger from recursing.
   checkpointing_ = true;
@@ -527,8 +559,15 @@ Status SegmentStore::CheckpointLocked() {
   // to the allocator, frees are restored) and discards the copies, leaving
   // the store byte-for-byte where it started — a failed checkpoint is
   // invisible except for the warning FlushLocked logs.
+  int64_t groups_to_stage = 0;
+  for (const auto& [gid, slot] : index_) {
+    if (slot.data && !slot.data->segments.empty()) ++groups_to_stage;
+  }
+  obs::EventRing::Global().Record(obs::EventKind::kCheckpointBegin,
+                                  groups_to_stage);
   std::vector<std::pair<Gid, GroupSlot>> originals;
   Status status = Status::OK();
+  int64_t groups_staged = 0;
   for (auto& [gid, slot] : index_) {
     if (!slot.data || slot.data->segments.empty()) continue;
     auto updated = std::make_shared<GroupData>(*slot.data);
@@ -538,6 +577,9 @@ Status SegmentStore::CheckpointLocked() {
     originals.emplace_back(gid, slot);
     slot.data = std::move(updated);
     slot.snapshotted = false;
+    ++groups_staged;
+    heartbeat.Beat();
+    phase("stage_group", static_cast<int64_t>(gid));
   }
   // The cold index travels with every checkpoint: free the previous copy,
   // stage the new one, and flip the root. Even a checkpoint with no new
@@ -554,8 +596,13 @@ Status SegmentStore::CheckpointLocked() {
     } else {
       status = staged.status();
     }
+    heartbeat.Beat();
+    phase("cold_index", -1);
   }
-  if (status.ok()) status = slab_->Commit(wal_bytes_total_);
+  if (status.ok()) {
+    status = slab_->Commit(wal_bytes_total_);
+    if (status.ok()) phase("commit", 0);
+  }
   if (!status.ok()) {
     // Roll back to the pre-checkpoint state: the original group data (with
     // its snapshot flags) returns to the index, the previous cold-index id
@@ -565,8 +612,13 @@ Status SegmentStore::CheckpointLocked() {
     for (auto& [gid, slot] : originals) index_[gid] = std::move(slot);
     cold_index_block_id_ = previous_index_block;
     slab_->AbortCheckpoint();
+    phase("abort", 0);
     return status;
   }
+  const int64_t duration_ns = obs::MonotonicNanos() - checkpoint_begin_ns;
+  SlabCheckpointSeconds().Observe(static_cast<double>(duration_ns) * 1e-9);
+  obs::EventRing::Global().Record(obs::EventKind::kCheckpointEnd,
+                                  groups_staged, duration_ns);
   return Status::OK();
 }
 
@@ -859,6 +911,7 @@ Status SegmentStore::ScanGroupCold(SlabFile* slab, const GroupData& group,
     BufferReader reader(pin.bytes());
     MODELARDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
     ++stats->blocks_scanned;
+    ++stats->cold_pins;
     for (uint64_t i = 0; i < count; ++i) {
       MODELARDB_ASSIGN_OR_RETURN(Segment segment,
                                  Segment::DeserializeBorrowed(&reader));
@@ -892,6 +945,7 @@ Status SegmentStore::ScanGroupMerged(SlabFile* slab, const GroupData& group,
   }
   stats->blocks_scanned += static_cast<int64_t>(group.cold.size());
   stats->blocks_scanned += static_cast<int64_t>(group.blocks.size());
+  stats->cold_pins += static_cast<int64_t>(group.cold.size());
   size_t ci = 0, hi = 0;
   while (ci < cold_segments.size() || hi < group.segments.size()) {
     const bool take_cold =
@@ -910,6 +964,7 @@ Status SegmentStore::ScanGroupMerged(SlabFile* slab, const GroupData& group,
     }
     if (!filter.Matches(segment)) continue;
     ++stats->segments_scanned;
+    if (!take_cold) ++stats->hot_pins;
     MODELARDB_RETURN_NOT_OK(callbacks.on_segment(segment, summary));
   }
   return Status::OK();
@@ -953,6 +1008,7 @@ Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
       for (; it != group.segments.end(); ++it) {
         if (!filter.Matches(*it)) continue;
         ++stats->segments_scanned;
+        ++stats->hot_pins;
         size_t i = static_cast<size_t>(it - group.segments.begin());
         const SegmentSummary* summary =
             group.summaries.empty() ? nullptr : &group.summaries[i];
@@ -1008,6 +1064,7 @@ Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
         const Segment& segment = group.segments[i];
         if (!filter.Matches(segment)) continue;
         ++stats->segments_scanned;
+        ++stats->hot_pins;
         MODELARDB_RETURN_NOT_OK(callbacks.on_segment(
             segment, summaries == nullptr ? nullptr : &summaries[i]));
       }
@@ -1018,6 +1075,8 @@ Status SegmentStore::ScanIndexed(const SegmentFilter& filter,
   delta.blocks_summarized -= before.blocks_summarized;
   delta.blocks_scanned -= before.blocks_scanned;
   delta.segments_scanned -= before.segments_scanned;
+  delta.cold_pins -= before.cold_pins;
+  delta.hot_pins -= before.hot_pins;
   RecordScanStats(delta);
   return Status::OK();
 }

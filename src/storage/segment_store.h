@@ -84,6 +84,11 @@ struct SegmentStoreOptions {
   size_t slab_checkpoint_every_n_flushes = 0;
   // Segments per slab block (the cold unit of fence pruning and I/O).
   size_t slab_block_segments = 1024;
+  // Crash-test hook: called (under the store lock) at every checkpoint
+  // phase boundary, right after the matching flight-recorder event is
+  // emitted. tools/crash_writer --bundle aborts from here to prove the
+  // fatal-signal diagnostics bundle captures an in-flight checkpoint.
+  std::function<void(const char* phase)> checkpoint_phase_hook;
 };
 
 // Push-down predicate for segment scans.
@@ -97,14 +102,26 @@ struct SegmentFilter {
   }
 };
 
-// Counters describing how a scan used the summary index. Threaded through
-// query PartialResults into `EXPLAIN` output.
+// Per-scan resource accounting. The index-usage counters are filled by
+// the store; the decode/CPU/queue fields are filled by the query engine
+// as it drives the scan. Threaded through query PartialResults into
+// `EXPLAIN ANALYZE` output and the slow-query log (DESIGN.md §3i).
 struct ScanStats {
   int64_t blocks_skipped = 0;     // Pruned by time fences, never delivered.
   int64_t blocks_summarized = 0;  // Consumed whole from summaries.
   int64_t blocks_scanned = 0;     // Delivered segment by segment.
   int64_t segments_scanned = 0;   // Segments delivered to callbacks.
   int64_t segments_decoded = 0;   // Decoders created (query-engine side).
+  int64_t bytes_decoded = 0;      // Segment parameter bytes decoded
+                                  // (query-engine side).
+  int64_t cold_pins = 0;          // Slab block pins taken (zero-copy scans
+                                  // and materializing merges).
+  int64_t hot_pins = 0;           // Segments served from snapshot-pinned
+                                  // in-memory group data.
+  int64_t cpu_ns = 0;             // Thread-CPU time across the query's
+                                  // morsels (query-engine side).
+  int64_t queue_wait_ns = 0;      // Submit-to-start pool wait across the
+                                  // query's morsels (query-engine side).
 
   void Merge(const ScanStats& other) {
     blocks_skipped += other.blocks_skipped;
@@ -112,6 +129,11 @@ struct ScanStats {
     blocks_scanned += other.blocks_scanned;
     segments_scanned += other.segments_scanned;
     segments_decoded += other.segments_decoded;
+    bytes_decoded += other.bytes_decoded;
+    cold_pins += other.cold_pins;
+    hot_pins += other.hot_pins;
+    cpu_ns += other.cpu_ns;
+    queue_wait_ns += other.queue_wait_ns;
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_ring.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "util/buffer.h"
@@ -115,7 +116,12 @@ Status SlabFile::Remap() {
   size_t old_size = map_ != nullptr ? map_->size() : 0;
   MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<MmapFile> map,
                              env_->NewMmapFile(options_.path));
-  if (map_ != nullptr) ++remaps_, SlabRemaps().Add();
+  if (map_ != nullptr) {
+    ++remaps_;
+    SlabRemaps().Add();
+    obs::EventRing::Global().Record(obs::EventKind::kSlabRemap,
+                                    static_cast<int64_t>(map->size()));
+  }
   SlabMappedBytes().Add(static_cast<double>(map->size()) -
                         static_cast<double>(old_size));
   // Readers holding a Pin keep the previous mapping alive through their

@@ -3,8 +3,10 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/event_ring.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/crc32c.h"
 
 namespace modelardb {
@@ -29,6 +31,11 @@ obs::Counter& WalGroupCommitted() {
   static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
       obs::kWalGroupCommittedBlocksTotal);
   return counter;
+}
+obs::Histogram& WalSyncSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kWalSyncSeconds);
+  return histogram;
 }
 
 uint32_t LoadU32(const uint8_t* p) {
@@ -202,6 +209,7 @@ Status WalWriter::AppendBlock(const uint8_t* payload, size_t size) {
 
 Status WalWriter::SyncInternal() {
   if (unsynced_blocks_ == 0) return Status::OK();
+  const int64_t begin_ns = obs::MonotonicNanos();
   Status sync = log_->Sync();
   if (!sync.ok()) {
     // fsyncgate: after a failed fsync the kernel may have dropped the
@@ -209,8 +217,13 @@ Status WalWriter::SyncInternal() {
     poisoned_ = true;
     return sync;
   }
+  const int64_t duration_ns = obs::MonotonicNanos() - begin_ns;
   WalFsyncs().Add();
   WalGroupCommitted().Add(static_cast<int64_t>(unsynced_blocks_));
+  WalSyncSeconds().Observe(static_cast<double>(duration_ns) * 1e-9);
+  obs::EventRing::Global().Record(obs::EventKind::kWalSync,
+                                  static_cast<int64_t>(unsynced_blocks_),
+                                  duration_ns);
   unsynced_blocks_ = 0;
   return Status::OK();
 }

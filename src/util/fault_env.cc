@@ -51,6 +51,14 @@ class FaultWritableLog final : public WritableLog {
     const int64_t op = env->ops_++;
     FaultInjectionEnv::FileState& state = env->files_[path_];
     const auto& opts = env->options_;
+    if (op == opts.stall_sync_at && !env->stalls_released_) {
+      // Wedged disk: block here (Wait drops mutex_, so the env stays
+      // usable) until ReleaseStalls(), then sync normally.
+      ++env->faults_;
+      env->sync_stalled_ = true;
+      while (!env->stalls_released_) env->stall_cv_.Wait(env->mutex_);
+      env->sync_stalled_ = false;
+    }
     if (opts.drop_writes_after >= 0 && op >= opts.drop_writes_after) {
       ++env->faults_;
       return Status::OK();  // "Synced" data that never existed.
@@ -280,6 +288,17 @@ int64_t FaultInjectionEnv::ops() const {
 int64_t FaultInjectionEnv::faults_injected() const {
   MutexLock lock(mutex_);
   return faults_;
+}
+
+void FaultInjectionEnv::ReleaseStalls() {
+  MutexLock lock(mutex_);
+  stalls_released_ = true;
+  stall_cv_.NotifyAll();
+}
+
+bool FaultInjectionEnv::sync_stalled() const {
+  MutexLock lock(mutex_);
+  return sync_stalled_;
 }
 
 }  // namespace modelardb

@@ -12,6 +12,11 @@
 //                      never forwarded: models writes the kernel buffered
 //                      but that never survived (combined with
 //                      SimulateCrash this is a sync cut).
+//   stall_sync_at      The log Sync at index N blocks until ReleaseStalls()
+//                      — a wedged disk. The op then completes normally, so
+//                      durability is unaffected; used by the watchdog tests
+//                      to wedge a flush mid-Sync and observe the stalled
+//                      health verdict.
 //
 // The env additionally tracks, per tracked log file, the byte size at the
 // last successful Sync vs the bytes actually forwarded. SimulateCrash()
@@ -59,6 +64,7 @@ class FaultInjectionEnv final : public Env {
     int64_t short_write_at = -1;
     int64_t fail_sync_at = -1;
     int64_t drop_writes_after = -1;
+    int64_t stall_sync_at = -1;
   };
 
   FaultInjectionEnv(Env* base, Options options);
@@ -88,6 +94,12 @@ class FaultInjectionEnv final : public Env {
   // Faults actually injected so far.
   int64_t faults_injected() const;
 
+  // Un-wedges every Sync blocked by stall_sync_at (idempotent; also lets
+  // future stall indices pass straight through).
+  void ReleaseStalls();
+  // True while some Sync is blocked inside the stall.
+  bool sync_stalled() const;
+
  private:
   friend class FaultWritableLog;
   friend class FaultRandomRWFile;
@@ -110,6 +122,9 @@ class FaultInjectionEnv final : public Env {
   Env* const base_;
   const Options options_;
   mutable Mutex mutex_;
+  CondVar stall_cv_ GUARDED_BY(mutex_);
+  bool stalls_released_ GUARDED_BY(mutex_) = false;
+  bool sync_stalled_ GUARDED_BY(mutex_) = false;
   Random rng_ GUARDED_BY(mutex_);
   std::map<std::string, FileState> files_ GUARDED_BY(mutex_);
   std::map<std::string, RWFileState> rw_files_ GUARDED_BY(mutex_);

@@ -24,6 +24,7 @@
 #ifndef MODELARDB_UTIL_SYNC_H_
 #define MODELARDB_UTIL_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -178,6 +179,16 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // Caller's MutexLock still owns the mutex.
+  }
+
+  // Timed wait; returns false when the timeout elapsed without a notify.
+  // Same contract as Wait(): callers re-check their predicate in a loop.
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+    lock.release();  // Caller's MutexLock still owns the mutex.
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

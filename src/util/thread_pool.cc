@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/event_ring.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -37,6 +38,10 @@ obs::Counter& PoolHelpSteals() {
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
+  // A backlog several times deeper than the worker count means submitters
+  // are outrunning the pool; 64 keeps small pools from firing on normal
+  // fan-out bursts.
+  saturation_threshold_ = num_threads * 8 < 64 ? 64 : num_threads * 8;
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -82,14 +87,26 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  size_t depth = 0;
   {
     MutexLock lock(mutex_);
     if (!shutdown_) {
       queue_.push_back(std::move(fn));
+      depth = queue_.size();
       PoolQueueDepth().Add(1.0);
       cv_.NotifyOne();
-      return;
     }
+  }
+  if (depth > 0) {
+    if (depth >= static_cast<size_t>(saturation_threshold_)) {
+      if (!saturated_.exchange(true, std::memory_order_relaxed)) {
+        obs::EventRing::Global().Record(obs::EventKind::kPoolSaturated,
+                                        static_cast<int64_t>(depth));
+      }
+    } else if (depth < static_cast<size_t>(saturation_threshold_ / 2)) {
+      saturated_.store(false, std::memory_order_relaxed);
+    }
+    return;
   }
   fn();  // Destructor already draining: degrade to inline execution.
 }

@@ -13,6 +13,7 @@
 #ifndef MODELARDB_UTIL_THREAD_POOL_H_
 #define MODELARDB_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -56,6 +57,11 @@ class ThreadPool {
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
   bool shutdown_ GUARDED_BY(mutex_) = false;
+  // Edge trigger for the kPoolSaturated flight-recorder event: set when the
+  // queue depth crosses saturation_threshold_, cleared once it halves, so a
+  // sustained backlog emits one event per episode instead of per Submit.
+  int saturation_threshold_;
+  std::atomic<bool> saturated_{false};
   // Written in the constructor, joined in the destructor; never touched by
   // worker threads, so it needs no guard.
   std::vector<std::thread> threads_;

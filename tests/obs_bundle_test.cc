@@ -1,0 +1,148 @@
+// Diagnostics bundle round-trip: the on-demand writer produces a
+// well-formed v1 bundle reflecting the flight recorder, and the
+// fatal-signal handler leaves the same bundle behind when a forked child
+// aborts — the black-box property the crash harness (tools/crash_writer
+// --bundle) re-proves against a mid-checkpoint abort.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bundle.h"
+#include "obs/event_ring.h"
+#include "obs/export.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define MODELARDB_HAS_FORK 1
+#else
+#define MODELARDB_HAS_FORK 0
+#endif
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MODELARDB_TSAN 1
+#endif
+#endif
+#if !defined(MODELARDB_TSAN) && defined(__SANITIZE_THREAD__)
+#define MODELARDB_TSAN 1
+#endif
+#ifndef MODELARDB_TSAN
+#define MODELARDB_TSAN 0
+#endif
+
+namespace modelardb {
+namespace obs {
+namespace {
+
+class ObsBundleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    MetricsRegistry::Global().ResetForTest();
+    EventRing::Global().ResetForTest();
+    Tracer::Global().ResetForTest();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mdb_bundle_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST_F(ObsBundleTest, OnDemandBundleIsWellFormed) {
+  EventRing::Global().Record(EventKind::kFlush, 12, 3456, "");
+  EventRing::Global().Record(EventKind::kCheckpointPhase, 1, 0,
+                             "stage_group");
+  MetricsRegistry::Global().GetCounter(kStoreFlushTotal).Add(12);
+
+  const std::string path = WriteDiagnosticsBundle(dir_.string());
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find(dir_.string()), std::string::npos);
+  const std::string bundle = ReadAll(path);
+
+  // Header, sections and footer in order.
+  size_t at = 0;
+  for (const char* needle :
+       {"MODELARDB DIAGNOSTICS BUNDLE v1", "signal=0", "events=",
+        "== events ==", "kind=flush", "kind=checkpoint_phase",
+        "detail=stage_group", "== metrics ==", "modelardb_store_flush_total",
+        "== traces ==", "== end of bundle =="}) {
+    const size_t found = bundle.find(needle, at);
+    ASSERT_NE(found, std::string::npos) << needle << "\n" << bundle;
+    at = found;
+  }
+  // The dump itself is an event (kBundleDump) and counted.
+  EXPECT_EQ(MetricsRegistry::Global()
+                .GetCounter(kEventBundleDumpsTotal)
+                .Value(),
+            1);
+}
+
+TEST_F(ObsBundleTest, EventLineCarriesPayloads) {
+  EventRing::Global().Record(EventKind::kWalSync, 7, 420, "");
+  const std::string bundle = ReadAll(WriteDiagnosticsBundle(dir_.string()));
+  EXPECT_NE(bundle.find("kind=wal_sync a=7 b=420"), std::string::npos)
+      << bundle;
+}
+
+TEST_F(ObsBundleTest, FatalSignalLeavesBundleBehind) {
+#if !MODELARDB_HAS_FORK
+  GTEST_SKIP() << "no fork() on this platform";
+#elif MODELARDB_TSAN
+  GTEST_SKIP() << "fork + signal handler is not TSan-friendly";
+#else
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: record some history, install the handler, die mid-flight.
+    InstallCrashHandler(dir_.string());
+    EventRing::Global().Record(EventKind::kCheckpointBegin, 3);
+    EventRing::Global().Record(EventKind::kCheckpointPhase, 1, 0,
+                               "stage_group");
+    std::abort();
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  EXPECT_EQ(WTERMSIG(wstatus), SIGABRT);  // Re-raised, not swallowed.
+
+  std::string bundle_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("crash_bundle_", 0) == 0) {
+      bundle_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(bundle_path.empty()) << "no crash_bundle_* in " << dir_;
+  const std::string bundle = ReadAll(bundle_path);
+  for (const char* needle :
+       {"MODELARDB DIAGNOSTICS BUNDLE v1", "signal=6", "== events ==",
+        "kind=checkpoint_begin", "kind=checkpoint_phase",
+        "detail=stage_group", "== metrics ==", "== end of bundle =="}) {
+    EXPECT_NE(bundle.find(needle), std::string::npos) << needle << "\n"
+                                                      << bundle;
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace modelardb

@@ -12,9 +12,12 @@
 
 #include "cluster/cluster.h"
 #include "ingest/pipeline.h"
+#include "obs/event_ring.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "obs/watchdog.h"
+#include "query/engine.h"
 #include "query/parser.h"
 #include "workload/dataset.h"
 
@@ -167,6 +170,117 @@ TEST_F(ObsSqlTest, IntrospectionViewsRejectFiltersAndProjection) {
 TEST_F(ObsSqlTest, IntrospectionViewsCannotBeCompiled) {
   auto ast = *query::ParseQuery("SELECT * FROM METRICS()");
   EXPECT_FALSE(cluster_->query_engine().Compile(ast).ok());
+}
+
+TEST_F(ObsSqlTest, HealthReportsOkOnAQuietCluster) {
+  auto result = *cluster_->Execute("SELECT * FROM HEALTH()");
+  EXPECT_EQ(result.columns, (std::vector<std::string>{"field", "value"}));
+  std::map<std::string, query::Cell> by_field;
+  for (const auto& row : result.rows) {
+    by_field[std::get<std::string>(row[0])] = row[1];
+  }
+  ASSERT_TRUE(by_field.count("status"));
+  EXPECT_EQ(std::get<std::string>(by_field["status"]), "ok");
+  ASSERT_TRUE(by_field.count("inflight_ops"));
+  EXPECT_EQ(std::get<int64_t>(by_field["inflight_ops"]), 0);
+  ASSERT_TRUE(by_field.count("checks"));
+  EXPECT_GE(std::get<int64_t>(by_field["checks"]), 1);
+  ASSERT_TRUE(by_field.count("queue_depth"));
+}
+
+TEST_F(ObsSqlTest, HealthNamesAStalledOperation) {
+  obs::WatchdogOptions options;
+  options.stalled_after_ms = 0;  // Any registered heartbeat is stale.
+  obs::Watchdog::Global().SetOptions(options);
+  {
+    obs::HeartbeatScope scope("recovery");
+    auto result = *cluster_->Execute("SELECT * FROM HEALTH()");
+    std::string status;
+    std::string reason;
+    for (const auto& row : result.rows) {
+      const std::string& field = std::get<std::string>(row[0]);
+      if (field == "status") status = std::get<std::string>(row[1]);
+      if (field == "reason" && reason.empty()) {
+        reason = std::get<std::string>(row[1]);
+      }
+    }
+    EXPECT_EQ(status, "stalled");
+    EXPECT_NE(reason.find("recovery heartbeat stalled"), std::string::npos);
+  }
+  obs::Watchdog::Global().SetOptions(obs::WatchdogOptions());
+}
+
+TEST_F(ObsSqlTest, HealthHonoursLimitAndRejectsFilters) {
+  auto limited = *cluster_->Execute("SELECT * FROM HEALTH() LIMIT 1");
+  ASSERT_EQ(limited.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(limited.rows[0][0]), "status");
+  EXPECT_FALSE(cluster_->Execute("SELECT status FROM HEALTH()").ok());
+  EXPECT_FALSE(
+      cluster_->Execute("SELECT * FROM HEALTH() WHERE Tid = 1").ok());
+  EXPECT_FALSE(cluster_->Execute("SELECT * FROM HEALTH(1)").ok());
+  auto ast = *query::ParseQuery("SELECT * FROM HEALTH()");
+  EXPECT_FALSE(cluster_->query_engine().Compile(ast).ok());
+}
+
+TEST_F(ObsSqlTest, ExplainAnalyzeReportsResourceAccounting) {
+  auto result =
+      *cluster_->Execute("EXPLAIN ANALYZE SELECT SUM_S(*) FROM Segment");
+  std::map<std::string, bool> saw;
+  for (const auto& row : result.rows) {
+    const std::string& line = std::get<std::string>(row[0]);
+    for (const char* stat : {"bytes decoded:", "cold pins:", "hot pins:",
+                             "morsel cpu ms:", "queue wait ms:"}) {
+      if (line.find(stat) != std::string::npos) saw[stat] = true;
+    }
+  }
+  for (const char* stat : {"bytes decoded:", "cold pins:", "hot pins:",
+                           "morsel cpu ms:", "queue wait ms:"}) {
+    EXPECT_TRUE(saw[stat]) << stat;
+  }
+}
+
+TEST_F(ObsSqlTest, SlowQueryLogCountsAndRecordsOverThreshold) {
+  obs::EventRing::Global().ResetForTest();
+  obs::Counter& slow =
+      obs::MetricsRegistry::Global().GetCounter(obs::kQuerySlowTotal);
+  const int64_t before = slow.Value();
+  ScanStats stats;
+  stats.segments_scanned = 4;
+
+  obs::SetSlowQueryThresholdMs(-1);  // Disabled: nothing fires.
+  query::MaybeLogSlowQuery("engine", 10'000'000'000, stats, 10);
+  EXPECT_EQ(slow.Value(), before);
+
+  obs::SetSlowQueryThresholdMs(5);  // A 10 ms query is now slow.
+  query::MaybeLogSlowQuery("engine", 10'000'000, stats, 10);
+  query::MaybeLogSlowQuery("engine", 1'000'000, stats, 10);  // Fast: no.
+  EXPECT_EQ(slow.Value(), before + 1);
+  bool saw_event = false;
+  for (const obs::EventRecord& record :
+       obs::EventRing::Global().Snapshot()) {
+    if (record.kind == obs::EventKind::kSlowQuery) {
+      saw_event = true;
+      EXPECT_EQ(record.a, 10'000'000);  // Latency ns.
+      EXPECT_EQ(record.b, 10);          // Rows.
+      EXPECT_STREQ(record.detail, "engine");
+    }
+  }
+  EXPECT_TRUE(saw_event);
+  obs::SetSlowQueryThresholdMs(1000);  // Back to the default.
+}
+
+TEST_F(ObsSqlTest, ClusterConfigAppliesObservabilityKnobs) {
+  cluster::ClusterConfig config;
+  config.num_workers = 1;
+  config.trace_ring_capacity = 7;
+  config.slow_query_ms = 777;
+  auto engine = cluster::ClusterEngine::Create(dataset_->catalog(), groups_,
+                                               &registry_, config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(obs::Tracer::Global().capacity(), 7u);
+  EXPECT_EQ(obs::SlowQueryThresholdNs(), 777 * 1000000);
+  obs::SetSlowQueryThresholdMs(1000);
+  obs::Tracer::Global().SetCapacity(obs::Tracer::kDefaultCapacity);
 }
 
 TEST_F(ObsSqlTest, QueriesRunWithTracingDisabled) {

@@ -1,0 +1,203 @@
+// Watchdog under concurrency (TSan tier-2 target) plus the stall
+// acceptance property: heartbeats registered/beaten/unregistered from many
+// threads while Check() runs and the background thread samples, and a
+// flush wedged mid-fsync (FaultInjectionEnv stall_sync_at) must flip
+// HEALTH() to stalled with the flush named in the reason — then back to ok
+// once the disk un-wedges.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/segment.h"
+#include "obs/event_ring.h"
+#include "obs/export.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+#include "storage/segment_store.h"
+#include "util/env.h"
+#include "util/fault_env.h"
+
+namespace modelardb {
+namespace obs {
+namespace {
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+class ObsWatchdogConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    MetricsRegistry::Global().ResetForTest();
+    EventRing::Global().ResetForTest();
+    Watchdog::Global().ResetForTest();
+  }
+  void TearDown() override { Watchdog::Global().ResetForTest(); }
+};
+
+TEST_F(ObsWatchdogConcurrencyTest, HeartbeatsVsChecksVsBackgroundThread) {
+  WatchdogOptions options;
+  options.poll_interval_ms = 1;  // Hammer the background sampler too.
+  Watchdog::Global().Start(options);
+  ASSERT_TRUE(Watchdog::Global().running());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> checkers;
+  for (int c = 0; c < 2; ++c) {
+    checkers.emplace_back([&] {
+      while (!stop.load()) {
+        HealthReport report = Watchdog::Global().Check();
+        EXPECT_GE(report.inflight_ops, 0);
+        EXPECT_GT(report.checks, 0);
+      }
+    });
+  }
+  std::vector<std::thread> operators;
+  for (int w = 0; w < 4; ++w) {
+    operators.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        HeartbeatScope scope("op");
+        scope.Beat();
+        scope.Beat();
+      }
+    });
+  }
+  for (std::thread& op : operators) op.join();
+  stop.store(true);
+  for (std::thread& checker : checkers) checker.join();
+  Watchdog::Global().Stop();
+  EXPECT_FALSE(Watchdog::Global().running());
+
+  // All scopes unregistered; a fresh check is healthy.
+  HealthReport report = Watchdog::Global().Check();
+  EXPECT_EQ(report.inflight_ops, 0);
+  EXPECT_EQ(report.status, HealthStatus::kOk);
+  EXPECT_EQ(MetricsRegistry::Global().GetGauge(kHealthStatus).Value(), 0.0);
+}
+
+TEST_F(ObsWatchdogConcurrencyTest, StaleHeartbeatEscalatesThenRecovers) {
+  WatchdogOptions options;
+  options.degraded_after_ms = 20;
+  options.stalled_after_ms = 60;
+  Watchdog::Global().SetOptions(options);
+
+  HeartbeatScope scope("replay");
+  SleepMs(25);  // Past degraded, before stalled.
+  HealthReport late = Watchdog::Global().Check();
+  EXPECT_NE(late.status, HealthStatus::kOk);
+  SleepMs(60);  // Now well past stalled.
+  HealthReport stalled = Watchdog::Global().Check();
+  EXPECT_EQ(stalled.status, HealthStatus::kStalled);
+  ASSERT_FALSE(stalled.reasons.empty());
+  EXPECT_NE(stalled.reasons[0].find("replay heartbeat stalled"),
+            std::string::npos);
+  EXPECT_EQ(MetricsRegistry::Global().GetGauge(kHealthStatus).Value(), 2.0);
+
+  scope.Beat();  // The operation makes progress again.
+  HealthReport recovered = Watchdog::Global().Check();
+  EXPECT_EQ(recovered.status, HealthStatus::kOk);
+  EXPECT_TRUE(recovered.reasons.empty());
+}
+
+TEST_F(ObsWatchdogConcurrencyTest, DeepPoolBacklogDegrades) {
+  WatchdogOptions options;
+  options.queue_depth_degraded = 4;
+  Watchdog::Global().SetOptions(options);
+  Gauge& depth = MetricsRegistry::Global().GetGauge(kPoolQueueDepth);
+  depth.Set(10);
+  HealthReport report = Watchdog::Global().Check();
+  EXPECT_EQ(report.status, HealthStatus::kDegraded);
+  ASSERT_FALSE(report.reasons.empty());
+  EXPECT_NE(report.reasons[0].find("pool queue depth"), std::string::npos);
+  depth.Set(0);
+  EXPECT_EQ(Watchdog::Global().Check().status, HealthStatus::kOk);
+}
+
+// The acceptance property: a flush wedged inside fsync goes stale on the
+// watchdog (the flush heartbeat stops beating while the WAL Sync blocks)
+// and HEALTH() says so — naming the flush — until the disk un-wedges.
+TEST_F(ObsWatchdogConcurrencyTest, WedgedFlushReportsStalledThenOk) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("mdb_wedged_flush_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  FaultInjectionEnv::Options fault_options;
+  fault_options.stall_sync_at = 1;  // Op 0 = flush append, op 1 = its fsync.
+  FaultInjectionEnv env(Env::Default(), fault_options);
+
+  SegmentStoreOptions store_options;
+  store_options.directory = dir.string();
+  store_options.env = &env;
+  auto store = *SegmentStore::Open(store_options);
+
+  Segment segment;
+  segment.gid = 1;
+  segment.start_time = 0;
+  segment.end_time = 900;
+  segment.si = 100;
+  segment.mid = kMidPmcMean;
+  segment.parameters.resize(sizeof(float));
+  ASSERT_TRUE(store->Put(segment).ok());
+
+  WatchdogOptions options;
+  options.degraded_after_ms = 20;
+  options.stalled_after_ms = 60;
+  options.wal_sync_warn_ms = 60000;  // The released sync took stall-time.
+  Watchdog::Global().SetOptions(options);
+
+  std::thread flusher([&] { EXPECT_TRUE(store->Flush().ok()); });
+  // Wait for the flush to actually wedge inside the injected stall.
+  for (int i = 0; i < 5000 && !env.sync_stalled(); ++i) SleepMs(1);
+  ASSERT_TRUE(env.sync_stalled());
+
+  // The wedged flush stops beating; the verdict escalates to stalled.
+  HealthStatus status = HealthStatus::kOk;
+  std::string reason;
+  for (int i = 0; i < 5000; ++i) {
+    HealthReport report = Watchdog::Global().Check();
+    status = report.status;
+    reason = report.reasons.empty() ? "" : report.reasons[0];
+    if (status == HealthStatus::kStalled) break;
+    SleepMs(1);
+  }
+  EXPECT_EQ(status, HealthStatus::kStalled);
+  EXPECT_NE(reason.find("flush heartbeat stalled"), std::string::npos)
+      << reason;
+
+  env.ReleaseStalls();
+  flusher.join();
+  EXPECT_FALSE(env.sync_stalled());
+  EXPECT_EQ(store->NumSegments(), 1);
+
+  // Flush finished and unregistered its heartbeat: healthy again.
+  HealthReport recovered = Watchdog::Global().Check();
+  EXPECT_EQ(recovered.status, HealthStatus::kOk) << [&] {
+    std::string all;
+    for (const std::string& r : recovered.reasons) all += r + "; ";
+    return all;
+  }();
+
+  store.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsWatchdogConcurrencyTest, SlowQueryThresholdRoundTrip) {
+  SetSlowQueryThresholdMs(250);
+  EXPECT_EQ(SlowQueryThresholdNs(), 250 * 1000000);
+  SetSlowQueryThresholdMs(0);  // <= 0 disables.
+  EXPECT_EQ(SlowQueryThresholdNs(), -1);
+  SetSlowQueryThresholdMs(1000);  // Restore the default for other tests.
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace modelardb

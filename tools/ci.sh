@@ -39,7 +39,7 @@ metric_hygiene() {
       echo "FAIL: metric '$name' is not in src/obs/metric_names.h" >&2
       unknown=1
     fi
-  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode|wal|recovery|slab)_[a-z0-9_]+' \
+  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode|wal|recovery|slab|event|health)_[a-z0-9_]+' \
              -- tests docs '*.md' ':!src/obs/metric_names.h' 2>/dev/null \
            | sort -u)
   return "$unknown"
@@ -127,6 +127,13 @@ echo "ci: crash-recovery gate passed"
 # append (DESIGN.md §3h). Same verifier, same watermark contract.
 ./build/tools/crash_writer --rounds=25 --seed=11 --slab
 echo "ci: slab-recovery gate passed"
+
+# Diagnostics-bundle gate: SIGABRT mid-checkpoint must leave a black-box
+# bundle behind whose flight-recorder section shows the in-flight
+# checkpoint (DESIGN.md §3i). Same fork harness, same loud SKIP without
+# fork.
+./build/tools/crash_writer --bundle
+echo "ci: diagnostics-bundle gate passed"
 
 # Tier 2: concurrency subset under ThreadSanitizer.
 cmake -B build-tsan -S . -DMODELARDB_SANITIZE=thread >/dev/null

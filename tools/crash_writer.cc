@@ -21,6 +21,7 @@
 //             post-recovery log bytes) must reproduce bit-identically.
 //
 // Usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH] [--slab]
+//                     [--bundle]
 // Exit 0 only if every round passes. On platforms without fork/kill it
 // prints a loud SKIP and exits 0 so CI stays green but honest.
 //
@@ -32,6 +33,12 @@
 // rest), so the verifier is byte-for-byte the same; fault rounds
 // additionally require the post-recovery slab file to reproduce
 // bit-identically across same-seed runs.
+//
+// --bundle runs a single diagnostics-bundle round instead: the forked
+// child installs obs::InstallCrashHandler, ingests with slab checkpoints
+// and SIGABRTs itself from inside a checkpoint phase hook; the parent
+// asserts a well-formed crash bundle (header, signal, in-flight
+// checkpoint_phase flight-recorder events, end marker) landed on disk.
 
 #include <cinttypes>
 #include <cstdint>
@@ -44,6 +51,7 @@
 #include <vector>
 
 #include "core/models/pmc_mean.h"
+#include "obs/bundle.h"
 #include "storage/segment_store.h"
 #include "util/buffer.h"
 #include "util/fault_env.h"
@@ -227,6 +235,99 @@ bool RunKillRound(int round, uint64_t seed, const std::string& dir) {
   return true;
 }
 
+// Bundle round: a child installs the crash handler and aborts from inside
+// a slab-checkpoint phase hook; the parent validates the bundle file.
+[[noreturn]] void RunBundleChild(const std::string& dir) {
+  obs::InstallCrashHandler(dir);
+  SegmentStoreOptions options;
+  options.directory = dir + "/store";
+  options.wal_sync_policy = WalSyncPolicy::kEveryBlock;
+  options.bulk_write_size = static_cast<size_t>(kMaxSegments) + 1;
+  options.slab_checkpoint_every_n_flushes = 2;
+  // Abort mid-checkpoint, after a phase event has been recorded: the
+  // bundle must show the in-flight checkpoint in its event ring.
+  int phases_seen = 0;
+  options.checkpoint_phase_hook = [&phases_seen](const char* phase) {
+    if (std::strcmp(phase, "stage_group") == 0 && ++phases_seen == 1) {
+      std::abort();
+    }
+  };
+  auto store_or = SegmentStore::Open(options);
+  if (!store_or.ok()) _exit(2);
+  std::unique_ptr<SegmentStore> store = std::move(*store_or);
+  for (int i = 0; i < kMaxSegments; ++i) {
+    if (!store->Put(MakeSegment(i)).ok()) _exit(3);
+    if ((i + 1) % kFlushEvery == 0 && !store->Flush().ok()) _exit(4);
+  }
+  _exit(5);  // The hook should have aborted long before the workload ends.
+}
+
+bool RunBundleRound(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) RunBundleChild(dir);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGABRT) {
+    std::fprintf(stderr,
+                 "FAIL: bundle child did not die of SIGABRT (wstatus=%d)\n",
+                 wstatus);
+    return false;
+  }
+
+  std::string bundle_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("crash_bundle_", 0) == 0) bundle_path = entry.path();
+  }
+  if (bundle_path.empty()) {
+    std::fprintf(stderr, "FAIL: no crash_bundle_*.txt written in %s\n",
+                 dir.c_str());
+    return false;
+  }
+  FILE* f = std::fopen(bundle_path.c_str(), "r");
+  if (f == nullptr) {
+    std::perror("fopen bundle");
+    return false;
+  }
+  std::string contents;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    contents.append(chunk, n);
+  }
+  std::fclose(f);
+
+  struct Check {
+    const char* what;
+    const char* needle;
+  } checks[] = {
+      {"header", "MODELARDB DIAGNOSTICS BUNDLE v1"},
+      {"signal line", "signal=6"},
+      {"events section", "== events =="},
+      {"in-flight checkpoint begin", "kind=checkpoint_begin"},
+      {"in-flight checkpoint phase", "kind=checkpoint_phase"},
+      {"staging phase detail", "detail=stage_group"},
+      {"metrics section", "== metrics =="},
+      {"end marker", "== end of bundle =="},
+  };
+  for (const Check& check : checks) {
+    if (contents.find(check.needle) == std::string::npos) {
+      std::fprintf(stderr, "FAIL: bundle %s is missing its %s (\"%s\")\n",
+                   bundle_path.c_str(), check.what, check.needle);
+      return false;
+    }
+  }
+  std::printf("crash_writer: bundle round: %zu-byte bundle at %s is "
+              "well-formed\n",
+              contents.size(), bundle_path.c_str());
+  return true;
+}
+
 #endif  // MODELARDB_HAS_FORK
 
 // What one fault round observed; two same-seed runs must compare equal.
@@ -340,6 +441,7 @@ int Run(int argc, char** argv) {
   int rounds = 25;
   uint64_t seed = 42;
   std::string dir;
+  bool bundle_mode = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--rounds=", 0) == 0) {
@@ -350,10 +452,12 @@ int Run(int argc, char** argv) {
       dir = arg.substr(6);
     } else if (arg == "--slab") {
       g_slab_mode = true;
+    } else if (arg == "--bundle") {
+      bundle_mode = true;
     } else {
-      std::fprintf(
-          stderr,
-          "usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH] [--slab]\n");
+      std::fprintf(stderr,
+                   "usage: crash_writer [--rounds=N] [--seed=S] [--dir=PATH] "
+                   "[--slab] [--bundle]\n");
       return 2;
     }
   }
@@ -364,6 +468,22 @@ int Run(int argc, char** argv) {
   }
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
+
+  if (bundle_mode) {
+#if MODELARDB_HAS_FORK
+    if (RunBundleRound(dir + "/bundle")) {
+      std::filesystem::remove_all(dir);
+      return 0;
+    }
+    std::fprintf(stderr, "crash_writer: FAILED (artifacts kept in %s)\n",
+                 dir.c_str());
+    return 1;
+#else
+    std::printf(
+        "crash_writer: SKIP bundle round (no fork/kill on this platform)\n");
+    return 0;
+#endif
+  }
 
   bool all_ok = true;
 #if MODELARDB_HAS_FORK

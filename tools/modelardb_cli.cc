@@ -18,11 +18,15 @@
 //                          prom = Prometheus text format, json = JSON)
 //   \trace [n]             span tree of the n-th most recent query trace
 //                          (default 0, the newest)
+//   \health                watchdog health verdict (ok/degraded/stalled
+//                          with reasons; same rows as SELECT * FROM
+//                          HEALTH())
 //   \similar <tid> <k> <v1> <v2> ...   top-k similarity search (§9 ext.)
 //   \quit                  exit
 //
-// SQL also exposes the observability layer: SELECT * FROM METRICS() and
-// SELECT * FROM TRACES(); EXPLAIN ANALYZE <query> prints the span tree.
+// SQL also exposes the observability layer: SELECT * FROM METRICS(),
+// SELECT * FROM TRACES() and SELECT * FROM HEALTH(); EXPLAIN ANALYZE
+// <query> prints the span tree.
 
 #include <cstdio>
 #include <cstring>
@@ -32,6 +36,7 @@
 #include "cluster/cluster.h"
 #include "ingest/csv.h"
 #include "ingest/pipeline.h"
+#include "obs/bundle.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -131,6 +136,13 @@ void RunShell(cluster::ClusterEngine* engine,
           } else {
             std::printf("error: %s\n", result.status().ToString().c_str());
           }
+        }
+      } else if (command == "health") {
+        auto result = engine->Execute("SELECT * FROM HEALTH()");
+        if (result.ok()) {
+          std::printf("%s", result->ToString().c_str());
+        } else {
+          std::printf("error: %s\n", result.status().ToString().c_str());
         }
       } else if (command == "trace") {
         int n = 0;
@@ -233,6 +245,10 @@ int main(int argc, char** argv) {
   cluster_config.error_bound =
       options.bound_pct == 0.0 ? ErrorBound::Lossless()
                                : ErrorBound::Relative(options.bound_pct);
+  // Interactive server: run the health watchdog and write a diagnostics
+  // bundle (flight recorder + metrics + traces) on any fatal signal.
+  cluster_config.start_watchdog = true;
+  obs::InstallCrashHandler(options.data_dir.empty() ? "." : options.data_dir);
 
   std::unique_ptr<TimeSeriesCatalog> catalog;
   PartitionHints hints;
