@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "query/parser.h"
+#include "util/env.h"
 #include "util/strings.h"
 
 namespace modelardb {
@@ -21,19 +22,24 @@ Result<DataPoint> ParseCsvPoint(const std::string& line) {
 }
 
 Result<std::unique_ptr<CsvSeriesReader>> CsvSeriesReader::Open(
-    const std::string& path) {
+    const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::unique_ptr<CsvSeriesReader> reader(new CsvSeriesReader(path));
-  reader->in_.open(path);
-  if (!reader->in_.is_open()) {
-    return Status::IOError("cannot open CSV file: " + path);
+  Result<std::vector<uint8_t>> bytes = env->ReadFileBytes(path);
+  if (!bytes.ok()) {
+    return Status::IOError("cannot open CSV file: " + path + " (" +
+                           bytes.status().message() + ")");
   }
+  reader->data_.assign(bytes->begin(), bytes->end());
   return reader;
 }
 
 Result<std::optional<DataPoint>> CsvSeriesReader::Next() {
-  std::string line;
-  while (std::getline(in_, line)) {
-    line = TrimString(line);
+  while (pos_ < data_.size()) {
+    size_t eol = data_.find('\n', pos_);
+    if (eol == std::string::npos) eol = data_.size();
+    std::string line = TrimString(data_.substr(pos_, eol - pos_));
+    pos_ = eol + 1;
     if (line.empty() || line[0] == '#') continue;
     Result<DataPoint> point = ParseCsvPoint(line);
     if (!point.ok()) {
@@ -55,14 +61,15 @@ Result<std::optional<DataPoint>> CsvSeriesReader::Next() {
 }
 
 Result<std::unique_ptr<CsvGroupSource>> CsvGroupSource::Open(
-    const TimeSeriesCatalog& catalog, const TimeSeriesGroup& group) {
+    const TimeSeriesCatalog& catalog, const TimeSeriesGroup& group,
+    Env* env) {
   std::unique_ptr<CsvGroupSource> source(new CsvGroupSource());
   source->gid_ = group.gid;
   source->si_ = group.si;
   for (Tid tid : group.tids) {
     const TimeSeriesMeta& meta = catalog.Get(tid);
     MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<CsvSeriesReader> reader,
-                               CsvSeriesReader::Open(meta.source));
+                               CsvSeriesReader::Open(meta.source, env));
     source->readers_.push_back(std::move(reader));
     source->scalings_.push_back(meta.scaling);
     source->heads_.emplace_back();
@@ -168,24 +175,24 @@ Result<Deployment> LoadDeployment(const std::string& config_text) {
   return deployment;
 }
 
-Result<Deployment> LoadDeploymentFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::IOError("cannot open configuration file: " + path);
+Result<Deployment> LoadDeploymentFile(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::vector<uint8_t>> bytes = env->ReadFileBytes(path);
+  if (!bytes.ok()) {
+    return Status::IOError("cannot open configuration file: " + path +
+                           " (" + bytes.status().message() + ")");
   }
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  return LoadDeployment(text);
+  return LoadDeployment(std::string(bytes->begin(), bytes->end()));
 }
 
 Result<std::vector<std::unique_ptr<GroupRowSource>>> MakeCsvSources(
     const TimeSeriesCatalog& catalog,
-    const std::vector<TimeSeriesGroup>& groups) {
+    const std::vector<TimeSeriesGroup>& groups, Env* env) {
   std::vector<std::unique_ptr<GroupRowSource>> sources;
   sources.reserve(groups.size());
   for (const TimeSeriesGroup& group : groups) {
     MODELARDB_ASSIGN_OR_RETURN(std::unique_ptr<CsvGroupSource> source,
-                               CsvGroupSource::Open(catalog, group));
+                               CsvGroupSource::Open(catalog, group, env));
     sources.push_back(std::move(source));
   }
   return sources;

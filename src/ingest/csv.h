@@ -20,7 +20,6 @@
 #ifndef MODELARDB_INGEST_CSV_H_
 #define MODELARDB_INGEST_CSV_H_
 
-#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -32,15 +31,20 @@
 #include "partition/partitioner.h"
 
 namespace modelardb {
+
+class Env;
+
 namespace ingest {
 
 // Streams data points from a CSV file with lines `<time>,<value>`, where
 // <time> is epoch milliseconds or "YYYY-MM-DD[ HH:MM[:SS]]". A header line
-// is skipped when its first field is not a valid time.
+// is skipped when its first field is not a valid time. The file is read
+// through `env` (nullptr: Env::Default()) so ingest-side read failures
+// are injectable via FaultInjectionEnv.
 class CsvSeriesReader {
  public:
   static Result<std::unique_ptr<CsvSeriesReader>> Open(
-      const std::string& path);
+      const std::string& path, Env* env = nullptr);
 
   // Next point; nullopt at end of file. Timestamps must be increasing.
   Result<std::optional<DataPoint>> Next();
@@ -51,7 +55,8 @@ class CsvSeriesReader {
   explicit CsvSeriesReader(std::string path) : path_(std::move(path)) {}
 
   std::string path_;
-  std::ifstream in_;
+  std::string data_;  // Whole-file contents, read once at Open.
+  size_t pos_ = 0;    // Cursor into data_.
   bool first_line_ = true;
   Timestamp last_timestamp_ = std::numeric_limits<Timestamp>::min();
 };
@@ -66,7 +71,8 @@ Result<DataPoint> ParseCsvPoint(const std::string& line);
 class CsvGroupSource : public GroupRowSource {
  public:
   static Result<std::unique_ptr<CsvGroupSource>> Open(
-      const TimeSeriesCatalog& catalog, const TimeSeriesGroup& group);
+      const TimeSeriesCatalog& catalog, const TimeSeriesGroup& group,
+      Env* env = nullptr);
 
   Gid gid() const override { return gid_; }
   Result<bool> Next(GroupRow* row) override;
@@ -91,13 +97,15 @@ struct Deployment {
 // Parses configuration text (see the grammar above).
 Result<Deployment> LoadDeployment(const std::string& config_text);
 
-// Convenience: reads the file at `path` and calls LoadDeployment.
-Result<Deployment> LoadDeploymentFile(const std::string& path);
+// Convenience: reads the file at `path` through `env` (nullptr:
+// Env::Default()) and calls LoadDeployment.
+Result<Deployment> LoadDeploymentFile(const std::string& path,
+                                      Env* env = nullptr);
 
-// Builds one CsvGroupSource per group.
+// Builds one CsvGroupSource per group, reading through `env`.
 Result<std::vector<std::unique_ptr<GroupRowSource>>> MakeCsvSources(
     const TimeSeriesCatalog& catalog,
-    const std::vector<TimeSeriesGroup>& groups);
+    const std::vector<TimeSeriesGroup>& groups, Env* env = nullptr);
 
 }  // namespace ingest
 }  // namespace modelardb

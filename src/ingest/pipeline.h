@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/cluster.h"
+#include "cluster/cluster.h"  // modelarlint:allow(layering) pipeline drains to a cluster sink by design; see DESIGN.md 3h
 #include "core/types.h"
 #include "util/status.h"
 

@@ -1,0 +1,282 @@
+#include "lint/lexer.h"
+
+namespace modelardb {
+namespace lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool IsHexish(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+// Is the quote at `pos` the start of a raw string literal? If so, fill
+// `delim` with the d-char sequence (the text between " and the opening
+// parenthesis). `prefix_len` receives how many chars before the quote
+// belong to the encoding prefix ending in R (R, u8R, uR, UR, LR).
+bool IsRawStringStart(const std::string& s, size_t pos, std::string* delim,
+                      size_t* prefix_len) {
+  if (pos == 0 || s[pos] != '"' || s[pos - 1] != 'R') return false;
+  size_t start = pos - 1;  // The R.
+  // Optional encoding prefix before the R.
+  if (start >= 2 && s[start - 2] == 'u' && s[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 &&
+             (s[start - 1] == 'u' || s[start - 1] == 'U' ||
+              s[start - 1] == 'L')) {
+    start -= 1;
+  }
+  // The prefix must itself be a token start, not the tail of an identifier
+  // (FooR"..." is a user-defined literal on an identifier, not raw).
+  if (start > 0 && IsIdentChar(s[start - 1])) return false;
+  // Scan the d-char-seq: up to 16 chars, no space/paren/backslash.
+  size_t i = pos + 1;
+  std::string d;
+  while (i < s.size() && s[i] != '(' && d.size() <= 16) {
+    char c = s[i];
+    if (c == ' ' || c == ')' || c == '\\' || c == '\n') return false;
+    d.push_back(c);
+    ++i;
+  }
+  if (i >= s.size() || s[i] != '(') return false;
+  *delim = d;
+  *prefix_len = pos - (start + 1) + 1;  // Chars of prefix incl. the R... quote excluded.
+  return true;
+}
+
+// Parses the include target out of one comment-blanked line, if any.
+bool ParseIncludeLine(const std::string& line, std::string* target,
+                      bool* system) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '#') return false;
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (line.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size()) return false;
+  char open = line[i];
+  char close;
+  if (open == '<') {
+    close = '>';
+    *system = true;
+  } else if (open == '"') {
+    close = '"';
+    *system = false;
+  } else {
+    return false;
+  }
+  size_t end = line.find(close, i + 1);
+  if (end == std::string::npos) return false;
+  *target = line.substr(i + 1, end - i - 1);
+  return true;
+}
+
+}  // namespace
+
+ScannedSource ScanSource(const std::string& contents) {
+  ScannedSource out;
+  const size_t n = contents.size();
+  // Two blanked views built in one pass: `code` (comments + literal
+  // contents blanked) and `no_comments` (only comments blanked — include
+  // directives keep their quoted targets here).
+  std::string code = contents;
+  std::string no_comments = contents;
+  int line = 1;
+
+  auto blank_both = [&](size_t i) {
+    if (contents[i] != '\n') {
+      code[i] = ' ';
+      no_comments[i] = ' ';
+    }
+  };
+  auto blank_code = [&](size_t i) {
+    if (contents[i] != '\n') code[i] = ' ';
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    char c = contents[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+      size_t start = i;
+      while (i < n && contents[i] != '\n') {
+        blank_both(i);
+        ++i;
+      }
+      out.comments.push_back(
+          {line, contents.substr(start + 2, i - start - 2)});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+      size_t start = i;
+      int start_line = line;
+      blank_both(i);
+      blank_both(i + 1);
+      i += 2;
+      while (i < n && !(contents[i] == '*' && i + 1 < n &&
+                        contents[i + 1] == '/')) {
+        if (contents[i] == '\n') ++line;
+        blank_both(i);
+        ++i;
+      }
+      size_t text_end = i;
+      if (i < n) {  // Consume the closing */.
+        blank_both(i);
+        blank_both(i + 1);
+        i += 2;
+      }
+      out.comments.push_back(
+          {start_line, contents.substr(start + 2, text_end - start - 2)});
+      continue;
+    }
+    // Raw string literal.
+    std::string delim;
+    size_t prefix_len = 0;
+    if (c == '"' && IsRawStringStart(contents, i, &delim, &prefix_len)) {
+      int start_line = line;
+      size_t content_start = i + 1 + delim.size() + 1;  // After "delim(
+      std::string closer = ")" + delim + "\"";
+      size_t end = contents.find(closer, content_start);
+      size_t content_end = (end == std::string::npos) ? n : end;
+      out.strings.push_back(
+          {start_line,
+           contents.substr(content_start,
+                           content_end - content_start)});
+      size_t literal_end =
+          (end == std::string::npos) ? n : end + closer.size();
+      // Blank everything between the quotes (keep the outer quotes so the
+      // code view still shows "a string was here").
+      for (size_t j = i + 1; j + 1 < literal_end + 1 && j < n; ++j) {
+        if (j == literal_end - 1 && end != std::string::npos) break;
+        if (contents[j] == '\n') ++line;
+        blank_code(j);
+      }
+      i = literal_end;
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      int start_line = line;
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && contents[j] != '"' && contents[j] != '\n') {
+        if (contents[j] == '\\' && j + 1 < n) {
+          value.push_back(contents[j]);
+          value.push_back(contents[j + 1]);
+          blank_code(j);
+          blank_code(j + 1);
+          j += 2;
+          continue;
+        }
+        value.push_back(contents[j]);
+        blank_code(j);
+        ++j;
+      }
+      out.strings.push_back({start_line, value});
+      i = (j < n) ? j + 1 : j;
+      continue;
+    }
+    // Char literal — but NOT a digit separator (1'000'000).
+    if (c == '\'') {
+      if (i > 0 && IsHexish(contents[i - 1]) && i + 1 < n &&
+          IsHexish(contents[i + 1])) {
+        ++i;  // Digit separator inside a numeric literal.
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && contents[j] != '\'' && contents[j] != '\n') {
+        if (contents[j] == '\\' && j + 1 < n) {
+          blank_code(j);
+          blank_code(j + 1);
+          j += 2;
+          continue;
+        }
+        blank_code(j);
+        ++j;
+      }
+      i = (j < n) ? j + 1 : j;
+      continue;
+    }
+    ++i;
+  }
+
+  out.code = std::move(code);
+
+  // Includes: parse the comment-blanked view line by line.
+  int include_line = 1;
+  size_t pos = 0;
+  while (pos <= no_comments.size()) {
+    size_t eol = no_comments.find('\n', pos);
+    size_t len = (eol == std::string::npos) ? no_comments.size() - pos
+                                            : eol - pos;
+    std::string l = no_comments.substr(pos, len);
+    std::string target;
+    bool system = false;
+    if (ParseIncludeLine(l, &target, &system)) {
+      out.includes.push_back({include_line, target, system});
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+    ++include_line;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+bool MatchesIdentifierAt(const std::string& code, size_t pos,
+                         const std::string& token) {
+  if (pos + token.size() > code.size()) return false;
+  if (code.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(code[pos - 1])) return false;
+  size_t end = pos + token.size();
+  if (end < code.size() && IsIdentChar(code[end])) return false;
+  return true;
+}
+
+std::vector<size_t> FindIdentifier(const std::string& code,
+                                   const std::string& token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    if (MatchesIdentifierAt(code, pos, token)) hits.push_back(pos);
+    pos += 1;
+  }
+  return hits;
+}
+
+int LineOfOffset(const std::string& text, size_t pos) {
+  int line = 1;
+  for (size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+}  // namespace lint
+}  // namespace modelardb

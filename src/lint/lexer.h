@@ -1,0 +1,83 @@
+// modelarlint's C++-aware scanner (DESIGN.md §3j).
+//
+// The point of this file is exactly what the old grep-based hygiene checks
+// in tools/ci.sh could not do: tell code apart from comments and string
+// literals. ScanSource performs one character-level pass over a C++ source
+// file and produces
+//
+//   code        the file with every comment and every string/char-literal
+//               *content* replaced by spaces (same length, same line
+//               structure), so rule matchers can search it without false
+//               positives from `// uses std::ofstream` or "fopen failed";
+//   strings     every string-literal value with its line number — the
+//               metric-catalog rule looks for metric names ONLY here;
+//   comments    every comment's text with its starting line — suppression
+//               pragmas (`modelarlint:allow(...)`) live ONLY here, so a
+//               pragma inside a string literal never suppresses anything;
+//   includes    every #include with its line and target, parsed with
+//               comments stripped but strings kept (the include path IS a
+//               string-ish token) — a "#include" inside a comment or
+//               literal does not count.
+//
+// Handled: // and /* */ comments (multi-line), "..." and '...' literals
+// with escape sequences, raw strings R"delim(...)delim" (with encoding
+// prefixes u8R/uR/UR/LR), and C++14 digit separators (the ' in 1'000'000
+// is not a char literal). Not handled: trigraphs and line-continuation
+// inside // comments, neither of which the tree uses.
+
+#ifndef MODELARDB_LINT_LEXER_H_
+#define MODELARDB_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace modelardb {
+namespace lint {
+
+struct StringLiteral {
+  int line = 0;         // 1-based line where the literal starts.
+  std::string text;     // The literal's content (no quotes).
+};
+
+struct Comment {
+  int line = 0;         // 1-based line where the comment starts.
+  std::string text;     // Comment text without the // or /* */ markers.
+};
+
+struct IncludeDirective {
+  int line = 0;         // 1-based.
+  std::string target;   // The include path, e.g. util/env.h or fstream.
+  bool system = false;  // <...> (true) vs "..." (false).
+};
+
+struct ScannedSource {
+  // The source with comments and string/char contents blanked to spaces.
+  // Byte-for-byte the same length and line structure as the input.
+  std::string code;
+  std::vector<StringLiteral> strings;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+ScannedSource ScanSource(const std::string& contents);
+
+// Splits blanked code into lines (no trailing '\n'); line i is lines[i-1].
+std::vector<std::string> SplitLines(const std::string& text);
+
+// True when code[pos, pos+token.size()) equals `token` and neither
+// neighbour is an identifier character — whole-identifier match.
+bool MatchesIdentifierAt(const std::string& code, size_t pos,
+                         const std::string& token);
+
+// Finds every whole-identifier occurrence of `token` in `code` (a blanked
+// view) and returns the byte offsets.
+std::vector<size_t> FindIdentifier(const std::string& code,
+                                   const std::string& token);
+
+// 1-based line number of byte offset `pos` in `text`.
+int LineOfOffset(const std::string& text, size_t pos);
+
+}  // namespace lint
+}  // namespace modelardb
+
+#endif  // MODELARDB_LINT_LEXER_H_

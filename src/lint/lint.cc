@@ -1,0 +1,390 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "util/env.h"
+
+namespace modelardb {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Suppression pragmas.
+
+struct Suppression {
+  std::string path;
+  int line = 0;                     // The comment's starting line.
+  std::vector<std::string> rules;   // Parsed from allow(...).
+  bool has_reason = false;
+  bool used = false;
+};
+
+// Parses every pragma out of `file`'s comments. Only a comment that
+// STARTS with the tag (after whitespace) is a pragma — prose that merely
+// mentions the syntax mid-sentence is documentation, not an escape. A
+// pragma-shaped comment that is not a well-formed allow(...) produces a
+// "suppression" meta-finding directly (it would otherwise silently do
+// nothing — the failure mode pragmas exist to avoid).
+void ParseSuppressions(const LintFile& file,
+                       std::vector<Suppression>* suppressions,
+                       std::vector<Finding>* findings) {
+  static const std::string kTag = "modelarlint:";
+  for (const Comment& comment : file.scanned.comments) {
+    const std::string trimmed = Trim(comment.text);
+    if (trimmed.compare(0, kTag.size(), kTag) != 0) continue;
+    size_t tag = comment.text.find(kTag);
+    size_t i = tag + kTag.size();
+    if (comment.text.compare(i, 6, "allow(") != 0) {
+      findings->push_back(
+          {"suppression", file.path, comment.line,
+           "malformed pragma; expected modelarlint:allow(<rule>) <reason>"});
+      continue;
+    }
+    i += 6;
+    size_t close = comment.text.find(')', i);
+    if (close == std::string::npos) {
+      findings->push_back({"suppression", file.path, comment.line,
+                           "unterminated modelarlint:allow( pragma"});
+      continue;
+    }
+    Suppression sup;
+    sup.path = file.path;
+    sup.line = comment.line;
+    // Comma-separated rule list.
+    size_t start = i;
+    bool ok = true;
+    while (start <= close) {
+      size_t comma = comment.text.find(',', start);
+      size_t end = (comma == std::string::npos || comma > close) ? close
+                                                                 : comma;
+      std::string rule = Trim(comment.text.substr(start, end - start));
+      if (rule.empty()) {
+        findings->push_back({"suppression", file.path, comment.line,
+                             "empty rule name in modelarlint:allow(...)"});
+        ok = false;
+      } else if (!IsKnownRule(rule)) {
+        findings->push_back(
+            {"suppression", file.path, comment.line,
+             "unknown rule '" + rule + "' in modelarlint:allow(...)"});
+        ok = false;
+      } else {
+        sup.rules.push_back(rule);
+      }
+      start = end + 1;
+      if (end == close) break;
+    }
+    sup.has_reason = !Trim(comment.text.substr(close + 1)).empty();
+    if (!sup.has_reason) {
+      findings->push_back(
+          {"suppression", file.path, comment.line,
+           "modelarlint:allow(...) without a reason; say why the line is "
+           "exempt"});
+      ok = false;
+    }
+    if (ok) suppressions->push_back(sup);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Baseline file.
+
+struct BaselineEntry {
+  std::string rule;
+  uint64_t fingerprint = 0;
+  std::string path;
+  int line = 0;  // Line in the baseline file, for stale reporting.
+  bool used = false;
+};
+
+std::string FingerprintHex(uint64_t fp) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[fp & 0xF];
+    fp >>= 4;
+  }
+  return out;
+}
+
+void ParseBaseline(const std::string& text,
+                   std::vector<BaselineEntry>* entries,
+                   std::vector<Finding>* findings) {
+  const std::vector<std::string> lines = SplitLines(text);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string line = Trim(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+    size_t sp1 = line.find(' ');
+    size_t sp2 = (sp1 == std::string::npos) ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+    bool ok = sp1 != std::string::npos && sp2 != std::string::npos;
+    BaselineEntry entry;
+    if (ok) {
+      entry.rule = line.substr(0, sp1);
+      const std::string hex = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      entry.path = Trim(line.substr(sp2 + 1));
+      ok = IsKnownRule(entry.rule) && hex.size() == 16 && !entry.path.empty();
+      for (char c : hex) {
+        int v;
+        if (c >= '0' && c <= '9') {
+          v = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          v = c - 'a' + 10;
+        } else {
+          ok = false;
+          break;
+        }
+        entry.fingerprint = (entry.fingerprint << 4) | static_cast<uint64_t>(v);
+      }
+    }
+    if (!ok) {
+      findings->push_back(
+          {"baseline", "tools/lint_baseline.txt", static_cast<int>(i + 1),
+           "malformed baseline line; expected <rule> <fp-16hex> <path>"});
+      continue;
+    }
+    entry.line = static_cast<int>(i + 1);
+    entries->push_back(entry);
+  }
+}
+
+// Line `line` (1-based) of `file`, trimmed, or "" when out of range.
+std::string LineText(const std::map<std::string, std::vector<std::string>>&
+                         lines_by_path,
+                     const std::string& path, int line) {
+  auto it = lines_by_path.find(path);
+  if (it == lines_by_path.end()) return "";
+  if (line < 1 || static_cast<size_t>(line) > it->second.size()) return "";
+  return Trim(it->second[static_cast<size_t>(line) - 1]);
+}
+
+bool FindingOrder(const Finding& a, const Finding& b) {
+  if (a.path != b.path) return a.path < b.path;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+
+Status LoadTree(const std::string& root, Env* env,
+                std::vector<LintFile>* files, std::vector<LintFile>* docs) {
+  std::vector<std::pair<std::string, bool>> paths;  // (rel path, is_doc)
+
+  const fs::path root_path(root);
+  std::error_code ec;
+
+  // C++ sources under the classified roots.
+  for (const char* dir :
+       {"src", "tools", "tests", "bench", "fuzz", "examples"}) {
+    const fs::path base = root_path / dir;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string rel =
+          fs::relative(it->path(), root_path, ec).generic_string();
+      if (ec) return Status::IOError("relative path failed under " + root);
+      if (rel.find("lint_fixtures/") != std::string::npos) continue;
+      if (HasSuffix(rel, ".cc") || HasSuffix(rel, ".h") ||
+          HasSuffix(rel, ".cpp")) {
+        paths.emplace_back(rel, false);
+      }
+    }
+  }
+  // Root-level markdown docs (metric-catalog scans them for drift).
+  for (fs::directory_iterator it(root_path, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string rel =
+        fs::relative(it->path(), root_path, ec).generic_string();
+    if (HasSuffix(rel, ".md")) paths.emplace_back(rel, true);
+  }
+
+  // Directory iteration order is unspecified; lint output must not be.
+  std::sort(paths.begin(), paths.end());
+
+  for (const auto& [rel, is_doc] : paths) {
+    Result<std::vector<uint8_t>> bytes =
+        env->ReadFileBytes((root_path / rel).string());
+    if (!bytes.ok()) return bytes.status();
+    LintFile file;
+    file.path = rel;
+    file.contents.assign(bytes->begin(), bytes->end());
+    (is_doc ? docs : files)->push_back(std::move(file));
+  }
+  return Status::OK();
+}
+
+LintResult RunLint(std::vector<LintFile>* files, std::vector<LintFile>* docs,
+                   const std::string& baseline_text) {
+  LintResult result;
+  result.files_scanned = static_cast<int>(files->size());
+  result.docs_scanned = static_cast<int>(docs->size());
+
+  for (LintFile& f : *files) f.scanned = ScanSource(f.contents);
+
+  // 1. Rules.
+  std::vector<Finding> raw;
+  for (const LintFile& f : *files) {
+    CheckIoBoundary(f, &raw);
+    CheckSyncBoundary(f, &raw);
+    CheckDeterminism(f, &raw);
+    CheckLayering(f, &raw);
+  }
+  CheckTsanCoverage(*files, &raw);
+  CheckMetricCatalog(*files, *docs, &raw);
+
+  // 2. Suppression pragmas. Meta-findings go straight to the survivors:
+  // they are not suppressible (a pragma cannot vouch for itself).
+  std::vector<Suppression> suppressions;
+  std::vector<Finding> meta;
+  for (const LintFile& f : *files) {
+    ParseSuppressions(f, &suppressions, &meta);
+  }
+
+  std::vector<Finding> survivors;
+  for (const Finding& finding : raw) {
+    bool suppressed = false;
+    for (Suppression& sup : suppressions) {
+      if (sup.path != finding.path || sup.line != finding.line) continue;
+      if (std::find(sup.rules.begin(), sup.rules.end(), finding.rule) ==
+          sup.rules.end()) {
+        continue;
+      }
+      sup.used = true;
+      suppressed = true;
+      break;
+    }
+    if (suppressed) {
+      ++result.suppressed;
+    } else {
+      survivors.push_back(finding);
+    }
+  }
+  for (const Suppression& sup : suppressions) {
+    if (!sup.used) {
+      meta.push_back(
+          {"suppression", sup.path, sup.line,
+           "pragma suppresses nothing; remove it or fix the rule list"});
+    }
+  }
+
+  // 3. Baseline.
+  std::vector<BaselineEntry> baseline;
+  ParseBaseline(baseline_text, &baseline, &meta);
+
+  std::map<std::string, std::vector<std::string>> lines_by_path;
+  for (const LintFile& f : *files) {
+    lines_by_path[f.path] = SplitLines(f.contents);
+  }
+  for (const LintFile& d : *docs) {
+    lines_by_path[d.path] = SplitLines(d.contents);
+  }
+
+  std::vector<Finding> final_findings;
+  for (const Finding& finding : survivors) {
+    const uint64_t fp = FindingFingerprint(
+        finding.rule, finding.path,
+        LineText(lines_by_path, finding.path, finding.line));
+    bool baselined = false;
+    for (BaselineEntry& entry : baseline) {
+      if (entry.rule == finding.rule && entry.path == finding.path &&
+          entry.fingerprint == fp) {
+        entry.used = true;
+        baselined = true;
+        break;
+      }
+    }
+    if (baselined) {
+      ++result.baselined;
+    } else {
+      final_findings.push_back(finding);
+    }
+  }
+  for (const BaselineEntry& entry : baseline) {
+    if (!entry.used) {
+      meta.push_back({"baseline", "tools/lint_baseline.txt", entry.line,
+                      "stale baseline entry for " + entry.rule + " in " +
+                          entry.path + "; the finding no longer fires"});
+    }
+  }
+
+  final_findings.insert(final_findings.end(), meta.begin(), meta.end());
+  std::sort(final_findings.begin(), final_findings.end(), FindingOrder);
+  result.findings = std::move(final_findings);
+  return result;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.path + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+uint64_t FindingFingerprint(const std::string& rule, const std::string& path,
+                            const std::string& line_text) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a 64 offset basis.
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ULL;  // FNV prime.
+    }
+    h ^= static_cast<uint8_t>('|');
+    h *= 1099511628211ULL;
+  };
+  mix(rule);
+  mix(path);
+  mix(line_text);
+  return h;
+}
+
+std::string RenderBaseline(const std::vector<Finding>& findings,
+                           const std::vector<LintFile>& files,
+                           const std::vector<LintFile>& docs) {
+  std::map<std::string, std::vector<std::string>> lines_by_path;
+  for (const LintFile& f : files) lines_by_path[f.path] = SplitLines(f.contents);
+  for (const LintFile& d : docs) lines_by_path[d.path] = SplitLines(d.contents);
+
+  std::set<std::string> lines;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "suppression" || finding.rule == "baseline") {
+      continue;  // Meta-findings must be fixed, not parked.
+    }
+    const uint64_t fp = FindingFingerprint(
+        finding.rule, finding.path,
+        LineText(lines_by_path, finding.path, finding.line));
+    lines.insert(finding.rule + " " + FingerprintHex(fp) + " " +
+                 finding.path);
+  }
+  std::string out =
+      "# modelarlint baseline: <rule> <fnv1a64(rule|path|line-text)> "
+      "<path>\n"
+      "# Grandfathered findings only; the tree ships with this file "
+      "empty.\n"
+      "# Regenerate with: modelarlint --write-baseline\n";
+  for (const std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+}  // namespace lint
+}  // namespace modelardb

@@ -1,0 +1,77 @@
+// modelarlint's engine (DESIGN.md §3j): tree loading, suppression
+// pragmas, the baseline file, and orchestration of the rules in rules.h.
+//
+// Escape hatches, in order of preference:
+//
+//   1. Fix the finding. The rules encode invariants the crash/TSan
+//      harnesses depend on; most findings are real bugs.
+//   2. Suppress the line:  `// modelarlint:allow(<rule>[,<rule>]) <reason>`
+//      on the offending line. The reason is mandatory; a pragma that
+//      suppresses nothing, names an unknown rule, or omits the reason is
+//      itself a finding (meta-rule "suppression"), so pragmas cannot rot.
+//   3. Baseline it: `modelarlint --write-baseline` grandfathers every
+//      current finding into tools/lint_baseline.txt. Entries are keyed by
+//      (rule, path, source-line *text*) fingerprints, so they survive
+//      line-number drift but die with the offending code; a stale entry is
+//      a finding (meta-rule "baseline"). The tree ships with an EMPTY
+//      baseline — the file exists to make adopting a new rule incremental,
+//      not to park violations.
+
+#ifndef MODELARDB_LINT_LINT_H_
+#define MODELARDB_LINT_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+#include "util/status.h"
+
+namespace modelardb {
+class Env;
+
+namespace lint {
+
+struct LintResult {
+  // Surviving findings (rule findings plus "suppression"/"baseline"
+  // meta-findings), sorted by path, line, rule.
+  std::vector<Finding> findings;
+  int suppressed = 0;        // Findings silenced by a pragma.
+  int baselined = 0;         // Findings silenced by the baseline.
+  int files_scanned = 0;     // C++ files analyzed.
+  int docs_scanned = 0;      // Markdown docs scanned for metric names.
+};
+
+// Loads the C++ tree (src/, tools/, tests/, bench/, fuzz/, examples/ —
+// .cc/.h/.cpp) and the root-level *.md docs under `root`. Paths in the
+// returned LintFiles are repo-relative with '/' separators. Skips
+// tests/lint_fixtures/ (fixtures deliberately violate the rules; lint_test
+// feeds them to the engine explicitly).
+Status LoadTree(const std::string& root, Env* env,
+                std::vector<LintFile>* files, std::vector<LintFile>* docs);
+
+// Runs every rule over `files`/`docs`, then applies suppression pragmas
+// and the baseline (`baseline_text` is the raw contents of
+// tools/lint_baseline.txt; pass "" for none). Fills each file's `scanned`.
+LintResult RunLint(std::vector<LintFile>* files, std::vector<LintFile>* docs,
+                   const std::string& baseline_text);
+
+// "path:line: [rule] message" — the one true rendering, shared by the CLI
+// and the golden fixture files.
+std::string FormatFinding(const Finding& finding);
+
+// FNV-1a 64 over "rule|path|<trimmed source line text>"; the baseline key.
+uint64_t FindingFingerprint(const std::string& rule, const std::string& path,
+                            const std::string& line_text);
+
+// Renders `findings` as baseline-file text (one "<rule> <fp-hex> <path>"
+// line each, deduplicated, with a header comment). `files`/`docs` supply
+// the line text behind each fingerprint.
+std::string RenderBaseline(const std::vector<Finding>& findings,
+                           const std::vector<LintFile>& files,
+                           const std::vector<LintFile>& docs);
+
+}  // namespace lint
+}  // namespace modelardb
+
+#endif  // MODELARDB_LINT_LINT_H_

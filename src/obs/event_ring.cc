@@ -18,7 +18,7 @@ obs::Counter& EventRecords() {
 }
 
 size_t GlobalCapacityFromEnv() {
-  const char* env = std::getenv("MODELARDB_EVENT_RING");
+  const char* env = std::getenv("MODELARDB_EVENT_RING");  // modelarlint:allow(determinism) one-time ring-size config read at startup
   if (env != nullptr) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return static_cast<size_t>(parsed);

@@ -60,7 +60,7 @@ std::vector<SpanRecord> Trace::Spans() const {
 namespace {
 
 int64_t EnvInt64(const char* name, int64_t fallback) {
-  const char* env = std::getenv(name);
+  const char* env = std::getenv(name);  // modelarlint:allow(determinism) one-time tracer config read at startup
   if (env != nullptr) {
     const long long parsed = std::strtoll(env, nullptr, 10);
     if (parsed > 0) return static_cast<int64_t>(parsed);

@@ -32,7 +32,7 @@ void Escalate(HealthStatus to, HealthStatus* status) {
 std::atomic<int64_t>& SlowQueryNs() {
   static std::atomic<int64_t> threshold_ns = [] {
     int64_t ms = 1000;
-    if (const char* env = std::getenv("MODELARDB_SLOW_QUERY_MS")) {
+    if (const char* env = std::getenv("MODELARDB_SLOW_QUERY_MS")) {  // modelarlint:allow(determinism) one-time threshold config read
       ms = std::atoll(env);
     }
     return ms <= 0 ? int64_t{-1} : ms * 1000000;

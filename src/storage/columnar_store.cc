@@ -1,9 +1,9 @@
 #include "storage/columnar_store.h"
 
 #include <filesystem>
-#include <fstream>
 
 #include "util/buffer.h"
+#include "util/env.h"
 
 namespace modelardb {
 namespace {
@@ -63,6 +63,7 @@ Result<std::vector<Timestamp>> DecodeTimestamps(
 
 ColumnarStore::ColumnarStore(ColumnarStoreOptions options)
     : options_(std::move(options)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
   if (!options_.directory.empty()) {
     log_path_ = options_.directory + "/columnar.log";
   }
@@ -166,12 +167,20 @@ Status ColumnarStore::WriteToDisk(const RowGroup& group, Tid tid) {
   writer.WriteI64(group.max_time);
   writer.WriteBytes(group.timestamps);
   writer.WriteBytes(group.values);
-  std::ofstream out(log_path_, std::ios::binary | std::ios::app);
-  if (!out.is_open()) return Status::IOError("cannot open " + log_path_);
-  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
-            static_cast<std::streamsize>(writer.size()));
-  if (!out.good()) return Status::IOError("write failed: " + log_path_);
-  disk_bytes_ += static_cast<int64_t>(writer.size());
+  // Row groups ride in checksummed WAL v2 blocks through util/env, like
+  // the other stores' commit logs, so FaultInjectionEnv can fail the
+  // append and torn tails are classifiable on recovery.
+  if (wal_ == nullptr) {
+    WalWriterOptions wal_options;
+    wal_options.sync_policy = options_.wal_sync_policy;
+    wal_options.sync_every_n_blocks = options_.wal_sync_every_n_blocks;
+    MODELARDB_ASSIGN_OR_RETURN(wal_,
+                               WalWriter::Open(env_, log_path_, wal_options));
+  }
+  const int64_t before = wal_->bytes_appended();
+  MODELARDB_RETURN_NOT_OK(
+      wal_->AppendBlock(writer.bytes().data(), writer.size()));
+  disk_bytes_ += wal_->bytes_appended() - before;
   return Status::OK();
 }
 
@@ -180,6 +189,8 @@ Status ColumnarStore::FinishIngest() {
     (void)pending;
     MODELARDB_RETURN_NOT_OK(SealRowGroup(tid));
   }
+  // The file is complete; make it durable before declaring it queryable.
+  if (wal_ != nullptr) MODELARDB_RETURN_NOT_OK(wal_->Sync());
   finalized_ = true;
   return Status::OK();
 }

@@ -19,8 +19,11 @@
 #include <vector>
 
 #include "storage/data_point_store.h"
+#include "storage/wal.h"
 
 namespace modelardb {
+
+class Env;
 
 enum class ColumnarProfile { kParquetLike, kOrcLike };
 
@@ -28,6 +31,11 @@ struct ColumnarStoreOptions {
   std::string directory;  // Empty: in-memory only.
   ColumnarProfile profile = ColumnarProfile::kParquetLike;
   size_t rows_per_group = 8192;
+  // All file I/O flows through `env` (nullptr: Env::Default()), so
+  // FaultInjectionEnv and tools/crash_writer cover the commit log.
+  Env* env = nullptr;
+  WalSyncPolicy wal_sync_policy = WalSyncPolicy::kNone;
+  size_t wal_sync_every_n_blocks = 8;
 };
 
 class ColumnarStore : public DataPointStore {
@@ -65,7 +73,9 @@ class ColumnarStore : public DataPointStore {
                                           uint32_t count) const;
 
   ColumnarStoreOptions options_;
+  Env* env_ = nullptr;  // options_.env or Env::Default(); never null.
   std::string log_path_;
+  std::unique_ptr<WalWriter> wal_;  // Lazily opened on first row group.
   bool finalized_ = false;
   std::map<Tid, std::vector<DataPoint>> pending_;
   std::map<Tid, std::vector<RowGroup>> groups_;

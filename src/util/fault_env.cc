@@ -198,11 +198,25 @@ Result<std::unique_ptr<MmapFile>> FaultInjectionEnv::NewMmapFile(
 
 Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFileBytes(
     const std::string& path) {
+  {
+    MutexLock lock(mutex_);
+    if (read_ops_++ == options_.fail_read_at) {
+      ++faults_;
+      return Status::IOError("injected read fault: " + path);
+    }
+  }
   return base_->ReadFileBytes(path);
 }
 
 Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFileRange(
     const std::string& path, uint64_t offset) {
+  {
+    MutexLock lock(mutex_);
+    if (read_ops_++ == options_.fail_read_at) {
+      ++faults_;
+      return Status::IOError("injected read fault: " + path);
+    }
+  }
   return base_->ReadFileRange(path, offset);
 }
 
@@ -283,6 +297,11 @@ Status FaultInjectionEnv::SimulateCrash() {
 int64_t FaultInjectionEnv::ops() const {
   MutexLock lock(mutex_);
   return ops_;
+}
+
+int64_t FaultInjectionEnv::read_ops() const {
+  MutexLock lock(mutex_);
+  return read_ops_;
 }
 
 int64_t FaultInjectionEnv::faults_injected() const {

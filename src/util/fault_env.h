@@ -17,6 +17,11 @@
 //                      durability is unaffected; used by the watchdog tests
 //                      to wedge a flush mid-Sync and observe the stalled
 //                      health verdict.
+//   fail_read_at       The Nth whole-file read (ReadFileBytes or
+//                      ReadFileRange) returns IOError — a torn sector or
+//                      vanished file on the ingest/recovery read path.
+//                      Reads consume a SEPARATE op counter so existing
+//                      seeded write-fault schedules are unaffected.
 //
 // The env additionally tracks, per tracked log file, the byte size at the
 // last successful Sync vs the bytes actually forwarded. SimulateCrash()
@@ -65,6 +70,7 @@ class FaultInjectionEnv final : public Env {
     int64_t fail_sync_at = -1;
     int64_t drop_writes_after = -1;
     int64_t stall_sync_at = -1;
+    int64_t fail_read_at = -1;
   };
 
   FaultInjectionEnv(Env* base, Options options);
@@ -91,6 +97,8 @@ class FaultInjectionEnv final : public Env {
 
   // Ops consumed so far (Appends + Syncs).
   int64_t ops() const;
+  // Whole-file reads consumed so far (separate counter; see fail_read_at).
+  int64_t read_ops() const;
   // Faults actually injected so far.
   int64_t faults_injected() const;
 
@@ -129,6 +137,7 @@ class FaultInjectionEnv final : public Env {
   std::map<std::string, FileState> files_ GUARDED_BY(mutex_);
   std::map<std::string, RWFileState> rw_files_ GUARDED_BY(mutex_);
   int64_t ops_ GUARDED_BY(mutex_) = 0;
+  int64_t read_ops_ GUARDED_BY(mutex_) = 0;
   int64_t faults_ GUARDED_BY(mutex_) = 0;
 };
 

@@ -33,7 +33,7 @@ const char* LevelName(LogLevel level) {
 // "2026-08-06T12:34:56.789Z" into buf (needs >= 25 bytes).
 void FormatUtcTimestamp(char* buf, size_t size) {
   struct timespec ts;
-  clock_gettime(CLOCK_REALTIME, &ts);
+  clock_gettime(CLOCK_REALTIME, &ts);  // modelarlint:allow(determinism) log-line timestamps are diagnostics, not state
   struct tm tm_utc;
   gmtime_r(&ts.tv_sec, &tm_utc);
   const unsigned millis = static_cast<unsigned>(ts.tv_nsec / 1000000);

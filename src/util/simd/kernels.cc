@@ -79,7 +79,7 @@ constexpr Kernels kScalarKernels = {UnpackBitsScalar, XorPrefix32Scalar,
                                     PrefixSum64Scalar, FoldSpanScalar};
 
 Tier DetectTier() {
-  const char* force = std::getenv("MODELARDB_FORCE_SCALAR");
+  const char* force = std::getenv("MODELARDB_FORCE_SCALAR");  // modelarlint:allow(determinism) one-time dispatch override read
   if (force != nullptr && force[0] != '\0' && force[0] != '0') {
     return Tier::kScalar;
   }

@@ -112,7 +112,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
 }
 
 int ThreadPool::DefaultParallelism() {
-  if (const char* env = std::getenv("MODELARDB_THREADS")) {
+  if (const char* env = std::getenv("MODELARDB_THREADS")) {  // modelarlint:allow(determinism) one-time pool-size config read
     int n = std::atoi(env);
     if (n >= 1) return n;
   }

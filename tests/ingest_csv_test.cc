@@ -7,6 +7,7 @@
 
 #include "cluster/cluster.h"
 #include "ingest/pipeline.h"
+#include "util/fault_env.h"
 
 namespace modelardb {
 namespace ingest {
@@ -73,6 +74,37 @@ TEST_F(CsvTest, MissingFileIsIOError) {
                 .status()
                 .code(),
             StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, ReaderReadsThroughInjectedEnv) {
+  // The reader takes its bytes from the Env boundary, so a seeded read
+  // fault surfaces as a clean IOError instead of a half-parsed file.
+  std::string path = WriteFile("f.csv", "1000,1.5\n2000,2.5\n");
+  FaultInjectionEnv::Options options;
+  options.fail_read_at = 0;  // The very first read fails.
+  FaultInjectionEnv env(Env::Default(), options);
+  auto failed = CsvSeriesReader::Open(path, &env);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(env.faults_injected(), 1);
+  // The fault healed: the same env now opens and serves the file.
+  auto reader = *CsvSeriesReader::Open(path, &env);
+  auto p = *reader->Next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->timestamp, 1000);
+}
+
+TEST_F(CsvTest, DeploymentFileReadsThroughInjectedEnv) {
+  std::string path = WriteFile("d.conf",
+                               "modelardb.dimension = Measure Category\n");
+  FaultInjectionEnv::Options options;
+  options.fail_read_at = 0;
+  FaultInjectionEnv env(Env::Default(), options);
+  EXPECT_EQ(LoadDeploymentFile(path, &env).status().code(),
+            StatusCode::kIOError);
+  auto deployment = LoadDeploymentFile(path, &env);
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  EXPECT_EQ(deployment->catalog->dimensions().size(), 1u);
 }
 
 TEST_F(CsvTest, GroupSourceAlignsSeriesAndMarksGaps) {

@@ -1,0 +1,11 @@
+// lint-fixture: src/core/bad_time.cc
+#include <chrono>
+
+long Sample() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  int noise = rand();
+  const char* flag = getenv("MODELARDB_FLAG");
+  (void)flag;
+  return time(nullptr) + noise;
+}

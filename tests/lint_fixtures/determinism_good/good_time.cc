@@ -1,0 +1,11 @@
+// lint-fixture: src/core/good_time.cc
+// Talking about system_clock or rand() in a comment must not fire.
+
+struct Clock {
+  long time(int mode);
+};
+
+long Sample(Clock& clock, long timestamp) {
+  // Timestamps are inputs; `clock.time(0)` is a member, not ::time(0).
+  return clock.time(0) + timestamp;
+}

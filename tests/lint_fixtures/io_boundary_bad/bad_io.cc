@@ -1,0 +1,7 @@
+// lint-fixture: src/storage/bad_io.cc
+#include <fstream>
+
+void WriteDirectly(const char* path) {
+  std::ofstream out(path);
+  fopen(path, "r");
+}

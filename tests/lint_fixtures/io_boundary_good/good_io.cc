@@ -1,0 +1,12 @@
+// lint-fixture: src/storage/good_io.cc
+// Mentioning std::ofstream or fopen() in a comment must not fire.
+#include "util/env.h"
+
+struct Reader {
+  void read(int n);
+};
+
+const char* Describe(Reader& reader) {
+  reader.read(1);  // Member call, not the read(2) syscall.
+  return "fopen failed; ofstream unavailable";  // String contents skipped.
+}

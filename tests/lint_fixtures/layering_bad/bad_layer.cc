@@ -1,0 +1,4 @@
+// lint-fixture: src/storage/bad_layer.cc
+#include "query/engine.h"
+
+void Peek() {}

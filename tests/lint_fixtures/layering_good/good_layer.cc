@@ -1,0 +1,6 @@
+// lint-fixture: src/query/good_layer.cc
+#include "obs/metrics.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+void Scan() {}

@@ -1,0 +1,3 @@
+// lint-fixture: tests/metrics_assert_test.cc
+// The dashboards graph modelardb_store_ghost_total for this.
+const char* Expect() { return "modelardb_store_unknown_total"; }

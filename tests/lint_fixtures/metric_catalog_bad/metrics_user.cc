@@ -1,0 +1,2 @@
+// lint-fixture: src/storage/metrics_user.cc
+const char* Emit() { return "modelardb_store_good_total"; }

@@ -1,0 +1,3 @@
+// lint-fixture: src/obs/metric_names.h
+inline constexpr const char* kGood = "modelardb_store_good_total";
+inline constexpr const char* kLatency = "modelardb_query_latency_ms";

@@ -1,0 +1,3 @@
+// lint-fixture: tests/metrics_assert_test.cc
+// Asserts on modelardb_store_good_total, histogram suffixes included.
+const char* Expect() { return "modelardb_query_latency_ms_bucket"; }

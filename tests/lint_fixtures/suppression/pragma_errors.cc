@@ -1,0 +1,4 @@
+// lint-fixture: src/storage/pragma_errors.cc
+// modelarlint:allow(io-boundary) nothing on this line violates io-boundary
+// modelarlint:allow(no-such-rule) the rule name is a typo
+// modelarlint:allow(determinism)

@@ -1,0 +1,6 @@
+// lint-fixture: src/storage/suppressed.cc
+#include "util/env.h"
+
+void Probe(const char* path) {
+  fopen(path, "r");  // modelarlint:allow(io-boundary) fixture: a justified escape with a reason
+}

@@ -1,0 +1,5 @@
+// lint-fixture: src/query/bad_sync.cc
+#include <mutex>
+
+std::mutex g_lock;
+void Critical() { std::lock_guard<std::mutex> lock(g_lock); }

@@ -1,0 +1,7 @@
+// lint-fixture: src/query/good_sync.cc
+// A comment naming std::mutex or std::lock_guard must not fire.
+#include "util/sync.h"
+
+const char* Hint() {
+  return "std::mutex is banned here";  // String contents skipped.
+}

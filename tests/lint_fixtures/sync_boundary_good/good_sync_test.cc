@@ -1,0 +1,4 @@
+// lint-fixture: tests/good_sync_test.cc
+#include "query/good_sync.h"
+
+TEST(GoodSyncConcurrencyTest, Locks) {}

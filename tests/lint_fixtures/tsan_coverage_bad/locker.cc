@@ -1,0 +1,4 @@
+// lint-fixture: src/core/locker.cc
+#include "util/sync.h"
+
+void LockSomething() {}

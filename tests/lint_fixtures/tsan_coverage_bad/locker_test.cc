@@ -1,0 +1,4 @@
+// lint-fixture: tests/locker_test.cc
+#include "core/locker.h"
+
+TEST(LockerTest, Basic) {}

@@ -192,6 +192,61 @@ TEST_F(FaultEnvTest, SimulateCrashKeepsSyncedPrefix) {
             synced);
 }
 
+TEST_F(FaultEnvTest, FailReadAtN) {
+  // fail_read_at counts whole-file reads on a counter of their own, so
+  // write faults keyed to op indices keep firing at the same ops no
+  // matter how many reads a recovery path adds.
+  Env* base = Env::Default();
+  {
+    auto log = *base->NewWritableLog(Path("data"));
+    std::vector<uint8_t> block = Bytes("payload");
+    ASSERT_TRUE(log->Append(block.data(), block.size()).ok());
+    ASSERT_TRUE(log->Close().ok());
+  }
+  FaultInjectionEnv::Options options;
+  options.fail_read_at = 1;  // The second read.
+  FaultInjectionEnv env(base, options);
+
+  // Write ops advance ops(), not the read counter.
+  auto log = *env.NewWritableLog(Path("scratch"));
+  std::vector<uint8_t> block = Bytes("abcd");
+  ASSERT_TRUE(log->Append(block.data(), block.size()).ok());  // Op 0.
+  ASSERT_TRUE(log->Sync().ok());                              // Op 1.
+  ASSERT_TRUE(log->Close().ok());
+  EXPECT_EQ(env.read_ops(), 0);
+
+  EXPECT_TRUE(env.ReadFileBytes(Path("data")).ok());   // Read op 0.
+  auto failed = env.ReadFileBytes(Path("data"));       // Read op 1: fails.
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  EXPECT_TRUE(env.ReadFileBytes(Path("data")).ok());   // Read op 2: heals.
+  EXPECT_EQ(env.read_ops(), 3);
+  EXPECT_EQ(env.ops(), 2);
+  EXPECT_EQ(env.faults_injected(), 1);
+}
+
+TEST_F(FaultEnvTest, FailReadAtCoversRangeReads) {
+  // ReadFileRange shares the read counter with ReadFileBytes, so a fault
+  // index hits whichever whole-file read happens Nth, not just one API.
+  Env* base = Env::Default();
+  {
+    auto log = *base->NewWritableLog(Path("data"));
+    std::vector<uint8_t> block = Bytes("0123456789");
+    ASSERT_TRUE(log->Append(block.data(), block.size()).ok());
+    ASSERT_TRUE(log->Close().ok());
+  }
+  FaultInjectionEnv::Options options;
+  options.fail_read_at = 1;
+  FaultInjectionEnv env(base, options);
+  EXPECT_TRUE(env.ReadFileRange(Path("data"), 4).ok());   // Read op 0.
+  EXPECT_FALSE(env.ReadFileBytes(Path("data")).ok());     // Read op 1: fails.
+  auto tail = env.ReadFileRange(Path("data"), 6);         // Read op 2: heals.
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, Bytes("6789"));
+  EXPECT_EQ(env.read_ops(), 3);
+  EXPECT_EQ(env.faults_injected(), 1);
+}
+
 TEST_F(FaultEnvTest, SeededRunsReproduceBitIdentically) {
   // Same seed, same op sequence -> same torn-file bytes. Different seed ->
   // (almost surely) a different tear.
@@ -220,8 +275,8 @@ TEST_F(FaultEnvTest, SeededRunsReproduceBitIdentically) {
   EXPECT_NE(a, c);
 }
 
-// Tier-2 TSan coverage for the env's internal mutex (tools/ci.sh
-// sync_coverage_hygiene): concurrent writers through one shared
+// Tier-2 TSan coverage for the env's internal mutex (the modelarlint
+// tsan-coverage rule): concurrent writers through one shared
 // FaultInjectionEnv must keep the global op/fault bookkeeping exact.
 TEST(FaultEnvConcurrencyTest, SharedEnvCountsOpsRaceFree) {
   auto dir = std::filesystem::temp_directory_path() /

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# CI gate: repo hygiene, tier-1 tests, the tier-2 TSan subset, the UBSan
-# tier, and the static-analysis gates (Clang thread-safety build,
-# clang-tidy, parser fuzz smoke).
+# CI gate: repo hygiene, tier-1 tests (which include the modelarlint
+# LintTree gate), the tier-2 TSan subset, the ASan and UBSan tiers, and
+# the static-analysis gates (Clang thread-safety build, clang-tidy,
+# parser fuzz smoke).
 #
 # The three Clang-only stages detect the toolchain and SKIP (loudly, but
 # green) when clang++/clang-tidy are not installed, so the script stays
 # runnable on GCC-only machines; on a machine with LLVM they are hard
-# gates. Everything else always runs.
+# gates. Everything else always runs — in particular modelarlint
+# (DESIGN.md §3j), which replaced the old metric/sync-coverage hygiene
+# greps with comment/string-aware rules that run on any toolchain.
 #
 # Usage: tools/ci.sh  (run from anywhere inside the repo)
 set -euo pipefail
@@ -20,75 +23,21 @@ if git ls-files | grep -q '^build'; then
   exit 1
 fi
 
-# Hygiene: every metric name mentioned in tests or docs must exist in the
-# compiled-in catalog (src/obs/metric_names.h), so docs/tests can never
-# drift from what the system actually emits. Histogram series suffixes
-# (_bucket/_sum/_count) are stripped before the lookup.
-metric_hygiene() {
-  local unknown=0 name base
-  while read -r name; do
-    base="$name"
-    for suffix in _bucket _sum _count; do
-      if [[ "$base" == *"$suffix" ]] &&
-         grep -q "\"${base%"$suffix"}\"" src/obs/metric_names.h; then
-        base="${base%"$suffix"}"
-        break
-      fi
-    done
-    if ! grep -q "\"$base\"" src/obs/metric_names.h; then
-      echo "FAIL: metric '$name' is not in src/obs/metric_names.h" >&2
-      unknown=1
-    fi
-  done < <(git grep -ohE 'modelardb_(pool|ingest|store|query|cluster|decode|wal|recovery|slab|event|health)_[a-z0-9_]+' \
-             -- tests docs '*.md' ':!src/obs/metric_names.h' 2>/dev/null \
-           | sort -u)
-  return "$unknown"
-}
-if ! metric_hygiene; then
-  exit 1
-fi
-
-# Hygiene: every src/ file that locks through util/sync.h must be covered
-# by the tier-2 ThreadSanitizer run. Concretely: for foo.cc/foo.h that
-# includes "util/sync.h", some tests/*.cc must include the module's header
-# AND define a gtest suite matching the tier-2 regex
-# (ThreadPool|Concurrency|Pipeline|Obs), so the annotated locks are
-# exercised under TSan, not just compiled. Keeps the analyzer's boundary
-# honest — new locking sites cannot silently skip the sanitizer tier.
-sync_coverage_hygiene() {
-  local bad=0 src hdr t
-  while read -r src; do
-    hdr="${src#src/}"
-    hdr="${hdr%.cc}"
-    hdr="${hdr%.h}.h"
-    local covered=0
-    for t in tests/*.cc; do
-      if grep -q "\"$hdr\"" "$t" &&
-         grep -qE 'TEST(_F)?\([A-Za-z0-9_]*(ThreadPool|Concurrency|Pipeline|Obs)' "$t"; then
-        covered=1
-        break
-      fi
-    done
-    if [[ "$covered" == 0 ]]; then
-      echo "FAIL: $src includes util/sync.h but no tests/*.cc including" >&2
-      echo "  \"$hdr\" defines a suite matching the tier-2 TSan regex" >&2
-      echo "  (ThreadPool|Concurrency|Pipeline|Obs)" >&2
-      bad=1
-    fi
-  done < <({ echo src/util/sync.h
-             git grep -l '"util/sync.h"' -- src; } | sort -u)
-  return "$bad"
-}
-if ! sync_coverage_hygiene; then
-  exit 1
-fi
-
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # Tier 1: full test suite.
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+# Lint gate: modelarlint over the whole tree with the checked-in (empty)
+# baseline. Already ran once inside ctest as LintTree.FullTreeClean; this
+# explicit run prints the findings in CI logs when it fails and keeps the
+# gate visible as its own stage. Enforces the io/sync/clock/catalog/
+# layering boundaries as hard errors (DESIGN.md §3j), replacing the old
+# metric_hygiene and sync_coverage_hygiene greps.
+./build/tools/modelarlint --root . --baseline tools/lint_baseline.txt
+echo "ci: modelarlint gate passed"
 
 # Kernel parity: the dispatched SIMD tier and the forced-scalar tier must
 # produce byte-identical results (DESIGN.md §3f). Runs the full tier-1
@@ -145,6 +94,15 @@ cmake --build build-tsan -j "$JOBS"
 cmake -B build-ubsan -S . -DMODELARDB_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$JOBS"
 (cd build-ubsan && ctest --output-on-failure -j "$JOBS")
+
+# ASan(+LSan) tier: the full suite under AddressSanitizer with leak
+# detection. Unlike the thread-safety/tidy/fuzz gates this runs under
+# GCC, so heap bugs on the Env/WAL/slab paths are caught on every
+# machine, not only where LLVM is installed.
+cmake -B build-asan -S . -DMODELARDB_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+echo "ci: ASan tier passed"
 
 # Static analysis gate 1: Clang thread-safety analysis as build errors.
 # Every annotation in util/sync.h (GUARDED_BY/REQUIRES/...) is enforced;

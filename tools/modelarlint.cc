@@ -1,0 +1,125 @@
+// The modelarlint CLI — the in-repo static analyzer (DESIGN.md §3j)
+// behind the LintTree ctest and the tools/ci.sh lint gate. Runs on any
+// toolchain — no clang, no LLVM — and enforces the project's boundary
+// invariants (io-boundary, sync-boundary, tsan-coverage, metric-catalog,
+// determinism, layering) as hard errors.
+//
+//   modelarlint [--root DIR] [--baseline FILE] [--write-baseline]
+//               [--list-rules]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error. tools/ci.sh and the
+// LintTree ctest both run it with --root <repo> and the checked-in
+// (empty) baseline; --write-baseline exists for adopting a new rule
+// incrementally, not for parking violations.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/env.h"
+
+namespace {
+
+using modelardb::Env;
+using modelardb::Result;
+using modelardb::Status;
+using modelardb::lint::Finding;
+using modelardb::lint::LintFile;
+using modelardb::lint::LintResult;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: modelarlint [--root DIR] [--baseline FILE] "
+               "[--write-baseline] [--list-rules]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool write_baseline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : modelardb::lint::AllRuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty()) baseline_path = root + "/tools/lint_baseline.txt";
+
+  Env* env = Env::Default();
+  std::vector<LintFile> files;
+  std::vector<LintFile> docs;
+  Status load = modelardb::lint::LoadTree(root, env, &files, &docs);
+  if (!load.ok()) {
+    std::fprintf(stderr, "modelarlint: %s\n", load.ToString().c_str());
+    return 2;
+  }
+
+  std::string baseline_text;
+  if (!write_baseline && env->FileExists(baseline_path)) {
+    Result<std::vector<uint8_t>> bytes = env->ReadFileBytes(baseline_path);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "modelarlint: %s\n",
+                   bytes.status().ToString().c_str());
+      return 2;
+    }
+    baseline_text.assign(bytes->begin(), bytes->end());
+  }
+
+  LintResult result =
+      modelardb::lint::RunLint(&files, &docs, baseline_text);
+
+  if (write_baseline) {
+    const std::string text =
+        modelardb::lint::RenderBaseline(result.findings, files, docs);
+    if (env->FileExists(baseline_path)) {
+      Status remove = env->RemoveFile(baseline_path);
+      if (!remove.ok()) {
+        std::fprintf(stderr, "modelarlint: %s\n",
+                     remove.ToString().c_str());
+        return 2;
+      }
+    }
+    auto log = env->NewWritableLog(baseline_path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "modelarlint: %s\n",
+                   log.status().ToString().c_str());
+      return 2;
+    }
+    Status append = (*log)->Append(
+        reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    Status close = append.ok() ? (*log)->Close() : append;
+    if (!close.ok()) {
+      std::fprintf(stderr, "modelarlint: %s\n", close.ToString().c_str());
+      return 2;
+    }
+    std::printf("modelarlint: baselined %zu finding(s) into %s\n",
+                result.findings.size(), baseline_path.c_str());
+    return 0;
+  }
+
+  for (const Finding& finding : result.findings) {
+    std::printf("%s\n", modelardb::lint::FormatFinding(finding).c_str());
+  }
+  std::printf(
+      "modelarlint: %d file(s), %d doc(s); %zu finding(s), %d suppressed, "
+      "%d baselined\n",
+      result.files_scanned, result.docs_scanned, result.findings.size(),
+      result.suppressed, result.baselined);
+  return result.findings.empty() ? 0 : 1;
+}
